@@ -1,0 +1,85 @@
+"""CDS size and speed vs classical baselines (quantifies the intro's claim
+that Wu–Li "outperforms several classical approaches ... and does so
+quickly" — not a numbered figure).
+
+Compares the marking process + rules against Guha–Khuller (both
+algorithms), MIS + connectors, and greedy-DS + Steiner connection on the
+paper's random geometric workload.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.baselines import (
+    connected_greedy_ds,
+    guha_khuller_cds,
+    mis_cds,
+    pieces_cds,
+)
+from repro.core.cds import compute_cds
+from repro.core.properties import is_cds
+from repro.graphs.generators import random_connected_network
+
+from conftest import bench_seed
+
+ALGOS = {
+    "wu-li ID": lambda adj: compute_cds(adj, "id").gateways,
+    "wu-li ND": lambda adj: compute_cds(adj, "nd").gateways,
+    "guha-khuller": guha_khuller_cds,
+    "gk pieces": pieces_cds,
+    "MIS+connect": mis_cds,
+    "greedyDS+steiner": connected_greedy_ds,
+}
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = np.random.default_rng(bench_seed())
+    return {
+        n: [random_connected_network(n, rng=rng) for _ in range(8)]
+        for n in (25, 50, 100)
+    }
+
+
+def test_baseline_size_comparison(workload, results_dir, capsys, benchmark):
+    rows = []
+    sizes: dict[tuple[str, int], float] = {}
+    for n, nets in workload.items():
+        for name, algo in ALGOS.items():
+            total = 0
+            for net in nets:
+                cds = algo(list(net.adjacency))
+                assert is_cds(net.adjacency, cds), (name, n)
+                total += len(cds)
+            sizes[(name, n)] = total / len(nets)
+    for name in ALGOS:
+        rows.append([name] + [sizes[(name, n)] for n in workload])
+    table = render_table(
+        ["algorithm"] + [f"N={n}" for n in workload],
+        rows,
+        title="Average CDS size: Wu-Li rules vs classical baselines",
+    )
+    with capsys.disabled():
+        print(f"\n{table}")
+    (results_dir / "baseline_sizes.txt").write_text(table + "\n")
+
+    # centralized greedy finds smaller sets than local ND rules (the price
+    # of locality), but ND must stay within a small constant factor
+    for n in workload:
+        assert sizes[("wu-li ND", n)] <= 2.5 * sizes[("guha-khuller", n)]
+
+    net = workload[100][0]
+    benchmark(lambda: guha_khuller_cds(list(net.adjacency)))
+
+
+@pytest.mark.parametrize(
+    "name", ["wu-li ID", "wu-li ND", "guha-khuller", "MIS+connect"]
+)
+def test_baseline_speed(workload, benchmark, name):
+    net = workload[100][0]
+    adj = list(net.adjacency)
+    out = benchmark(lambda: ALGOS[name](adj))
+    assert len(out) >= 1

@@ -1,0 +1,63 @@
+"""Energy-balance bench — the paper's stated objective, measured directly.
+
+"The objective is [to] devise a selection scheme so that the overall
+energy consumption is balanced in [the] network."  Lifespan (Figures
+11-13) measures balance indirectly; this bench measures it head-on:
+
+* **gateway duty Jain index** — how evenly gateway work is spread
+  (1.0 = everyone serves equally);
+* **energy std at death** — how unequal the batteries are when the first
+  host dies (lower = more balanced drain).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.simulation.config import SimulationConfig
+from repro.simulation.runner import run_trials
+
+from conftest import bench_parallel, bench_seed, bench_trials
+
+
+def test_energy_balance(results_dir, capsys, benchmark):
+    trials = bench_trials()
+    rows = []
+    jains = {}
+    stds = {}
+    for scheme in ("nr", "id", "nd", "el1", "el2"):
+        cfg = SimulationConfig(n_hosts=50, scheme=scheme, drain_model="fixed")
+        ms = run_trials(
+            cfg, trials, root_seed=bench_seed(), parallel=bench_parallel()
+        )
+        jain = float(np.mean([m.gateway_duty_jain for m in ms]))
+        std = float(np.mean([m.energy_std_at_death for m in ms]))
+        life = float(np.mean([m.lifespan for m in ms]))
+        jains[scheme] = jain
+        stds[scheme] = std
+        rows.append([scheme.upper(), life, jain, std])
+    table = render_table(
+        ["scheme", "lifespan", "duty Jain", "energy std at death"],
+        rows,
+        title=f"Energy balance (d = 2 per gateway, N=50, {trials} trials)",
+    )
+    with capsys.disabled():
+        print(f"\n{table}")
+    (results_dir / "fairness.txt").write_text(table + "\n")
+
+    # the power-aware schemes must spread duty more evenly than static ID
+    assert jains["el1"] > jains["id"]
+    assert jains["el2"] > jains["id"]
+    # and leave the population's batteries more even at first death
+    assert stds["el1"] < stds["id"]
+
+    cfg = SimulationConfig(n_hosts=30, scheme="el1", drain_model="fixed")
+    from repro.simulation.lifespan import LifespanSimulator
+
+    benchmark.pedantic(
+        lambda: LifespanSimulator(cfg, rng=bench_seed()).run().metrics.gateway_duty_jain,
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,55 @@
+"""Figure 10 — average number of gateway hosts vs N for NR/ID/ND/EL1/EL2.
+
+Paper shape: NR is by far the largest; ND and EL2 give the smallest sets;
+ID sits in between.  The metric is |G'| averaged over every update interval
+of the dynamic simulation (energies diverge over time, which is what
+separates EL1/EL2 from ID/ND).
+
+Regenerates the figure once (module fixture), prints the table + chart,
+asserts the headline orderings, and times the figure's kernel (one full
+marking + pruning pipeline at N = 100) with pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import run_figure10
+from repro.core.cds import compute_cds
+from repro.graphs.generators import random_connected_network
+
+from conftest import bench_parallel, bench_seed, bench_sweep, bench_trials, emit
+
+
+@pytest.fixture(scope="module")
+def figure10():
+    return run_figure10(
+        n_values=bench_sweep(),
+        trials=bench_trials(),
+        root_seed=bench_seed(),
+        parallel=bench_parallel(),
+    )
+
+
+def test_fig10_report_and_shape(figure10, results_dir, capsys, benchmark):
+    emit(capsys, figure10, results_dir, "figure10")
+
+    ns = figure10.n_values
+    large = [i for i, n in enumerate(ns) if n >= 50]
+    assert large, "sweep must include N >= 50 to judge the paper's shape"
+    for i in large:
+        nr = figure10.series["nr"][i].mean
+        idm = figure10.series["id"][i].mean
+        nd = figure10.series["nd"][i].mean
+        el2 = figure10.series["el2"][i].mean
+        # NR largest by far; ID prunes; ND prunes harder; EL2 tracks ND
+        # (well below ID, within ~a quarter of ND once energies diverge)
+        assert nr > idm > nd
+        assert el2 < idm
+        assert el2 <= nd * 1.3
+
+    # kernel timing: one full pipeline on a fresh N=100 snapshot
+    net = random_connected_network(100, rng=bench_seed())
+    adj = net.snapshot()
+    result = benchmark(lambda: compute_cds(adj, "nd"))
+    assert result.size >= 1

@@ -1,0 +1,90 @@
+"""Figure 12 — average lifespan vs N under drain model 2 (d ∝ N).
+
+Paper shape: EL1 is "clearly the winner although it does not generate the
+smallest set of connected dominating set"; ID is the worst.
+
+Both readings regenerated (see EXPERIMENTS.md):
+
+* **literal** ``d = N/|G'|`` — total gateway drain is the constant N, so
+  the largest backbone (NR) trivially shares it best and dominates every
+  pruned scheme; the paper's ordering cannot emerge.  Robust facts only.
+* **per-gateway** ``d = N/10`` — bypass cost grows with N but is
+  scheme-blind; the paper's ordering reproduces and is asserted.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import run_lifespan_figure
+from repro.simulation.config import SimulationConfig
+from repro.simulation.lifespan import LifespanSimulator
+
+from conftest import bench_parallel, bench_seed, bench_sweep, bench_trials, emit
+
+
+def _run(model):
+    return run_lifespan_figure(
+        model,
+        n_values=bench_sweep(),
+        trials=bench_trials(),
+        root_seed=bench_seed(),
+        parallel=bench_parallel(),
+    )
+
+
+@pytest.fixture(scope="module")
+def literal():
+    return _run("linear")
+
+
+@pytest.fixture(scope="module")
+def per_gateway():
+    return _run("pg-linear")
+
+
+def test_fig12_literal_reading(literal, results_dir, capsys, benchmark):
+    emit(capsys, literal, results_dir, "figure12_literal")
+
+    for i, n in enumerate(literal.n_values):
+        nr = literal.series["nr"][i].mean
+        for scheme in ("id", "nd", "el1", "el2"):
+            # constant total drain: the unpruned backbone shares it widest
+            assert literal.series[scheme][i].mean <= nr * 1.05, (scheme, n)
+        # nobody can outlive initial_energy (average drain >= 1 per host)
+        assert nr <= 101.0
+
+    cfg = SimulationConfig(n_hosts=50, scheme="el1", drain_model="linear")
+    benchmark.pedantic(
+        lambda: LifespanSimulator(cfg, rng=bench_seed()).run().lifespan,
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_fig12_per_gateway_reading(per_gateway, results_dir, capsys, benchmark):
+    emit(capsys, per_gateway, results_dir, "figure12_per_gateway")
+
+    large = [i for i, n in enumerate(per_gateway.n_values) if n >= 50]
+    assert large
+    for i in large:
+        el1 = per_gateway.series["el1"][i].mean
+        idm = per_gateway.series["id"][i].mean
+        nr = per_gateway.series["nr"][i].mean
+        # the paper's headline: power-aware rotation clearly beats static ID
+        assert el1 > idm, (per_gateway.n_values[i], el1, idm)
+        # and beats the no-pruning baseline (its big backbone now costs)
+        assert el1 > nr, (per_gateway.n_values[i], el1, nr)
+        # "although it does not generate the smallest set": the winner's
+        # backbone is not the smallest one
+        sizes = {
+            s: per_gateway.series[s][i].mean for s in per_gateway.series
+        }
+        assert sizes  # lifespans, not sizes — size claim checked in fig10
+
+    cfg = SimulationConfig(n_hosts=50, scheme="el1", drain_model="pg-linear")
+    benchmark.pedantic(
+        lambda: LifespanSimulator(cfg, rng=bench_seed()).run().lifespan,
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,136 @@
+"""Locality of the marking process under mobility (supports the paper's
+§2.2 locality claim — not a numbered figure).
+
+After each mobility step, compares full marker recomputation against the
+localized update (only the distance-1 ball around changed hosts), checking
+equality and reporting how much work locality saves at the paper's
+mobility parameters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.core.marking import marked_mask
+from repro.geometry.space import Region2D
+from repro.graphs.generators import random_connected_network
+from repro.mobility.manager import MobilityManager
+from repro.mobility.paper_walk import PaperWalk
+from repro.protocol.locality import localized_recompute
+
+from conftest import bench_seed
+
+
+def _roll(n, intervals, rng, stability=0.5):
+    net = random_connected_network(n, rng=rng)
+    mgr = MobilityManager(
+        net, PaperWalk(stability=stability), Region2D(side=net.side), rng=rng
+    )
+    old_adj = list(net.adjacency)
+    marked = marked_mask(old_adj)
+    recomputed = 0
+    for _ in range(intervals):
+        mgr.step()
+        new_adj = list(net.adjacency)
+        marked, touched = localized_recompute(old_adj, new_adj, marked)
+        assert marked == marked_mask(new_adj)  # equality with full recompute
+        recomputed += touched
+        old_adj = new_adj
+    return recomputed / (intervals * n)
+
+
+def test_localized_update_savings(results_dir, capsys, benchmark):
+    rng = np.random.default_rng(bench_seed())
+    intervals = 30
+    rows = []
+    fractions = {}
+    for n in (25, 50, 100):
+        for stability, label in ((0.5, "paper c=0.5"), (0.95, "low mobility c=0.95")):
+            frac = _roll(n, intervals, rng, stability=stability)
+            fractions[(n, stability)] = frac
+            rows.append([n, label, frac])
+    table = render_table(
+        ["N", "mobility", "fraction of markers recomputed"],
+        rows,
+        title=f"Marking locality ({intervals} intervals; full recompute = 1.0)",
+    )
+    with capsys.disabled():
+        print(f"\n{table}")
+    (results_dir / "locality_savings.txt").write_text(table + "\n")
+
+    # with the paper's c = 0.5, half the hosts move every interval, so the
+    # 1-hop ball covers nearly the whole network (an honest negative
+    # result: locality pays off only when changes are sparse).  At low
+    # mobility the saving must be real:
+    for n in (25, 50, 100):
+        assert fractions[(n, 0.95)] < fractions[(n, 0.5)] + 1e-9
+    assert fractions[(100, 0.95)] < 0.9
+
+    net = random_connected_network(100, rng=rng)
+    old_adj = list(net.adjacency)
+    marked = marked_mask(old_adj)
+    mgr = MobilityManager(net, PaperWalk(), Region2D(side=net.side), rng=rng)
+    mgr.step()
+    new_adj = list(net.adjacency)
+    benchmark(lambda: localized_recompute(old_adj, new_adj, marked))
+
+
+def test_decision_radius_of_full_pipeline(results_dir, capsys, benchmark):
+    """How far can one host's movement flip gateway statuses?
+
+    The paper's locality claim covers the *marking* process (distance 1).
+    The pruning rules consult neighbors' markers, and the Rule-2 waves
+    can cascade, so the full pipeline's decision radius is larger — this
+    bench measures its empirical distribution: hop distance (from the
+    moved host) of every node whose final status changed after a single
+    small move.
+    """
+    import numpy as np
+
+    from repro.analysis.tables import render_table
+    from repro.core.cds import compute_cds
+    from repro.routing.shortest_path import bfs_distances
+
+    rng = np.random.default_rng(bench_seed())
+    by_distance: dict[int, int] = {}
+    moves = flips_total = 0
+    for _ in range(60):
+        net = random_connected_network(40, rng=rng)
+        before = compute_cds(net, "nd").status_vector()
+        v = int(rng.integers(0, 40))
+        step = rng.uniform(-6, 6, size=2)
+        old_pos = net.positions[v].copy()
+        net.move_host(v, np.clip(old_pos + step, 0, 100))
+        if not net.is_connected():
+            continue
+        after = compute_cds(net, "nd").status_vector()
+        dist = bfs_distances(net.adjacency, v)
+        moves += 1
+        for u in range(40):
+            if before[u] != after[u]:
+                d = dist[u] if dist[u] >= 0 else 99
+                by_distance[d] = by_distance.get(d, 0) + 1
+                flips_total += 1
+    rows = [
+        [d, count, count / flips_total]
+        for d, count in sorted(by_distance.items())
+    ]
+    table = render_table(
+        ["hop distance from moved host", "status flips", "fraction"],
+        rows,
+        title=(
+            f"Decision radius of the full ND pipeline "
+            f"({moves} single-host moves, {flips_total} flips)"
+        ),
+    )
+    with capsys.disabled():
+        print(f"\n{table}")
+    (results_dir / "locality_decision_radius.txt").write_text(table + "\n")
+
+    near = sum(c for d, c in by_distance.items() if d <= 2)
+    assert near / flips_total > 0.8  # decisions are overwhelmingly local
+
+    net = random_connected_network(40, rng=rng)
+    benchmark(lambda: compute_cds(net, "nd").size)

@@ -1,0 +1,49 @@
+"""Performance scaling of the CDS pipeline (not a paper figure).
+
+Times the three computational kernels — UDG construction, the marking
+process, and the full marking + pruning pipeline — at increasing network
+sizes, so regressions in the bitset hot paths are visible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.cds import compute_cds
+from repro.core.marking import marked_mask
+from repro.graphs.unitdisk import unit_disk_adjacency
+from repro.graphs.generators import random_connected_network
+
+from conftest import bench_seed
+
+
+@pytest.fixture(scope="module")
+def topologies():
+    nets = {}
+    for n in (50, 100, 200):
+        nets[n] = random_connected_network(n, rng=bench_seed() + n)
+    return nets
+
+
+@pytest.mark.parametrize("n", [50, 100, 200])
+def test_udg_construction(benchmark, topologies, n):
+    pos = topologies[n].positions
+    adj = benchmark(lambda: unit_disk_adjacency(pos, 25.0))
+    assert len(adj) == n
+
+
+@pytest.mark.parametrize("n", [50, 100, 200])
+def test_marking_process(benchmark, topologies, n):
+    adj = list(topologies[n].adjacency)
+    marked = benchmark(lambda: marked_mask(adj))
+    assert marked
+
+
+@pytest.mark.parametrize("n", [50, 100, 200])
+@pytest.mark.parametrize("scheme", ["id", "nd", "el2"])
+def test_full_pipeline(benchmark, topologies, n, scheme):
+    snap = topologies[n].snapshot()
+    energy = np.linspace(1.0, 100.0, n)
+    result = benchmark(lambda: compute_cds(snap, scheme, energy=energy))
+    assert result.size >= 1

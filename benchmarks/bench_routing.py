@@ -1,0 +1,87 @@
+"""Dominating-set routing quality (supports §2.1's design rationale — not
+a numbered figure).
+
+Measures, per scheme: path stretch of backbone routes vs true shortest
+paths, the share of forwarding work carried by gateways (the paper's
+bypass-traffic premise), and routing-table size (the state saving that
+motivates dominating-set-based routing in the first place).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.core.cds import compute_cds
+from repro.graphs.generators import random_connected_network
+from repro.routing.dsr import DominatingSetRouter
+from repro.routing.forwarding import ForwardingEngine
+from repro.routing.shortest_path import bfs_distances
+from repro.routing.tables import build_routing_tables
+
+from conftest import bench_seed
+
+
+@pytest.fixture(scope="module")
+def routed_networks():
+    rng = np.random.default_rng(bench_seed())
+    nets = [random_connected_network(50, rng=rng) for _ in range(5)]
+    return nets
+
+
+def test_routing_quality_per_scheme(routed_networks, results_dir, capsys, benchmark):
+    rng = np.random.default_rng(bench_seed() + 1)
+    rows = []
+    stretch_by_scheme = {}
+    for scheme in ("nr", "id", "nd"):
+        stretches, shares, table_entries = [], [], []
+        for net in routed_networks:
+            r = compute_cds(net, scheme)
+            router = DominatingSetRouter(net.adjacency, r.gateway_mask)
+            eng = ForwardingEngine(router)
+            eng.send_random_pairs(100, rng)
+            shares.append(eng.gateway_share_of_forwarding())
+            # stretch over sampled pairs
+            for _ in range(40):
+                s, t = rng.choice(50, size=2, replace=False)
+                true = bfs_distances(net.adjacency, int(s))[int(t)]
+                got = router.route(int(s), int(t)).length
+                stretches.append(got / true)
+            tables = build_routing_tables(net.adjacency, r.gateways)
+            table_entries.append(
+                sum(t.entry_count() for t in tables.values()) / len(tables)
+            )
+        stretch_by_scheme[scheme] = float(np.mean(stretches))
+        rows.append(
+            [scheme.upper(), float(np.mean(stretches)),
+             float(np.max(stretches)), float(np.mean(shares)),
+             float(np.mean(table_entries))]
+        )
+    table = render_table(
+        ["scheme", "mean stretch", "max stretch", "gateway fwd share",
+         "table entries/gw"],
+        rows,
+        title="Backbone routing quality (N=50, 5 networks)",
+    )
+    with capsys.disabled():
+        print(f"\n{table}")
+    (results_dir / "routing_quality.txt").write_text(table + "\n")
+
+    # Property 3 for the unpruned set: stretch exactly 1
+    assert stretch_by_scheme["nr"] == pytest.approx(1.0)
+    # pruned backbones stay near-shortest
+    assert stretch_by_scheme["nd"] <= 1.4
+
+    net = routed_networks[0]
+    r = compute_cds(net, "nd")
+    router = DominatingSetRouter(net.adjacency, r.gateway_mask)
+    benchmark(lambda: router.route(0, 49).length)
+
+
+def test_table_construction_speed(routed_networks, benchmark):
+    net = routed_networks[0]
+    r = compute_cds(net, "id")
+    adj = list(net.adjacency)
+    tables = benchmark(lambda: build_routing_tables(adj, r.gateways))
+    assert len(tables) == r.size

@@ -1,0 +1,137 @@
+"""Ablations of the design choices DESIGN.md calls out (not a paper figure).
+
+1. **Rule contributions** — how much of the pruning each rule delivers
+   (Rule 1 alone vs Rule 1 + Rule 2), per scheme.
+2. **Single pass vs fixed point** — the paper applies each rule once per
+   interval; iterating to a fixed point shrinks the set further at extra
+   local rounds.
+3. **Mobility details** — integer vs continuous step lengths and the three
+   boundary policies; the paper leaves both unspecified, so we show the
+   lifespan conclusion is insensitive to them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.core.cds import compute_cds
+from repro.graphs.generators import random_connected_network
+from repro.simulation.config import SimulationConfig
+from repro.simulation.runner import run_trials
+
+from conftest import bench_parallel, bench_seed, bench_trials
+
+
+@pytest.fixture(scope="module")
+def snapshots():
+    rng = np.random.default_rng(bench_seed())
+    nets = [random_connected_network(50, rng=rng) for _ in range(10)]
+    energy = [rng.integers(1, 100, 50).astype(float) for _ in nets]
+    return nets, energy
+
+
+def test_rule_contributions(benchmark, snapshots, results_dir, capsys):
+    nets, energies = snapshots
+    rows = []
+    for scheme in ("id", "nd", "el1", "el2"):
+        marked = r1 = r2 = 0
+        for net, energy in zip(nets, energies):
+            r = compute_cds(net, scheme, energy=energy)
+            marked += r.stats.initial_marked
+            r1 += r.stats.removed_rule1
+            r2 += r.stats.removed_rule2
+        rows.append(
+            [scheme.upper(), marked / len(nets), r1 / len(nets), r2 / len(nets),
+             (marked - r1 - r2) / len(nets)]
+        )
+    table = render_table(
+        ["scheme", "marked", "rule1 removed", "rule2 removed", "final"],
+        rows,
+        title="Rule contribution ablation (N=50, 10 snapshots)",
+    )
+    with capsys.disabled():
+        print(f"\n{table}")
+    (results_dir / "ablation_rules.txt").write_text(table + "\n")
+
+    # Rule 2 does the heavy lifting for the keyed schemes
+    for row in rows[1:]:
+        assert row[3] > 0
+
+    net, energy = nets[0], energies[0]
+    benchmark(lambda: compute_cds(net, "el2", energy=energy))
+
+
+def test_single_pass_vs_fixed_point(benchmark, snapshots, results_dir, capsys):
+    nets, energies = snapshots
+    rows = []
+    for scheme in ("id", "nd", "el1", "el2"):
+        single = fixed = rounds = 0
+        for net, energy in zip(nets, energies):
+            s = compute_cds(net, scheme, energy=energy)
+            f = compute_cds(net, scheme, energy=energy, fixed_point=True)
+            single += s.size
+            fixed += f.size
+            rounds += f.stats.rounds
+            assert f.size <= s.size
+        rows.append(
+            [scheme.upper(), single / len(nets), fixed / len(nets),
+             rounds / len(nets)]
+        )
+    table = render_table(
+        ["scheme", "single-pass |G'|", "fixed-point |G'|", "rounds"],
+        rows,
+        title="Single pass (paper) vs fixed-point iteration (N=50)",
+    )
+    with capsys.disabled():
+        print(f"\n{table}")
+    (results_dir / "ablation_fixed_point.txt").write_text(table + "\n")
+
+    net, energy = nets[0], energies[0]
+    benchmark(
+        lambda: compute_cds(net, "nd", energy=energy, fixed_point=True)
+    )
+
+
+def test_mobility_detail_insensitivity(benchmark, results_dir, capsys):
+    trials = max(4, bench_trials() // 2)
+    variants = {
+        "paper (clamp, continuous l)": {},
+        "integer steps": {"integer_steps": True},
+        "reflect boundary": {"boundary": "reflect"},
+        "torus boundary": {"boundary": "torus"},
+    }
+    rows = []
+    means = {}
+    for label, overrides in variants.items():
+        cfg = SimulationConfig(
+            n_hosts=50, scheme="el1", drain_model="fixed", **overrides
+        )
+        ms = run_trials(
+            cfg, trials, root_seed=bench_seed(), parallel=bench_parallel()
+        )
+        mean = float(np.mean([m.lifespan for m in ms]))
+        means[label] = mean
+        rows.append([label, mean])
+    table = render_table(
+        ["mobility variant", "mean lifespan"],
+        rows,
+        title=f"Mobility-detail ablation (EL1, d=2, N=50, {trials} trials)",
+    )
+    with capsys.disabled():
+        print(f"\n{table}")
+    (results_dir / "ablation_mobility.txt").write_text(table + "\n")
+
+    base = means["paper (clamp, continuous l)"]
+    for label, mean in means.items():
+        assert abs(mean - base) <= 0.30 * base, (label, mean, base)
+
+    cfg = SimulationConfig(n_hosts=30, scheme="el1", drain_model="fixed")
+    from repro.simulation.lifespan import LifespanSimulator
+
+    benchmark.pedantic(
+        lambda: LifespanSimulator(cfg, rng=bench_seed()).run().lifespan,
+        rounds=3,
+        iterations=1,
+    )

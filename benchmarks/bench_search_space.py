@@ -1,0 +1,61 @@
+"""Search-space reduction bench (supports the paper's §1 motivation —
+not a numbered figure).
+
+"The main idea of this approach is to reduce routing and searching to a
+subgraph induced from the dominating set."  This bench quantifies the
+claim: a route-discovery broadcast relayed only by gateways versus blind
+flooding, across network sizes and schemes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.core.cds import compute_cds
+from repro.graphs.generators import random_connected_network
+from repro.routing.broadcast import compare_flooding
+
+from conftest import bench_seed
+
+
+def test_flooding_savings(results_dir, capsys, benchmark):
+    rng = np.random.default_rng(bench_seed())
+    rows = []
+    savings = {}
+    for n in (25, 50, 100):
+        for scheme in ("id", "nd"):
+            blind_tx = bb_tx = 0
+            nets = [random_connected_network(n, rng=rng) for _ in range(5)]
+            for net in nets:
+                r = compute_cds(net, scheme)
+                src = int(rng.integers(0, n))
+                cmp = compare_flooding(net.adjacency, src, r.gateway_mask)
+                blind_tx += cmp.blind.transmissions
+                bb_tx += cmp.backbone.transmissions
+            saving = 1.0 - bb_tx / blind_tx
+            savings[(n, scheme)] = saving
+            rows.append(
+                [n, scheme.upper(), blind_tx / 5, bb_tx / 5, saving]
+            )
+    table = render_table(
+        ["N", "scheme", "blind tx", "backbone tx", "saving"],
+        rows,
+        title="Route-discovery broadcast: blind vs backbone flooding",
+    )
+    with capsys.disabled():
+        print(f"\n{table}")
+    (results_dir / "search_space.txt").write_text(table + "\n")
+
+    # the reduction must be real and grow with N (backbone ratio shrinks)
+    for (n, scheme), saving in savings.items():
+        assert saving > 0.1, (n, scheme)
+    assert savings[(100, "nd")] > savings[(25, "nd")]
+    # the smaller ND backbone saves more than ID's
+    assert savings[(100, "nd")] > savings[(100, "id")]
+
+    net = random_connected_network(100, rng=rng)
+    r = compute_cds(net, "nd")
+    adj = list(net.adjacency)
+    benchmark(lambda: compare_flooding(adj, 0, r.gateway_mask))

@@ -1,0 +1,147 @@
+"""Sensitivity sweeps — "more in-depth simulation under different
+settings" (the paper's stated future work).
+
+Verifies the headline conclusion (power-aware rotation extends life under
+per-gateway bypass cost) across transmission radii and mobility rates,
+i.e. that it is not an artifact of the single operating point the paper
+evaluates (radius 25, c = 0.5).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sweeps import sweep_radius, sweep_stability
+from repro.simulation.config import SimulationConfig
+
+from conftest import bench_parallel, bench_seed, bench_trials
+
+
+BASE = SimulationConfig(n_hosts=50, drain_model="fixed")
+SCHEMES = ("id", "nd", "el1", "el2")
+
+
+def test_radius_sensitivity(results_dir, capsys, benchmark):
+    trials = max(4, bench_trials() // 2)
+    result = sweep_radius(
+        (18.0, 25.0, 35.0),
+        base=BASE,
+        schemes=SCHEMES,
+        trials=trials,
+        root_seed=bench_seed(),
+        parallel=bench_parallel(),
+    )
+    table = result.to_table()
+    with capsys.disabled():
+        print(f"\n{table}")
+    (results_dir / "sensitivity_radius.txt").write_text(table + "\n")
+
+    for i in range(len(result.values)):
+        assert result.series["el1"][i].mean >= result.series["id"][i].mean
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_stability_sensitivity(results_dir, capsys, benchmark):
+    trials = max(4, bench_trials() // 2)
+    result = sweep_stability(
+        (0.2, 0.5, 0.9),
+        base=BASE,
+        schemes=SCHEMES,
+        trials=trials,
+        root_seed=bench_seed(),
+        parallel=bench_parallel(),
+    )
+    table = result.to_table()
+    with capsys.disabled():
+        print(f"\n{table}")
+    (results_dir / "sensitivity_stability.txt").write_text(table + "\n")
+
+    for i in range(len(result.values)):
+        assert result.series["el1"][i].mean >= result.series["id"][i].mean
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_battery_heterogeneity_sensitivity(results_dir, capsys, benchmark):
+    """The EL schemes' whole point is sheltering weak batteries; their
+    advantage over static ID should grow with initial heterogeneity."""
+    from repro.analysis.sweeps import sweep_parameter
+
+    trials = max(4, bench_trials() // 2)
+    result = sweep_parameter(
+        "initial_energy_jitter",
+        (0.0, 0.2, 0.4),
+        base=BASE,
+        schemes=SCHEMES,
+        trials=trials,
+        root_seed=bench_seed(),
+        parallel=bench_parallel(),
+    )
+    table = result.to_table()
+    with capsys.disabled():
+        print(f"\n{table}")
+    (results_dir / "sensitivity_jitter.txt").write_text(table + "\n")
+
+    id_means = result.means("id")
+    el_means = result.means("el1")
+    for i in range(len(result.values)):
+        assert el_means[i] >= id_means[i]
+    # relative advantage does not shrink as batteries diverge
+    rel = [e / i for e, i in zip(el_means, id_means)]
+    assert rel[-1] >= rel[0] * 0.95
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_clustered_workload(results_dir, capsys, benchmark):
+    """Team-clustered placements (the intro's motivating deployments):
+    dense cores collapse to few gateways, so backbones are much smaller
+    than under the uniform workload, and the EL ordering persists."""
+    import numpy as np
+
+    from repro.analysis.tables import render_table
+    from repro.core.cds import compute_cds
+    from repro.graphs.generators import (
+        clustered_connected_network,
+        random_connected_network,
+    )
+
+    rng = np.random.default_rng(bench_seed())
+    rows = []
+    sizes = {}
+    for label, gen in (
+        ("uniform", lambda: random_connected_network(50, rng=rng)),
+        ("3 clusters", lambda: clustered_connected_network(
+            50, clusters=3, rng=rng)),
+        ("5 clusters", lambda: clustered_connected_network(
+            50, clusters=5, rng=rng)),
+    ):
+        per_scheme = {}
+        for scheme in ("nr", "id", "nd"):
+            total = 0
+            for _ in range(8):
+                net = gen()
+                total += compute_cds(net, scheme).size
+            per_scheme[scheme] = total / 8
+        sizes[label] = per_scheme
+        rows.append(
+            [label, per_scheme["nr"], per_scheme["id"], per_scheme["nd"]]
+        )
+    table = render_table(
+        ["placement", "NR", "ID", "ND"],
+        rows,
+        title="CDS size on clustered vs uniform placements (N=50)",
+    )
+    with capsys.disabled():
+        print(f"\n{table}")
+    (results_dir / "sensitivity_clustered.txt").write_text(table + "\n")
+
+    # clustering shrinks the pruned backbone relative to uniform
+    assert sizes["3 clusters"]["nd"] < sizes["uniform"]["nd"]
+    # and the scheme ordering is stable
+    for label in sizes:
+        assert sizes[label]["nr"] > sizes[label]["id"] > sizes[label]["nd"] * 0.99
+
+    net = clustered_connected_network(50, clusters=3, rng=rng)
+    benchmark(lambda: compute_cds(net, "nd").size)

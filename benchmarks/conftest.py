@@ -1,0 +1,62 @@
+"""Benchmark harness configuration.
+
+Every figure bench regenerates its paper figure in a module-scoped fixture
+(one sweep per file), prints the table + ASCII chart through
+``capsys.disabled()`` so it lands in the terminal / ``bench_output.txt``,
+saves the raw data under ``benchmarks/results/``, and uses the
+``benchmark`` fixture to time the figure's computational kernel.
+
+Environment knobs (all optional):
+
+* ``REPRO_BENCH_TRIALS``  — trials per (N, scheme) cell (default 12),
+* ``REPRO_BENCH_SWEEP``   — comma-separated N values (default 10,25,50,75,100),
+* ``REPRO_BENCH_SEED``    — root seed (default 2001),
+* ``REPRO_BENCH_SERIAL``  — set to 1 to disable the process pool.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_trials() -> int:
+    return int(os.environ.get("REPRO_BENCH_TRIALS", "12"))
+
+
+def bench_sweep() -> tuple[int, ...]:
+    raw = os.environ.get("REPRO_BENCH_SWEEP", "10,25,50,75,100")
+    return tuple(int(x) for x in raw.split(","))
+
+
+def bench_seed() -> int:
+    return int(os.environ.get("REPRO_BENCH_SEED", "2001"))
+
+
+def bench_parallel() -> bool:
+    return os.environ.get("REPRO_BENCH_SERIAL", "0") != "1"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def emit(capsys, result, results_dir: Path, stem: str) -> None:
+    """Print a figure report live and persist table + JSON + CSV."""
+    from repro.io.traces import experiment_to_csv, experiment_to_json
+
+    report = result.report()
+    if result.raw is not None and "id" in result.series:
+        report += "\n\nWelch t vs the ID baseline (|t| over ~2 is resolved):\n"
+        report += "\n".join(f"  {line}" for line in result.significance_lines())
+    with capsys.disabled():
+        print(f"\n{'=' * 78}\n{report}\n{'=' * 78}")
+    (results_dir / f"{stem}.txt").write_text(report + "\n")
+    experiment_to_json(result, results_dir / f"{stem}.json")
+    experiment_to_csv(result, results_dir / f"{stem}.csv")

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Trace the distributed CDS protocol message by message.
+
+Shows the paper's algorithm as hosts actually execute it: neighbor-set
+exchange (building distance-2 knowledge), local marking, the Rule-1
+status broadcast, and the Rule-2 candidacy sub-rounds — and confirms the
+outcome equals the centralized computation.
+
+Run:  python examples/distributed_protocol_trace.py
+"""
+
+from __future__ import annotations
+
+from repro.core.cds import compute_cds
+from repro.graphs.generators import paper_example_graph
+from repro.protocol.distributed_cds import distributed_cds
+
+
+def main() -> None:
+    ex = paper_example_graph()
+    lab = lambda vs: sorted(v + 1 for v in vs)
+
+    out = distributed_cds(ex.graph, "el2", energy=ex.energy)
+
+    print("distributed CDS protocol on the paper's 27-node example (EL2):\n")
+    agents = out.agents
+
+    marked = [a.node for a in agents if a.marked]
+    print(f"after marking round:          gateways {lab(marked)}")
+
+    post1 = [a.node for a in agents if a.marked_post_rule1]
+    print(f"after Rule-1 round:           gateways {lab(post1)}")
+    removed1 = set(marked) - set(post1)
+    if removed1:
+        print(f"  Rule 1 (1b') unmarked:      {lab(removed1)}")
+
+    final = [a.node for a in agents if a.final_marked]
+    removed2 = set(post1) - set(final)
+    print(f"after Rule-2 sub-rounds:      gateways {lab(final)}")
+    if removed2:
+        print(f"  Rule 2 (2b') unmarked:      {lab(removed2)}")
+
+    s = out.stats
+    print(
+        f"\nprotocol cost: {s.rounds} synchronous rounds, "
+        f"{s.broadcasts} broadcasts, {s.bytes_on_air} bytes on air, "
+        f"{s.bytes_delivered} bytes delivered"
+    )
+
+    central = compute_cds(ex.graph, "el2", energy=ex.energy)
+    assert out.gateways == central.gateways
+    print(
+        "\nevery host decided from neighbor messages only — and the result "
+        "matches the centralized pipeline exactly."
+    )
+
+    # peek inside one agent's local knowledge
+    v = ex.id_of_label(22)
+    agent = agents[v]
+    print(
+        f"\nhost 22's local view: neighbors {lab(agent.neighbors)}, "
+        f"2-hop tables for {len(agent.nbr_sets)} neighbors, "
+        f"final status {'GATEWAY' if agent.final_marked else 'non-gateway'}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Search-and-rescue scenario: team-clustered hosts, churn, and messaging.
+
+The paper motivates ad hoc networks with exactly this kind of deployment:
+teams of responders, each a tight cluster of radios, joined by a few
+long-range bridges, with units powering down to save battery.  This
+scenario drives the whole stack at once:
+
+* clustered placement (`clustered_connected_network`),
+* the power-aware CDS keeping the inter-team bridges alive,
+* status messages routed team-to-team over the backbone,
+* a comparison of how long the operation lasts under ID vs EL1 selection.
+
+Run:  python examples/search_and_rescue.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.netview import render_network
+from repro.analysis.tables import render_table
+from repro.core.cds import compute_cds
+from repro.graphs.generators import clustered_connected_network
+from repro.mobility.churn import ChurnModel
+from repro.routing.dsr import DominatingSetRouter
+from repro.routing.forwarding import ForwardingEngine
+from repro.simulation.churn_lifespan import ChurnLifespanSimulator
+from repro.simulation.config import SimulationConfig
+
+TEAMS = 3
+RESPONDERS = 36
+
+
+def main() -> None:
+    rng = np.random.default_rng(17)
+    net = clustered_connected_network(
+        RESPONDERS, clusters=TEAMS, cluster_std=10.0, rng=rng
+    )
+    result = compute_cds(net, "el1", energy=np.full(net.n, 100.0), verify=True)
+    print(
+        f"{TEAMS} teams, {RESPONDERS} responders: backbone of "
+        f"{result.size} relays keeps every unit reachable"
+    )
+    print(render_network(
+        net.positions, net.side,
+        gateway_mask=result.gateway_mask,
+        show_backbone_links=True,
+        adjacency=net.adjacency,
+    ))
+    print("legend: # relay (gateway)   o responder   + backbone link")
+
+    # team-to-team status traffic: most forwarding lands on the bridges
+    router = DominatingSetRouter(net.adjacency, result.gateway_mask)
+    engine = ForwardingEngine(router)
+    engine.send_random_pairs(300, rng)
+    busiest = np.argsort(engine.forwarded)[-3:][::-1]
+    print(
+        f"\n300 status messages: mean {engine.mean_route_length():.2f} hops, "
+        f"relays carried {engine.gateway_share_of_forwarding():.0%} of traffic"
+    )
+    print(
+        "busiest relays (the inter-team bridges): "
+        + ", ".join(
+            f"host {int(v)} ({int(engine.forwarded[v])} msgs)" for v in busiest
+        )
+    )
+
+    # how long does the operation last? units sleep opportunistically
+    print()
+    rows = []
+    for scheme in ("id", "el1"):
+        cfg = SimulationConfig(
+            n_hosts=RESPONDERS, scheme=scheme, drain_model="fixed"
+        )
+        runs = [
+            ChurnLifespanSimulator(
+                cfg, ChurnModel(0.15, 0.5),
+                rng=np.random.default_rng(500 + t),
+            ).run()
+            for t in range(5)
+        ]
+        rows.append([
+            scheme.upper(),
+            float(np.mean([r.lifespan for r in runs])),
+            float(np.mean([r.mean_active_hosts for r in runs])),
+        ])
+    print(render_table(
+        ["selection", "operation lifetime", "mean active units"],
+        rows,
+        title="time until the first radio dies (5 missions, units sleep ~23%)",
+    ))
+    print(
+        "\npower-aware relay selection (EL1) rotates the bridge duty and "
+        "keeps the operation alive longer."
+    )
+
+
+if __name__ == "__main__":
+    main()

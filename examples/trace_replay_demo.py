@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Record a simulation run and verify it by replay.
+
+Reproducibility workflow: run a lifespan simulation with a trace recorder
+attached, save the trace (every interval's positions, batteries, and
+gateway set) to JSON, reload it, and *replay* it — recomputing each
+frame's CDS from the recorded state and checking it matches.  A published
+trace is thus self-verifying: no access to our RNG or simulator needed.
+
+Run:  python examples/trace_replay_demo.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro.io.replay import SimulationTrace, TraceRecorder, replay_trace
+from repro.simulation.config import SimulationConfig
+from repro.simulation.lifespan import LifespanSimulator
+
+
+def main() -> None:
+    cfg = SimulationConfig(n_hosts=20, scheme="el1", drain_model="fixed")
+    sim = LifespanSimulator(cfg, rng=2026)
+    recorder = TraceRecorder(scheme="el1", radius=cfg.radius, side=cfg.side)
+    result = sim.run(recorder=recorder)
+    trace = recorder.finish()
+    print(
+        f"recorded run: {result.lifespan} intervals, first death host "
+        f"{result.metrics.first_dead_host}, "
+        f"mean |G'| {result.metrics.mean_cds_size:.1f}"
+    )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "run.trace.json"
+        trace.save(path)
+        print(f"trace saved: {path.stat().st_size} bytes, "
+              f"{len(trace.frames)} frames")
+
+        loaded = SimulationTrace.load(path)
+        mismatches = replay_trace(loaded)
+        if mismatches:
+            print(f"REPLAY FAILED at intervals {mismatches}")
+        else:
+            print(
+                "replay verified: every frame's gateway set recomputes "
+                "identically from the recorded positions and batteries"
+            )
+
+    # show what tampering looks like
+    import dataclasses
+
+    f0 = trace.frames[0]
+    tampered = dataclasses.replace(
+        trace,
+        frames=(dataclasses.replace(f0, gateways=f0.gateways[1:]),)
+        + trace.frames[1:],
+    )
+    bad = replay_trace(tampered)
+    print(f"tampered trace (dropped one gateway): replay flags intervals {bad}")
+
+
+if __name__ == "__main__":
+    main()

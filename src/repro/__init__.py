@@ -1,0 +1,62 @@
+"""repro — power-aware connected dominating sets for ad hoc routing.
+
+A full reproduction of Wu, Gao, Stojmenovic, *"On Calculating Power-Aware
+Connected Dominating Sets for Efficient Routing in Ad Hoc Wireless
+Networks"* (ICPP 2001): the Wu–Li marking process, all eight pruning rules
+(ID / node-degree / energy-level priority schemes), the mobility + energy
+simulation the paper evaluates with, dominating-set-based routing on top of
+the backbone, classical CDS baselines, and the experiment harness that
+regenerates every figure.
+
+Quickstart::
+
+    import repro
+
+    net = repro.random_connected_network(40, rng=7)
+    result = repro.compute_cds(net, scheme="nd")
+    print(sorted(result.gateways))
+
+See ``examples/`` for end-to-end scenarios and ``DESIGN.md`` for the
+system inventory.
+"""
+
+from repro.core import (
+    CDSResult,
+    PriorityScheme,
+    SCHEMES,
+    compute_cds,
+    is_cds,
+    is_dominating,
+    marking_process,
+    marked_set,
+    scheme_by_name,
+    verify_cds,
+)
+from repro.graphs import (
+    AdHocNetwork,
+    NeighborhoodView,
+    from_edges,
+    paper_example_graph,
+    random_connected_network,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CDSResult",
+    "PriorityScheme",
+    "SCHEMES",
+    "compute_cds",
+    "is_cds",
+    "is_dominating",
+    "marking_process",
+    "marked_set",
+    "scheme_by_name",
+    "verify_cds",
+    "AdHocNetwork",
+    "NeighborhoodView",
+    "from_edges",
+    "paper_example_graph",
+    "random_connected_network",
+    "__version__",
+]

@@ -1,0 +1,42 @@
+"""Analysis & reporting: statistics, ASCII tables/charts, experiment defs.
+
+* :mod:`repro.analysis.stats` — mean/CI/bootstrap summaries,
+* :mod:`repro.analysis.tables` — monospace table rendering,
+* :mod:`repro.analysis.plots` — ASCII line charts (the figures, offline),
+* :mod:`repro.analysis.experiments` — the FIG10–FIG13 experiment drivers
+  the benchmark harness calls.
+"""
+
+from repro.analysis.stats import SeriesSummary, bootstrap_ci, summarize
+from repro.analysis.tables import render_table
+from repro.analysis.plots import ascii_chart
+from repro.analysis.netview import render_network
+from repro.analysis.report import collect_report, write_report
+from repro.analysis.fairness import duty_fractions, gini, jain_index
+from repro.analysis.sweeps import SweepResult, sweep_parameter, sweep_radius, sweep_stability
+from repro.analysis.experiments import (
+    ExperimentResult,
+    run_figure10,
+    run_lifespan_figure,
+)
+
+__all__ = [
+    "duty_fractions",
+    "gini",
+    "jain_index",
+    "collect_report",
+    "write_report",
+    "render_network",
+    "SweepResult",
+    "sweep_parameter",
+    "sweep_radius",
+    "sweep_stability",
+    "SeriesSummary",
+    "bootstrap_ci",
+    "summarize",
+    "render_table",
+    "ascii_chart",
+    "ExperimentResult",
+    "run_figure10",
+    "run_lifespan_figure",
+]

@@ -1,0 +1,234 @@
+"""Experiment drivers for the paper's figures.
+
+Figure 10 — *average number of gateway hosts* per update interval, versus
+network size N, one curve per scheme (NR/ID/ND/EL1/EL2).  The paper's
+procedure records |G'| at every interval of the dynamic simulation, so the
+driver averages ``mean_cds_size`` over trials of the lifespan run.  (On the
+very first interval all energies are equal, making EL1 behave as ID and EL2
+as ND; the curves separate only because batteries diverge over time —
+reproducing the paper's observation that ND and EL2 track each other.)
+
+Figures 11–13 — *average number of update intervals until the first host
+dies*, versus N, one curve per scheme, under the three gateway drain
+models (constant / linear / quadratic).
+
+Both drivers share a sweep loop; results carry enough structure for the
+benchmark harness to print the paper-matching table, render the ASCII
+chart, and assert the headline orderings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.analysis.stats import SeriesSummary, summarize
+from repro.analysis.tables import render_table
+from repro.analysis.plots import ascii_chart
+from repro.core.priority import PAPER_SERIES_ORDER
+from repro.simulation.config import SimulationConfig
+from repro.simulation.runner import run_trials
+
+__all__ = [
+    "ExperimentResult",
+    "run_figure10",
+    "run_lifespan_figure",
+    "DEFAULT_SWEEP",
+]
+
+#: Default N sweep (the paper sweeps 3..100; a decade grid keeps bench
+#: runtimes sane while preserving the curve shapes).
+DEFAULT_SWEEP: tuple[int, ...] = (10, 20, 30, 40, 50, 60, 70, 80, 90, 100)
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """A figure's worth of data: per-scheme curves over the N sweep."""
+
+    figure: str
+    metric: str
+    n_values: tuple[int, ...]
+    #: scheme -> list of SeriesSummary, index-aligned with n_values.
+    series: Mapping[str, Sequence[SeriesSummary]]
+    trials: int
+    drain_model: str | None = None
+    notes: tuple[str, ...] = field(default_factory=tuple)
+    #: scheme -> per-N raw trial values (kept when the driver is asked to;
+    #: enables significance testing between schemes).
+    raw: Mapping[str, Sequence[tuple[float, ...]]] | None = field(
+        default=None, repr=False
+    )
+
+    def means(self, scheme: str) -> list[float]:
+        return [s.mean for s in self.series[scheme]]
+
+    def welch_t(self, scheme_a: str, scheme_b: str, n_index: int) -> float:
+        """Welch's t for ``scheme_a`` vs ``scheme_b`` at one sweep point.
+
+        Positive favors ``scheme_a``; |t| ≳ 2 is resolved beyond noise at
+        the bench's trial counts.  The built-in drivers always keep the
+        raw per-trial values needed here.
+        """
+        if self.raw is None:
+            raise ValueError("raw trial values were not kept by this result")
+        from repro.analysis.stats import welch_t as _welch
+
+        return _welch(self.raw[scheme_a][n_index], self.raw[scheme_b][n_index])
+
+    def significance_lines(self, baseline: str = "id") -> list[str]:
+        """Per-N Welch t of every scheme against ``baseline``."""
+        if self.raw is None:
+            return ["(raw trial values not kept; no significance report)"]
+        lines = []
+        for i, n in enumerate(self.n_values):
+            parts = []
+            for scheme in self.series:
+                if scheme == baseline:
+                    continue
+                t = self.welch_t(scheme, baseline, i)
+                parts.append(f"{scheme.upper()} vs {baseline.upper()}: t={t:+.1f}")
+            lines.append(f"N={n}: " + ", ".join(parts))
+        return lines
+
+    def to_table(self) -> str:
+        headers = ["N"] + [s.upper() for s in self.series]
+        rows = []
+        for i, n in enumerate(self.n_values):
+            rows.append([n] + [self.series[s][i].mean for s in self.series])
+        title = f"{self.figure}: {self.metric}"
+        if self.drain_model:
+            title += f" (drain model: {self.drain_model})"
+        title += f" — mean of {self.trials} trials"
+        return render_table(headers, rows, title=title)
+
+    def to_chart(self) -> str:
+        return ascii_chart(
+            list(self.n_values),
+            {s: self.means(s) for s in self.series},
+            title=f"{self.figure}: {self.metric}",
+            xlabel="number of hosts N",
+        )
+
+    def report(self) -> str:
+        parts = [self.to_table(), "", self.to_chart()]
+        if self.notes:
+            parts += [""] + [f"note: {n}" for n in self.notes]
+        return "\n".join(parts)
+
+
+def _sweep(
+    base: SimulationConfig,
+    schemes: Sequence[str],
+    n_values: Sequence[int],
+    trials: int,
+    root_seed: int | None,
+    value_of,
+    parallel: bool,
+) -> tuple[dict[str, list[SeriesSummary]], dict[str, list[tuple[float, ...]]]]:
+    out: dict[str, list[SeriesSummary]] = {s: [] for s in schemes}
+    raw: dict[str, list[tuple[float, ...]]] = {s: [] for s in schemes}
+    for n in n_values:
+        for scheme in schemes:
+            cfg = base.with_overrides(n_hosts=n, scheme=scheme)
+            metrics = run_trials(
+                cfg, trials, root_seed=root_seed, parallel=parallel
+            )
+            values = tuple(value_of(m) for m in metrics)
+            out[scheme].append(summarize(values))
+            raw[scheme].append(values)
+    return out, raw
+
+
+def run_figure10(
+    *,
+    n_values: Sequence[int] = DEFAULT_SWEEP,
+    trials: int = 20,
+    schemes: Sequence[str] = PAPER_SERIES_ORDER,
+    drain_model: str = "constant",
+    root_seed: int | None = 2001,
+    parallel: bool = True,
+) -> ExperimentResult:
+    """Figure 10: average |G'| per interval vs N for every scheme."""
+    base = SimulationConfig(scheme="id", drain_model=drain_model)
+    series, raw = _sweep(
+        base, list(schemes), list(n_values), trials, root_seed,
+        lambda m: m.mean_cds_size, parallel,
+    )
+    return ExperimentResult(
+        figure="Figure 10",
+        metric="average number of gateway hosts",
+        n_values=tuple(n_values),
+        series=series,
+        trials=trials,
+        drain_model=drain_model,
+        notes=(
+            "paper shape: NR largest by far; ND and EL2 smallest; "
+            "ID and EL1 in between",
+        ),
+        raw=raw,
+    )
+
+
+_FIGURE_BY_MODEL = {
+    "constant": ("Figure 11 (literal)", "d = 2/|G'|"),
+    "linear": ("Figure 12 (literal)", "d = N/|G'|"),
+    "quadratic": ("Figure 13 (literal)", "d = N(N-1)/2 / (10 |G'|)"),
+    "fixed": ("Figure 11 (per-gateway)", "d = 2"),
+    "pg-linear": ("Figure 12 (per-gateway)", "d = N/10"),
+    "pg-quadratic": ("Figure 13 (per-gateway)", "d = N(N-1)/200"),
+}
+
+
+def run_lifespan_figure(
+    drain_model: str,
+    *,
+    n_values: Sequence[int] = DEFAULT_SWEEP,
+    trials: int = 20,
+    schemes: Sequence[str] = PAPER_SERIES_ORDER,
+    root_seed: int | None = 2001,
+    parallel: bool = True,
+) -> ExperimentResult:
+    """Figures 11/12/13: average lifespan vs N under one drain model."""
+    figure, formula = _FIGURE_BY_MODEL.get(drain_model, (f"({drain_model})", ""))
+    base = SimulationConfig(scheme="id", drain_model=drain_model)
+    series, raw = _sweep(
+        base, list(schemes), list(n_values), trials, root_seed,
+        lambda m: float(m.lifespan), parallel,
+    )
+    notes = {
+        "constant": (
+            "paper shape: ND/EL1/EL2 close together, ID clearly worst",
+            "literal d = 2/|G'| < d' floors every lifespan at ~100 and "
+            "favors large backbones; see the per-gateway reading (fixed)",
+        ),
+        "linear": (
+            "paper shape: EL1 clearly best despite not having the smallest CDS",
+            "literal d = N/|G'| makes total gateway drain constant, so NR "
+            "dominates; see the per-gateway reading (pg-linear)",
+        ),
+        "quadratic": (
+            "paper shape: EL1 clearly best despite not having the smallest CDS",
+            "literal divisor |G'| rewards large backbones; see the "
+            "per-gateway reading (pg-quadratic)",
+        ),
+        "fixed": (
+            "per-gateway reading of model 1: reproduces the paper's "
+            "ordering (ND/EL1/EL2 close, ID clearly worst)",
+        ),
+        "pg-linear": (
+            "per-gateway reading of model 2: reproduces 'EL1 clearly best'",
+        ),
+        "pg-quadratic": (
+            "per-gateway reading of model 3: reproduces 'EL1 clearly best'",
+        ),
+    }.get(drain_model, ())
+    return ExperimentResult(
+        figure=figure,
+        metric=f"average lifespan in update intervals ({formula})",
+        n_values=tuple(n_values),
+        series=series,
+        trials=trials,
+        drain_model=drain_model,
+        notes=notes,
+        raw=raw,
+    )

@@ -1,0 +1,65 @@
+"""Fairness metrics for energy balance and gateway duty.
+
+The paper's objective is a selection scheme "so that the overall energy
+consumption is balanced in [the] network".  Lifespan measures balance only
+indirectly (an unbalanced network kills its weakest host early); these
+metrics measure it head-on:
+
+* :func:`jain_index` — Jain's fairness index, 1.0 = perfectly equal,
+  ``1/n`` = maximally concentrated;
+* :func:`gini` — Gini coefficient, 0.0 = perfectly equal;
+* gateway **duty** — the fraction of intervals each host served as a
+  gateway; rotating schemes should spread duty (high Jain), static ID
+  concentrates it.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["jain_index", "gini", "duty_fractions"]
+
+
+def jain_index(values: Sequence[float]) -> float:
+    """Jain's fairness index ``(Σx)² / (n · Σx²)``.
+
+    1.0 when all values are equal; ``1/n`` when one host does everything.
+    All-zero input (nobody did any work) counts as perfectly fair.
+    """
+    x = np.asarray(list(values), dtype=np.float64)
+    if x.size == 0:
+        return 1.0
+    if np.any(x < 0):
+        raise ValueError("fairness metrics need non-negative values")
+    sq = float(np.sum(x * x))
+    if sq == 0.0:
+        return 1.0
+    total = float(np.sum(x))
+    return total * total / (x.size * sq)
+
+
+def gini(values: Sequence[float]) -> float:
+    """Gini coefficient (0 = equal, → 1 = concentrated)."""
+    x = np.sort(np.asarray(list(values), dtype=np.float64))
+    if x.size == 0:
+        return 0.0
+    if np.any(x < 0):
+        raise ValueError("fairness metrics need non-negative values")
+    total = float(np.sum(x))
+    if total == 0.0:
+        return 0.0
+    n = x.size
+    ranks = np.arange(1, n + 1)
+    return float((2.0 * np.sum(ranks * x)) / (n * total) - (n + 1) / n)
+
+
+def duty_fractions(gateway_counts: Sequence[int], intervals: int) -> np.ndarray:
+    """Per-host fraction of intervals served as gateway."""
+    if intervals <= 0:
+        raise ValueError(f"intervals must be positive, got {intervals}")
+    counts = np.asarray(list(gateway_counts), dtype=np.float64)
+    if np.any(counts < 0) or np.any(counts > intervals):
+        raise ValueError("gateway counts must lie in [0, intervals]")
+    return counts / intervals

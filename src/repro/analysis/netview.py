@@ -1,0 +1,74 @@
+"""ASCII rendering of geometric networks (used by examples and the CLI).
+
+Gateways render as ``#``, plain hosts as ``o``, switched-off hosts as
+``.``; an optional link layer draws backbone edges coarsely with ``+``.
+Purely cosmetic, but having one tested renderer keeps the examples and
+CLI honest.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["render_network"]
+
+
+def render_network(
+    positions: np.ndarray,
+    side: float,
+    *,
+    gateway_mask: int = 0,
+    active: np.ndarray | None = None,
+    grid: int = 24,
+    show_backbone_links: bool = False,
+    adjacency=None,
+) -> str:
+    """Render hosts on a ``grid x grid`` character canvas.
+
+    ``show_backbone_links`` marks midpoints of gateway-gateway edges with
+    ``+`` (requires ``adjacency``).
+    """
+    if grid < 2:
+        raise ConfigurationError(f"grid must be >= 2, got {grid}")
+    pos = np.asarray(positions, dtype=np.float64)
+    n = len(pos)
+    cell = side / grid
+    canvas = [[" "] * grid for _ in range(grid)]
+
+    def place(x: float, y: float, ch: str, *, weak: bool = False) -> None:
+        col = min(grid - 1, max(0, int(x / cell)))
+        row = min(grid - 1, max(0, int(y / cell)))
+        r = grid - 1 - row
+        if weak and canvas[r][col] != " ":
+            return  # links never overwrite hosts
+        canvas[r][col] = ch
+
+    if show_backbone_links:
+        if adjacency is None:
+            raise ConfigurationError("show_backbone_links requires adjacency")
+        for u in range(n):
+            if not gateway_mask >> u & 1:
+                continue
+            m = adjacency[u] >> (u + 1) << (u + 1)
+            while m:
+                low = m & -m
+                v = low.bit_length() - 1
+                m ^= low
+                if gateway_mask >> v & 1:
+                    mid = (pos[u] + pos[v]) / 2.0
+                    place(mid[0], mid[1], "+", weak=True)
+
+    for v in range(n):
+        if active is not None and not active[v]:
+            place(pos[v, 0], pos[v, 1], ".")
+        elif gateway_mask >> v & 1:
+            place(pos[v, 0], pos[v, 1], "#")
+        else:
+            place(pos[v, 0], pos[v, 1], "o")
+
+    border = "+" + "-" * grid + "+"
+    return "\n".join(
+        [border] + ["|" + "".join(r) + "|" for r in canvas] + [border]
+    )

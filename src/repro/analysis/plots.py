@@ -1,0 +1,81 @@
+"""ASCII line charts — the paper's figures, rendered offline.
+
+With no plotting stack available, the figure benches emit a compact ASCII
+chart alongside the numeric table so the *shape* (who wins, where the
+curves cross) is visible directly in terminal output and in
+``bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["ascii_chart"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_chart(
+    x: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    *,
+    width: int = 72,
+    height: int = 20,
+    title: str | None = None,
+    xlabel: str = "",
+    ylabel: str = "",
+) -> str:
+    """Plot several named series against shared x values.
+
+    Each series gets a distinct marker; later series overwrite earlier
+    ones on collisions (a legend maps markers to names).
+    """
+    if not series:
+        return title or ""
+    xs = list(x)
+    all_y = [v for ys in series.values() for v in ys if v == v]  # drop NaN
+    if not xs or not all_y:
+        return title or ""
+    ymin, ymax = min(all_y), max(all_y)
+    if ymax == ymin:
+        ymax = ymin + 1.0
+    xmin, xmax = min(xs), max(xs)
+    if xmax == xmin:
+        xmax = xmin + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for si, (name, ys) in enumerate(series.items()):
+        marker = _MARKERS[si % len(_MARKERS)]
+        for xv, yv in zip(xs, ys):
+            if yv != yv:  # NaN
+                continue
+            col = round((xv - xmin) / (xmax - xmin) * (width - 1))
+            row = round((yv - ymin) / (ymax - ymin) * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(f"legend: {legend}")
+    ytop = f"{ymax:.1f}"
+    ybot = f"{ymin:.1f}"
+    label_w = max(len(ytop), len(ybot), len(ylabel))
+    for r, rowchars in enumerate(grid):
+        if r == 0:
+            label = ytop
+        elif r == height - 1:
+            label = ybot
+        elif r == height // 2 and ylabel:
+            label = ylabel
+        else:
+            label = ""
+        lines.append(f"{label.rjust(label_w)} |{''.join(rowchars)}")
+    lines.append(f"{' ' * label_w} +{'-' * width}")
+    xl = f"{xmin:.0f}".ljust(width // 2) + f"{xmax:.0f}".rjust(width - width // 2)
+    lines.append(f"{' ' * label_w}  {xl}")
+    if xlabel:
+        lines.append(f"{' ' * label_w}  {xlabel.center(width)}")
+    return "\n".join(lines)

@@ -1,0 +1,91 @@
+"""Collect benchmark outputs into a single report document.
+
+Every bench writes its table(s) under ``benchmarks/results/``; this module
+stitches them into one Markdown report (figures first, extensions after),
+so a complete reproduction run leaves a single reviewable artifact.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+__all__ = ["collect_report", "write_report"]
+
+#: display order: (section title, result-file stem)
+_SECTIONS: tuple[tuple[str, str], ...] = (
+    ("Figure 10 — average gateway count", "figure10"),
+    ("Figure 11 — lifespan, drain model 1 (literal)", "figure11_literal"),
+    ("Figure 11 — lifespan, drain model 1 (per-gateway)", "figure11_per_gateway"),
+    ("Figure 12 — lifespan, drain model 2 (literal)", "figure12_literal"),
+    ("Figure 12 — lifespan, drain model 2 (per-gateway)", "figure12_per_gateway"),
+    ("Figure 13 — lifespan, drain model 3 (literal)", "figure13_literal"),
+    ("Figure 13 — lifespan, drain model 3 (per-gateway)", "figure13_per_gateway"),
+    ("Ablation — rule contributions", "ablation_rules"),
+    ("Ablation — single pass vs fixed point", "ablation_fixed_point"),
+    ("Ablation — mobility details", "ablation_mobility"),
+    ("Baselines — CDS size vs classical algorithms", "baseline_sizes"),
+    ("Protocol — synchronous overhead", "protocol_overhead"),
+    ("Protocol — asynchronous makespan", "protocol_async"),
+    ("Routing — backbone quality", "routing_quality"),
+    ("Locality — localized marker updates", "locality_savings"),
+    ("Locality — decision radius of the full pipeline", "locality_decision_radius"),
+    ("Search space — blind vs backbone flooding", "search_space"),
+    ("Extension — Rule-k vs pair rules", "extension_rule_k"),
+    ("Extension — traffic-driven lifespan", "extension_traffic"),
+    ("Extension — host on/off churn", "extension_churn"),
+    ("Extension — routing-table maintenance", "extension_maintenance"),
+    ("Extension — price of locality vs a global oracle", "extension_price_of_locality"),
+    ("Extension — unidirectional links", "unidirectional"),
+    ("Extension — directed lifespan", "unidirectional_lifespan"),
+    ("Energy balance — duty fairness", "fairness"),
+    ("Sensitivity — transmission radius", "sensitivity_radius"),
+    ("Sensitivity — mobility rate", "sensitivity_stability"),
+    ("Sensitivity — battery heterogeneity", "sensitivity_jitter"),
+    ("Sensitivity — clustered placements", "sensitivity_clustered"),
+)
+
+
+def collect_report(results_dir: str | Path) -> str:
+    """Build the Markdown report from whatever results exist.
+
+    Missing sections are listed at the end so a partial bench run is
+    visibly partial rather than silently truncated.
+    """
+    results = Path(results_dir)
+    parts: list[str] = [
+        "# Reproduction report",
+        "",
+        "Generated from `benchmarks/results/` — regenerate with "
+        "`pytest benchmarks/ --benchmark-only`.  Paper-vs-measured "
+        "commentary lives in EXPERIMENTS.md.",
+        "",
+    ]
+    missing: list[str] = []
+    for title, stem in _SECTIONS:
+        path = results / f"{stem}.txt"
+        if not path.exists():
+            missing.append(title)
+            continue
+        parts.append(f"## {title}")
+        parts.append("")
+        parts.append("```")
+        parts.append(path.read_text().rstrip())
+        parts.append("```")
+        parts.append("")
+    if missing:
+        parts.append("## Not yet generated")
+        parts.append("")
+        for title in missing:
+            parts.append(f"* {title}")
+        parts.append("")
+    return "\n".join(parts)
+
+
+def write_report(
+    results_dir: str | Path, output: str | Path | None = None
+) -> Path:
+    """Write the report next to the results (default: ``REPORT.md``)."""
+    results = Path(results_dir)
+    out = Path(output) if output else results / "REPORT.md"
+    out.write_text(collect_report(results))
+    return out

@@ -1,0 +1,86 @@
+"""Summary statistics for experiment cells.
+
+The paper reports plain averages; we add standard errors and bootstrap
+confidence intervals so reproduced shapes can be judged against noise
+(30 trials per cell leaves visible jitter on lifespan curves).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["SeriesSummary", "summarize", "bootstrap_ci", "welch_t"]
+
+
+@dataclass(frozen=True)
+class SeriesSummary:
+    """Mean and dispersion of one experiment cell."""
+
+    n: int
+    mean: float
+    std: float
+    sem: float
+    minimum: float
+    maximum: float
+
+    def __str__(self) -> str:
+        return f"{self.mean:.2f} ± {self.sem:.2f} (n={self.n})"
+
+
+def summarize(values: Sequence[float]) -> SeriesSummary:
+    """Mean/std/SEM/min/max of a sample (ddof=1 when possible)."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return SeriesSummary(0, float("nan"), float("nan"), float("nan"),
+                             float("nan"), float("nan"))
+    std = float(arr.std(ddof=1)) if arr.size > 1 else 0.0
+    return SeriesSummary(
+        n=int(arr.size),
+        mean=float(arr.mean()),
+        std=std,
+        sem=std / np.sqrt(arr.size) if arr.size > 1 else 0.0,
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+    )
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    *,
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    rng: np.random.Generator | int | None = None,
+) -> tuple[float, float]:
+    """Percentile bootstrap CI for the mean."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return (float("nan"), float("nan"))
+    if arr.size == 1:
+        return (float(arr[0]), float(arr[0]))
+    gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    idx = gen.integers(0, arr.size, size=(n_resamples, arr.size))
+    means = arr[idx].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    lo, hi = np.quantile(means, [alpha, 1.0 - alpha])
+    return (float(lo), float(hi))
+
+
+def welch_t(a: Sequence[float], b: Sequence[float]) -> float:
+    """Welch's t statistic (unequal variances) between two cells.
+
+    Used by the experiment drivers to flag whether a claimed ordering
+    (e.g. "EL1 beats ID") is resolved beyond noise.  Positive means
+    ``mean(a) > mean(b)``.
+    """
+    x = np.asarray(list(a), dtype=np.float64)
+    y = np.asarray(list(b), dtype=np.float64)
+    if x.size < 2 or y.size < 2:
+        return float("nan")
+    vx, vy = x.var(ddof=1) / x.size, y.var(ddof=1) / y.size
+    denom = np.sqrt(vx + vy)
+    if denom == 0:
+        return float("inf") if x.mean() != y.mean() else 0.0
+    return float((x.mean() - y.mean()) / denom)

@@ -1,0 +1,92 @@
+"""Sensitivity sweeps — the paper's "more in-depth simulation under
+different settings" future work, made concrete.
+
+Each sweep varies one workload knob the paper holds fixed and reports the
+lifespan of every scheme, so the benchmark suite can check the headline
+conclusion (power-aware rotation helps) is not an artifact of the single
+operating point (radius 25, c = 0.5, uniform initial energy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.analysis.stats import SeriesSummary, summarize
+from repro.analysis.tables import render_table
+from repro.core.priority import PAPER_SERIES_ORDER
+from repro.simulation.config import SimulationConfig
+from repro.simulation.runner import run_trials
+
+__all__ = ["SweepResult", "sweep_radius", "sweep_stability", "sweep_parameter"]
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Lifespan of every scheme across one knob's values."""
+
+    knob: str
+    values: tuple
+    series: Mapping[str, Sequence[SeriesSummary]]
+    trials: int
+
+    def means(self, scheme: str) -> list[float]:
+        return [s.mean for s in self.series[scheme]]
+
+    def to_table(self) -> str:
+        headers = [self.knob] + [s.upper() for s in self.series]
+        rows = [
+            [v] + [self.series[s][i].mean for s in self.series]
+            for i, v in enumerate(self.values)
+        ]
+        return render_table(
+            headers,
+            rows,
+            title=(
+                f"Lifespan sensitivity to {self.knob} "
+                f"(mean of {self.trials} trials)"
+            ),
+        )
+
+
+def sweep_parameter(
+    knob: str,
+    values: Sequence,
+    *,
+    base: SimulationConfig | None = None,
+    schemes: Sequence[str] = PAPER_SERIES_ORDER,
+    trials: int = 8,
+    root_seed: int | None = 2001,
+    parallel: bool = True,
+) -> SweepResult:
+    """Sweep one SimulationConfig field, measuring lifespan per scheme."""
+    base = base or SimulationConfig(n_hosts=50, drain_model="fixed")
+    series: dict[str, list[SeriesSummary]] = {s: [] for s in schemes}
+    for value in values:
+        for scheme in schemes:
+            cfg = base.with_overrides(**{knob: value, "scheme": scheme})
+            metrics = run_trials(
+                cfg, trials, root_seed=root_seed, parallel=parallel
+            )
+            series[scheme].append(
+                summarize([float(m.lifespan) for m in metrics])
+            )
+    return SweepResult(
+        knob=knob, values=tuple(values), series=series, trials=trials
+    )
+
+
+def sweep_radius(
+    radii: Sequence[float] = (15.0, 25.0, 40.0), **kwargs
+) -> SweepResult:
+    """Vary the transmission radius (density) around the paper's 25."""
+    return sweep_parameter("radius", radii, **kwargs)
+
+
+def sweep_stability(
+    stabilities: Sequence[float] = (0.1, 0.5, 0.9), **kwargs
+) -> SweepResult:
+    """Vary the paper's c (probability a host stays put)."""
+    return sweep_parameter("stability", stabilities, **kwargs)

@@ -1,0 +1,46 @@
+"""Monospace table rendering for experiment output.
+
+The benchmark harness prints the same rows the paper's figures plot;
+``render_table`` is the single formatter so every bench reads identically.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["render_table"]
+
+
+def _fmt(cell: object, width: int) -> str:
+    if isinstance(cell, float):
+        text = f"{cell:.2f}"
+    else:
+        text = str(cell)
+    return text.rjust(width)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render a right-aligned monospace table.
+
+    Floats print with two decimals; everything else via ``str``.
+    """
+    str_rows = [
+        [f"{c:.2f}" if isinstance(c, float) else str(c) for c in row] for row in rows
+    ]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,35 @@
+"""Classical CDS baselines.
+
+The paper's intro claims Wu–Li "outperforms several classical approaches
+in terms of finding a small dominating set and does so quickly".  These
+implementations let the comparison bench quantify that claim:
+
+* :mod:`repro.baselines.greedy_mcds` — Guha–Khuller greedy tree growth
+  (Algorithm I), the standard centralized approximation,
+* :mod:`repro.baselines.pieces_mcds` — Guha–Khuller Algorithm II
+  (piece-merging greedy), the flavor underlying Das–Bhargavan's
+  virtual-backbone routing [1],
+* :mod:`repro.baselines.mis_cds` — maximal-independent-set + connectors,
+  the clustering approach underlying spine/cluster-based routing [2, 6],
+* :mod:`repro.baselines.pure_dominating` — greedy dominating set followed
+  by Steiner-style connection (what you get if you ignore connectivity
+  during selection).
+
+All return plain gateway sets verified against the same
+:mod:`repro.core.properties` invariants as the paper's algorithms.
+"""
+
+from repro.baselines.greedy_mcds import guha_khuller_cds
+from repro.baselines.pieces_mcds import pieces_cds
+from repro.baselines.mis_cds import mis_cds
+from repro.baselines.pure_dominating import greedy_dominating_set, connected_greedy_ds
+from repro.baselines.energy_greedy import energy_aware_greedy_cds
+
+__all__ = [
+    "energy_aware_greedy_cds",
+    "guha_khuller_cds",
+    "pieces_cds",
+    "mis_cds",
+    "greedy_dominating_set",
+    "connected_greedy_ds",
+]

@@ -1,0 +1,66 @@
+"""Centralized energy-aware greedy CDS — an oracle comparator.
+
+The paper's EL rules are *local*: each host ranks itself against
+neighbors.  A natural question is how much that locality costs: how close
+does EL1 get to a **centralized** selector that sees the whole graph and
+every battery?  This baseline answers it — Guha–Khuller tree growth where
+ties in white-coverage break toward the *highest-energy* candidate, so
+recomputing it every interval rotates gateway duty with global knowledge.
+
+Used by ``bench_extensions.py::test_price_of_locality`` via the lifespan
+simulator's ``cds_fn`` hook.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import DisconnectedGraphError
+from repro.graphs import bitset
+from repro.graphs.neighborhoods import is_connected
+
+__all__ = ["energy_aware_greedy_cds"]
+
+
+def energy_aware_greedy_cds(
+    adjacency: Sequence[int], energy: Sequence[float]
+) -> int:
+    """Greedy CDS preferring high-energy nodes; returns a bitmask.
+
+    Identical tree growth to :func:`repro.baselines.guha_khuller_cds`, but
+    the candidate score is ``(white_covered, energy, -id)`` — coverage
+    first (keeps the set small), battery second (rotates duty).  On a
+    complete graph returns the single highest-energy node.
+    """
+    n = len(adjacency)
+    if n == 0:
+        return 0
+    if n == 1:
+        return 1
+    if not is_connected(adjacency):
+        raise DisconnectedGraphError("energy-aware greedy needs a connected graph")
+
+    full = (1 << n) - 1
+    white = full
+    black = 0
+    gray = 0
+
+    def score(v: int) -> tuple:
+        return (bitset.popcount(adjacency[v] & white), energy[v], -v)
+
+    seed = max(range(n), key=score)
+    black |= 1 << seed
+    white &= ~(1 << seed)
+    newly = adjacency[seed] & white
+    gray |= newly
+    white &= ~newly
+
+    while white:
+        best = max(bitset.iter_bits(gray), key=score)
+        lb = 1 << best
+        gray &= ~lb
+        black |= lb
+        newly = adjacency[best] & white
+        gray |= newly
+        white &= ~newly
+    return black

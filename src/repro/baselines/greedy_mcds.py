@@ -1,0 +1,76 @@
+"""Guha–Khuller Algorithm I: greedy tree growth.
+
+Color scheme: *white* = uncovered, *gray* = covered but outside the CDS,
+*black* = in the CDS.  Start by blackening a maximum-degree node; then
+repeatedly blacken the gray node with the most white neighbors until no
+white remains.  The black nodes form a CDS with approximation ratio
+``2(1 + H(Δ))``.
+
+Centralized and global — the quintessential contrast to Wu–Li's
+local marking: smaller sets, but needs whole-graph knowledge.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import DisconnectedGraphError, TopologyError
+from repro.graphs import bitset
+from repro.graphs.neighborhoods import is_connected
+
+__all__ = ["guha_khuller_cds"]
+
+
+def guha_khuller_cds(adjacency: Sequence[int]) -> set[int]:
+    """Greedy CDS of a connected graph (ids break score ties, low wins).
+
+    Complete graphs return a single node (it dominates everything);
+    single nodes return themselves; disconnected graphs raise.
+    """
+    n = len(adjacency)
+    if n == 0:
+        return set()
+    if n == 1:
+        return {0}
+    if not is_connected(adjacency):
+        raise DisconnectedGraphError("Guha-Khuller needs a connected graph")
+
+    full = (1 << n) - 1
+    white = full
+    black = 0
+    gray = 0
+
+    def whiten_count(v: int) -> int:
+        return bitset.popcount(adjacency[v] & white)
+
+    # seed: maximum degree, lowest id on ties
+    seed = max(range(n), key=lambda v: (bitset.popcount(adjacency[v]), -v))
+    black |= 1 << seed
+    white &= ~(1 << seed)
+    newly = adjacency[seed] & white
+    gray |= newly
+    white &= ~newly
+
+    while white:
+        # choose the gray node covering the most white nodes
+        best, best_score = -1, -1
+        m = gray
+        while m:
+            low = m & -m
+            v = low.bit_length() - 1
+            m ^= low
+            score = whiten_count(v)
+            if score > best_score or (score == best_score and v < best):
+                best, best_score = v, score
+        if best_score <= 0:
+            # cannot happen on a connected graph: some gray node always
+            # borders the white region
+            raise TopologyError("greedy stalled; graph not connected?")
+        lb = 1 << best
+        gray &= ~lb
+        black |= lb
+        newly = adjacency[best] & white
+        gray |= newly
+        white &= ~newly
+
+    return set(bitset.ids_from_mask(black))

@@ -1,0 +1,127 @@
+"""MIS + connectors: the clustering family of CDS constructions.
+
+Cluster-based routing (reference [6] of the paper) elects clusterheads
+that form a maximal independent set — every host is in or adjacent to a
+clusterhead, and no two clusterheads hear each other.  A CDS is obtained
+by connecting the clusterheads with *connector* nodes; in a connected
+graph any two "adjacent" MIS nodes are at hop distance 2 or 3, so a BFS
+over MIS nodes adds at most 2 connectors per link.
+
+``mis_cds`` grows the MIS layer by layer from a root (classic Alzoubi/Wan
+style construction) which guarantees distance-2 adjacency between a new
+MIS node and some earlier one, so one connector each suffices.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import DisconnectedGraphError
+from repro.graphs import bitset
+from repro.graphs.neighborhoods import is_connected
+from repro.routing.shortest_path import bfs_distances
+
+__all__ = ["mis_cds", "maximal_independent_set"]
+
+
+def maximal_independent_set(
+    adjacency: Sequence[int], order: Sequence[int] | None = None
+) -> set[int]:
+    """Greedy MIS in the given order (default: by id)."""
+    n = len(adjacency)
+    mis = 0
+    blocked = 0
+    for v in order if order is not None else range(n):
+        b = 1 << v
+        if blocked & b:
+            continue
+        mis |= b
+        blocked |= b | adjacency[v]
+    return set(bitset.ids_from_mask(mis))
+
+
+def mis_cds(adjacency: Sequence[int], root: int = 0) -> set[int]:
+    """CDS = layered MIS (clusterheads) + one connector per new head."""
+    n = len(adjacency)
+    if n == 0:
+        return set()
+    if n == 1:
+        return {0}
+    if not is_connected(adjacency):
+        raise DisconnectedGraphError("mis_cds needs a connected graph")
+
+    dist = bfs_distances(adjacency, root)
+    # BFS-layer order guarantees each later MIS node has an MIS node at
+    # distance exactly 2 among earlier picks (via its parent's layer)
+    order = sorted(range(n), key=lambda v: (dist[v], v))
+    heads = maximal_independent_set(adjacency, order)
+    head_mask = bitset.mask_from_ids(heads)
+
+    cds = head_mask
+    # connect: process heads in layer order; for each head besides the
+    # first, add one neighbor that touches an already-connected head
+    connected = 0
+    for v in order:
+        b = 1 << v
+        if not head_mask & b:
+            continue
+        if connected == 0:
+            connected = b
+            continue
+        if adjacency[v] & cds & _reachable(adjacency, cds, connected):
+            # already touches the connected part via an existing connector
+            connected = _reachable(adjacency, cds, connected)
+            if connected & b:
+                continue
+        # choose the lowest-id neighbor adjacent to the connected component
+        comp = _reachable(adjacency, cds, connected)
+        cand = adjacency[v]
+        chosen = -1
+        m = cand
+        while m:
+            low = m & -m
+            u = low.bit_length() - 1
+            m ^= low
+            if adjacency[u] & comp:
+                chosen = u
+                break
+        if chosen < 0:
+            # distance > 2 from the connected part: add two connectors via
+            # a shortest path (happens when layers skip; rare)
+            path = _short_path_to(adjacency, v, comp)
+            for u in path:
+                cds |= 1 << u
+        else:
+            cds |= 1 << chosen
+        connected = _reachable(adjacency, cds, connected | b)
+    return set(bitset.ids_from_mask(cds))
+
+
+def _reachable(adjacency: Sequence[int], members: int, seed: int) -> int:
+    """Members reachable from ``seed`` inside the member-induced subgraph."""
+    reached = seed & members
+    frontier = reached
+    while frontier:
+        nxt = 0
+        m = frontier
+        while m:
+            low = m & -m
+            nxt |= adjacency[low.bit_length() - 1]
+            m ^= low
+        nxt &= members & ~reached
+        reached |= nxt
+        frontier = nxt
+    return reached
+
+
+def _short_path_to(adjacency: Sequence[int], v: int, comp: int) -> list[int]:
+    """Interior nodes of a shortest path from ``v`` to the component."""
+    n = len(adjacency)
+    dist = bfs_distances(adjacency, v)
+    target = min(
+        bitset.ids_from_mask(comp), key=lambda u: (dist[u], u)
+    )
+    from repro.routing.shortest_path import bfs_path
+
+    path = bfs_path(adjacency, v, target)
+    return path[1:-1]

@@ -1,0 +1,110 @@
+"""Guha–Khuller Algorithm II: piece-merging greedy.
+
+A *piece* is either a white (uncovered) node or a connected black
+component.  Repeatedly pick the node — or edge-connected pair of nodes —
+whose blackening reduces the number of pieces the most.  This is the
+algorithmic core of Das–Bhargavan style virtual-backbone construction
+(reference [1] of the paper), which distributes exactly this greedy.
+
+Slower than Algorithm I (pair scan is O(m) per step) but typically a
+slightly smaller set; ratio ``ln Δ + 3``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import DisconnectedGraphError
+from repro.graphs import bitset
+from repro.graphs.neighborhoods import components, is_connected
+
+__all__ = ["pieces_cds"]
+
+
+def _piece_count(adjacency: Sequence[int], black: int, white: int) -> int:
+    """Number of pieces: black components + white singletons."""
+    black_adj = [adjacency[v] & black if black >> v & 1 else 0
+                 for v in range(len(adjacency))]
+    n_black_comps = len(components(black_adj)) if black else 0
+    # components() over the masked adjacency counts isolated non-members
+    # too; restrict to members:
+    if black:
+        n_black_comps = sum(1 for c in components(black_adj) if c & black)
+    return n_black_comps + bitset.popcount(white)
+
+
+def pieces_cds(adjacency: Sequence[int]) -> set[int]:
+    """CDS via greedy piece reduction on a connected graph."""
+    n = len(adjacency)
+    if n == 0:
+        return set()
+    if n == 1:
+        return {0}
+    if not is_connected(adjacency):
+        raise DisconnectedGraphError("pieces greedy needs a connected graph")
+
+    full = (1 << n) - 1
+    black = 0
+    white = full
+
+    def try_blacken(nodes: int) -> int:
+        """Piece count if ``nodes`` (mask) were blackened."""
+        nb = black | nodes
+        nw = white & ~nodes
+        # gray out neighbors of newly black nodes
+        m = nodes
+        cover = 0
+        while m:
+            low = m & -m
+            cover |= adjacency[low.bit_length() - 1]
+            m ^= low
+        nw &= ~cover
+        return _piece_count(adjacency, nb, nw)
+
+    current = _piece_count(adjacency, black, white)
+    while current > 1:
+        best_nodes, best_after = 0, current
+        # single-node candidates: any non-black node
+        cand = full & ~black
+        m = cand
+        while m:
+            low = m & -m
+            v = low.bit_length() - 1
+            m ^= low
+            after = try_blacken(low)
+            if after < best_after:
+                best_nodes, best_after = low, after
+        # pair candidates: adjacent non-black pairs (u, v)
+        m = cand
+        while m:
+            low = m & -m
+            u = low.bit_length() - 1
+            m ^= low
+            others = adjacency[u] & cand
+            others &= ~((1 << (u + 1)) - 1)  # v > u to dedupe pairs
+            mo = others
+            while mo:
+                lv = mo & -mo
+                mo ^= lv
+                after = try_blacken(low | lv)
+                # a pair must beat singles strictly to justify 2 nodes:
+                # compare pieces-per-node-added
+                if after < best_after - 1 or (
+                    best_nodes == 0 and after < best_after
+                ):
+                    best_nodes, best_after = low | lv, after
+        if best_nodes == 0:
+            break  # no improvement possible (already one piece)
+        # commit
+        mb = best_nodes
+        cover = 0
+        while mb:
+            low = mb & -mb
+            cover |= adjacency[low.bit_length() - 1]
+            mb ^= low
+        black |= best_nodes
+        white &= ~(best_nodes | cover)
+        current = best_after
+
+    # the loop leaves one piece: a single black component dominating all
+    return set(bitset.ids_from_mask(black))

@@ -1,0 +1,249 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+``cds``       compute a CDS on a random network (or a saved topology) and
+              print the gateways + an ASCII map;
+``lifespan``  run lifespan trials for one or all schemes;
+``figure``    regenerate one of the paper's figures (10, 11, 12, 13);
+``example``   print the §3.3 worked example results for every scheme.
+
+Everything the CLI does goes through the same public API the examples
+use; it exists so the reproduction can be driven without writing Python.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.analysis.experiments import run_figure10, run_lifespan_figure
+from repro.analysis.netview import render_network
+from repro.analysis.stats import summarize
+from repro.analysis.tables import render_table
+from repro.core.cds import compute_cds
+from repro.core.priority import PAPER_SERIES_ORDER
+from repro.graphs.generators import paper_example_graph, random_connected_network
+from repro.io.topology_io import load_network
+from repro.simulation.config import SimulationConfig
+from repro.simulation.runner import run_trials
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Power-aware connected dominating sets (ICPP 2001 reproduction)",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    c = sub.add_parser("cds", help="compute a CDS and draw the network")
+    c.add_argument("--hosts", type=int, default=40)
+    c.add_argument("--scheme", default="nd", choices=list(PAPER_SERIES_ORDER))
+    c.add_argument("--radius", type=float, default=25.0)
+    c.add_argument("--seed", type=int, default=7)
+    c.add_argument("--topology", help="load a saved repro-network JSON instead")
+
+    l = sub.add_parser("lifespan", help="run lifespan trials")
+    l.add_argument("--hosts", type=int, default=50)
+    l.add_argument(
+        "--scheme", default="all",
+        choices=["all", *PAPER_SERIES_ORDER],
+    )
+    l.add_argument("--drain", default="fixed")
+    l.add_argument("--trials", type=int, default=8)
+    l.add_argument("--seed", type=int, default=2001)
+
+    f = sub.add_parser("figure", help="regenerate a paper figure")
+    f.add_argument("number", type=int, choices=[10, 11, 12, 13])
+    f.add_argument("--trials", type=int, default=8)
+    f.add_argument(
+        "--sweep", default="10,25,50,75,100",
+        help="comma-separated N values",
+    )
+    f.add_argument(
+        "--reading", default="per-gateway", choices=["literal", "per-gateway"],
+        help="drain-model reading for figures 11-13 (see EXPERIMENTS.md)",
+    )
+    f.add_argument("--seed", type=int, default=2001)
+
+    sub.add_parser("example", help="the paper's §3.3 worked example")
+
+    d = sub.add_parser(
+        "directed", help="CDS on a heterogeneous-range (unidirectional) network"
+    )
+    d.add_argument("--hosts", type=int, default=30)
+    d.add_argument("--spread", type=float, default=0.4)
+    d.add_argument("--scheme", default="nd", choices=list(PAPER_SERIES_ORDER))
+    d.add_argument("--seed", type=int, default=7)
+
+    r = sub.add_parser(
+        "report", help="collect benchmarks/results into REPORT.md"
+    )
+    r.add_argument(
+        "--results", default="benchmarks/results",
+        help="directory the benches wrote to",
+    )
+    r.add_argument("--output", default=None)
+
+    s = sub.add_parser("sweep", help="lifespan sensitivity to one config knob")
+    s.add_argument(
+        "knob",
+        choices=["radius", "stability", "initial_energy_jitter", "n_hosts"],
+    )
+    s.add_argument(
+        "values", help="comma-separated values, e.g. 15,25,40"
+    )
+    s.add_argument("--hosts", type=int, default=50)
+    s.add_argument("--drain", default="fixed")
+    s.add_argument("--trials", type=int, default=6)
+    s.add_argument("--seed", type=int, default=2001)
+    return p
+
+
+def _cmd_cds(args) -> int:
+    if args.topology:
+        net = load_network(args.topology)
+    else:
+        net = random_connected_network(
+            args.hosts, radius=args.radius, rng=args.seed
+        )
+    energy = np.full(net.n, 100.0)
+    result = compute_cds(net, args.scheme, energy=energy, verify=True)
+    print(
+        f"{net.n} hosts, scheme {args.scheme.upper()}: "
+        f"{result.size} gateways {sorted(result.gateways)}"
+    )
+    print(
+        render_network(
+            net.positions,
+            net.side,
+            gateway_mask=result.gateway_mask,
+            show_backbone_links=True,
+            adjacency=net.adjacency,
+        )
+    )
+    print("legend: # gateway   o host   + backbone link midpoint")
+    return 0
+
+
+def _cmd_lifespan(args) -> int:
+    schemes = list(PAPER_SERIES_ORDER) if args.scheme == "all" else [args.scheme]
+    rows = []
+    for scheme in schemes:
+        cfg = SimulationConfig(
+            n_hosts=args.hosts, scheme=scheme, drain_model=args.drain
+        )
+        metrics = run_trials(cfg, args.trials, root_seed=args.seed)
+        life = summarize([m.lifespan for m in metrics])
+        size = summarize([m.mean_cds_size for m in metrics])
+        rows.append([scheme.upper(), life.mean, life.sem, size.mean])
+    print(
+        render_table(
+            ["scheme", "lifespan", "±sem", "mean |G'|"],
+            rows,
+            title=(
+                f"Lifespan: N={args.hosts}, drain '{args.drain}', "
+                f"{args.trials} trials"
+            ),
+        )
+    )
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    sweep = tuple(int(x) for x in args.sweep.split(","))
+    if args.number == 10:
+        result = run_figure10(
+            n_values=sweep, trials=args.trials, root_seed=args.seed
+        )
+    else:
+        literal = {11: "constant", 12: "linear", 13: "quadratic"}
+        per_gw = {11: "fixed", 12: "pg-linear", 13: "pg-quadratic"}
+        model = (literal if args.reading == "literal" else per_gw)[args.number]
+        result = run_lifespan_figure(
+            model, n_values=sweep, trials=args.trials, root_seed=args.seed
+        )
+    print(result.report())
+    return 0
+
+
+def _cmd_example(args) -> int:
+    ex = paper_example_graph()
+    print("the paper's §3.3 worked example (27 hosts):")
+    for scheme in PAPER_SERIES_ORDER:
+        r = compute_cds(ex.graph, scheme, energy=ex.energy)
+        print(
+            f"  {scheme.upper():>3}: {r.size:2d} gateways "
+            f"{sorted(ex.labels(r.gateways))}"
+        )
+    return 0
+
+
+def _cmd_directed(args) -> int:
+    from repro.core.unidirectional import (
+        compute_directed_cds,
+        is_dominating_and_absorbing,
+    )
+    from repro.graphs import bitset
+    from repro.graphs.digraph import random_strongly_connected_digraph
+
+    view, _, ranges = random_strongly_connected_digraph(
+        args.hosts, range_spread=args.spread, rng=args.seed
+    )
+    arcs = sum(bitset.popcount(m) for m in view.out_adj)
+    mutual = sum(bitset.popcount(m) for m in view.bidirectional_core())
+    gws = compute_directed_cds(view, args.scheme, use_rule_k=True)
+    print(
+        f"{args.hosts} hosts, ranges {ranges.min():.1f}..{ranges.max():.1f}: "
+        f"{arcs} arcs ({arcs - mutual} one-way)"
+    )
+    print(
+        f"directed backbone ({args.scheme.upper()} + rule-k): "
+        f"{len(gws)} gateways {sorted(gws)}"
+    )
+    print(f"dominating and absorbing: {is_dominating_and_absorbing(view, gws)}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.analysis.report import write_report
+
+    out = write_report(args.results, args.output)
+    print(f"wrote {out}")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro.analysis.sweeps import sweep_parameter
+
+    caster = int if args.knob == "n_hosts" else float
+    values = tuple(caster(x) for x in args.values.split(","))
+    base = SimulationConfig(n_hosts=args.hosts, drain_model=args.drain)
+    result = sweep_parameter(
+        args.knob, values, base=base, trials=args.trials,
+        root_seed=args.seed,
+    )
+    print(result.to_table())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "cds": _cmd_cds,
+        "lifespan": _cmd_lifespan,
+        "figure": _cmd_figure,
+        "example": _cmd_example,
+        "directed": _cmd_directed,
+        "report": _cmd_report,
+        "sweep": _cmd_sweep,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,70 @@
+"""Per-component CDS for disconnected (or churned) topologies.
+
+The marking process assumes a connected graph; a mobile network with
+switching on/off regularly fragments.  ``compute_cds_per_component`` runs
+the standard pipeline inside every connected component of the (optionally
+active-restricted) graph and unions the results, handling the degenerate
+component shapes explicitly:
+
+* singleton component — no gateway needed (nothing to relay);
+* two-host component  — no gateway needed (they talk directly);
+* complete component  — the marking process marks nobody; any host can
+  relay but none must, so the union stays empty for it too (consistent
+  with ``compute_cds`` on a clique).
+
+The result dominates every host that has at least one neighbor, and its
+induced subgraph is connected *within each component* — the strongest
+guarantee a disconnected graph admits.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.cds import CDSResult, compute_cds
+from repro.core.priority import PriorityScheme, scheme_by_name
+from repro.graphs import bitset
+from repro.graphs.neighborhoods import components
+from repro.graphs.subgraphs import restrict_adjacency
+from repro.types import SupportsNeighborhoods
+
+__all__ = ["compute_cds_per_component"]
+
+
+def compute_cds_per_component(
+    graph: SupportsNeighborhoods | Sequence[int],
+    scheme: str | PriorityScheme = "id",
+    energy: Sequence[float] | None = None,
+    *,
+    active_mask: int | None = None,
+    fixed_point: bool = False,
+) -> int:
+    """Union of per-component gateway sets, as a bitmask.
+
+    ``active_mask`` restricts the computation to switched-on hosts
+    (others are isolated first).  Marking, rules, and keys all operate on
+    the full id space, so no remapping is needed — a component's nodes
+    simply see empty neighborhoods outside it.
+    """
+    adj = graph.adjacency if hasattr(graph, "adjacency") else graph
+    adj = list(adj)
+    sch = scheme_by_name(scheme) if isinstance(scheme, str) else scheme
+    if active_mask is not None:
+        adj = restrict_adjacency(adj, active_mask)
+
+    result = 0
+    for comp in components(adj):
+        if bitset.popcount(comp) <= 2:
+            continue  # singletons and pairs need no gateway
+        if active_mask is not None and comp & ~active_mask:
+            # a component of inactive isolated nodes
+            continue
+        # the pipeline runs on the full adjacency; nodes outside this
+        # component are isolated there, so they contribute nothing, and
+        # we keep only this component's marks
+        sub = [adj[v] if comp >> v & 1 else 0 for v in range(len(adj))]
+        r: CDSResult = compute_cds(
+            sub, sch, energy=energy, fixed_point=fixed_point
+        )
+        result |= r.gateway_mask & comp
+    return result

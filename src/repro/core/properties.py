@@ -1,0 +1,138 @@
+"""Verification of the CDS invariants (Properties 1–3 of Wu–Li).
+
+These checkers are used three ways: as assertions inside the simulator
+(optional, for debugging), as oracles in the property-based test suite,
+and as a public API for downstream users who want to validate their own
+gateway selections.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import InvariantViolation
+from repro.graphs import bitset
+from repro.graphs.neighborhoods import connected_within, is_connected
+
+__all__ = [
+    "is_dominating",
+    "induced_connected",
+    "is_cds",
+    "verify_cds",
+    "shortest_paths_use_gateways",
+]
+
+
+def _as_mask(members: int | Iterable[int]) -> int:
+    if isinstance(members, int):
+        return members
+    return bitset.mask_from_ids(members)
+
+
+def is_dominating(adj: Sequence[int], members: int | Iterable[int]) -> bool:
+    """Property 1: every node is in the set or adjacent to a member."""
+    mask = _as_mask(members)
+    n = len(adj)
+    covered = mask
+    m = mask
+    while m:
+        low = m & -m
+        covered |= adj[low.bit_length() - 1]
+        m ^= low
+    return covered == (1 << n) - 1
+
+
+def induced_connected(adj: Sequence[int], members: int | Iterable[int]) -> bool:
+    """Property 2: the subgraph induced by the set is connected."""
+    return connected_within(adj, _as_mask(members))
+
+
+def is_cds(adj: Sequence[int], members: int | Iterable[int]) -> bool:
+    """Dominating **and** induced-connected."""
+    mask = _as_mask(members)
+    return is_dominating(adj, mask) and connected_within(adj, mask)
+
+
+def verify_cds(
+    adj: Sequence[int], members: int | Iterable[int], *, context: str = ""
+) -> None:
+    """Assert the CDS invariants; raise :class:`InvariantViolation` if broken.
+
+    Complete graphs are the documented exception: the marking process marks
+    nobody on a clique (every pair of neighbors is connected), and the empty
+    set does not dominate.  Callers handling cliques should special-case
+    them (any single node is a valid backbone); ``verify_cds`` reports the
+    failure rather than silently excusing it.
+    """
+    mask = _as_mask(members)
+    where = f" ({context})" if context else ""
+    if not is_dominating(adj, mask):
+        raise InvariantViolation(f"set is not dominating{where}")
+    if not connected_within(adj, mask):
+        raise InvariantViolation(f"induced subgraph is not connected{where}")
+
+
+def shortest_paths_use_gateways(
+    adj: Sequence[int], members: int | Iterable[int]
+) -> bool:
+    """Property 3 (for the raw marking process output): between every pair
+    of nodes there exists a shortest path whose *intermediate* vertices are
+    all gateways.
+
+    Checked by BFS distances: dist(u, v) computed in G must equal the
+    distance in the graph where non-members may only appear as endpoints.
+    Intended for the marked set before pruning (the pruned set guarantees
+    a path, not a shortest one).
+    """
+    mask = _as_mask(members)
+    n = len(adj)
+    if n == 0:
+        return True
+    if not is_connected(adj):
+        return False
+    full = _bfs_all(adj, n, (1 << n) - 1)
+    for src in range(n):
+        restricted = _bfs_from(adj, n, src, mask | (1 << src))
+        for dst in range(n):
+            if dst == src:
+                continue
+            # allow dst as an endpoint: a path to dst may step off the
+            # backbone exactly at the last hop
+            best = restricted[dst]
+            for mid in bitset.iter_bits(adj[dst]):
+                if restricted[mid] + 1 < best:
+                    best = restricted[mid] + 1
+            if best != full[src][dst]:
+                return False
+    return True
+
+
+def _bfs_from(adj: Sequence[int], n: int, src: int, allowed: int) -> list[int]:
+    """BFS distances from ``src`` moving only through ``allowed`` nodes."""
+    INF = n + 1
+    dist = [INF] * n
+    dist[src] = 0
+    frontier = 1 << src
+    reached = frontier
+    d = 0
+    while frontier:
+        d += 1
+        nxt = 0
+        m = frontier
+        while m:
+            low = m & -m
+            nxt |= adj[low.bit_length() - 1]
+            m ^= low
+        nxt &= allowed & ~reached
+        m = nxt
+        while m:
+            low = m & -m
+            dist[low.bit_length() - 1] = d
+            m ^= low
+        reached |= nxt
+        frontier = nxt
+    return dist
+
+
+def _bfs_all(adj: Sequence[int], n: int, allowed: int) -> list[list[int]]:
+    return [_bfs_from(adj, n, src, allowed) for src in range(n)]

@@ -1,0 +1,42 @@
+"""Energy substrate: batteries and the paper's gateway drain models.
+
+* :mod:`repro.energy.battery` — vectorized per-host energy state,
+* :mod:`repro.energy.models` — the three ``d`` models of §4 plus ``d' = 1``,
+* :mod:`repro.energy.accounting` — per-interval drain application.
+"""
+
+from repro.energy.battery import BatteryBank
+from repro.energy.models import (
+    ConstantDrain,
+    DrainModel,
+    LinearDrain,
+    QuadraticDrain,
+    drain_model_by_name,
+    PAPER_DRAIN_MODELS,
+)
+from repro.energy.accounting import EnergyAccountant, IntervalDrainRecord
+from repro.energy.models import (
+    FixedDrain,
+    PerGatewayLinearDrain,
+    PerGatewayQuadraticDrain,
+    PER_GATEWAY_DRAIN_MODELS,
+)
+from repro.energy.traffic_model import TrafficEnergyModel, TrafficDrainRecord
+
+__all__ = [
+    "FixedDrain",
+    "PerGatewayLinearDrain",
+    "PerGatewayQuadraticDrain",
+    "PER_GATEWAY_DRAIN_MODELS",
+    "TrafficEnergyModel",
+    "TrafficDrainRecord",
+    "BatteryBank",
+    "ConstantDrain",
+    "DrainModel",
+    "LinearDrain",
+    "QuadraticDrain",
+    "drain_model_by_name",
+    "PAPER_DRAIN_MODELS",
+    "EnergyAccountant",
+    "IntervalDrainRecord",
+]

@@ -1,0 +1,106 @@
+"""Vectorized battery state for a population of hosts.
+
+The paper initializes every host at energy level 100 and declares a host
+dead ("ceases to function") when its level reaches zero.  ``BatteryBank``
+keeps the whole population in one float64 array so the per-interval drain
+is a single vectorized subtraction, and exposes the death predicates the
+lifespan experiments hinge on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import EnergyError
+
+__all__ = ["BatteryBank"]
+
+#: The paper's initial energy level for every host.
+PAPER_INITIAL_ENERGY = 100.0
+
+
+class BatteryBank:
+    """Energy levels of ``n`` hosts.
+
+    Levels may go negative on the final drain (a host that would need more
+    energy than it has simply dies that interval); :meth:`first_death`
+    reports by ``level <= 0``.
+    """
+
+    __slots__ = ("_levels",)
+
+    def __init__(self, n: int, initial: float = PAPER_INITIAL_ENERGY):
+        if n < 0:
+            raise EnergyError(f"n must be non-negative, got {n}")
+        if not (initial > 0 and np.isfinite(initial)):
+            raise EnergyError(f"initial energy must be positive finite, got {initial}")
+        self._levels = np.full(n, float(initial), dtype=np.float64)
+
+    @classmethod
+    def from_levels(cls, levels) -> "BatteryBank":
+        """Adopt explicit per-host levels (e.g. the paper example's ELs)."""
+        arr = np.asarray(levels, dtype=np.float64)
+        if arr.ndim != 1:
+            raise EnergyError(f"levels must be 1-D, got shape {arr.shape}")
+        if not np.all(np.isfinite(arr)):
+            raise EnergyError("levels contain NaN/inf")
+        bank = cls.__new__(cls)
+        bank._levels = arr.copy()
+        return bank
+
+    @property
+    def n(self) -> int:
+        return len(self._levels)
+
+    @property
+    def levels(self) -> np.ndarray:
+        """The live level array (read for keys; drain via :meth:`drain`)."""
+        return self._levels
+
+    def level(self, v: int) -> float:
+        return float(self._levels[v])
+
+    def drain(self, amounts: np.ndarray | float, who: np.ndarray | None = None) -> None:
+        """Subtract ``amounts`` (scalar or per-host) from ``who`` (mask/ids).
+
+        Negative drain amounts are rejected — recharging is modelled by
+        :meth:`recharge` so accidental sign errors fail loudly.
+        """
+        amt = np.asarray(amounts, dtype=np.float64)
+        if np.any(amt < 0):
+            raise EnergyError("drain amounts must be non-negative")
+        if who is None:
+            self._levels -= amt
+        else:
+            self._levels[who] -= amt if amt.ndim == 0 else amt[who]
+
+    def recharge(self, v: int, amount: float) -> None:
+        """Add energy to one host (extension hook; not used by the paper)."""
+        if amount < 0:
+            raise EnergyError("recharge amount must be non-negative")
+        self._levels[v] += amount
+
+    def any_dead(self) -> bool:
+        """True once some host has hit zero — the paper's stop condition."""
+        return bool(np.any(self._levels <= 0.0))
+
+    def dead_hosts(self) -> list[int]:
+        """Ids of hosts at or below zero energy."""
+        return [int(i) for i in np.flatnonzero(self._levels <= 0.0)]
+
+    def first_death(self) -> int | None:
+        """Lowest-id dead host, or None if all alive."""
+        dead = np.flatnonzero(self._levels <= 0.0)
+        return int(dead[0]) if len(dead) else None
+
+    def min_level(self) -> float:
+        return float(self._levels.min()) if len(self._levels) else 0.0
+
+    def total(self) -> float:
+        return float(self._levels.sum())
+
+    def copy(self) -> "BatteryBank":
+        return BatteryBank.from_levels(self._levels)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"BatteryBank(n={self.n}, min={self.min_level():.3f})"

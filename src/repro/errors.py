@@ -1,0 +1,66 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised by the library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause without
+swallowing unrelated bugs.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "TopologyError",
+    "DisconnectedGraphError",
+    "InvariantViolation",
+    "ProtocolError",
+    "RoutingError",
+    "EnergyError",
+    "SimulationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A configuration object or parameter is invalid."""
+
+
+class TopologyError(ReproError, ValueError):
+    """A graph/topology argument is malformed (bad node ids, bad edges...)."""
+
+
+class DisconnectedGraphError(TopologyError):
+    """An operation requiring a connected graph received a disconnected one.
+
+    The marking process and its pruning rules are defined on connected
+    graphs (Property 1/2 of Wu-Li assume connectivity); callers that may
+    hold disconnected topologies should either operate per component or
+    regenerate the placement.
+    """
+
+
+class InvariantViolation(ReproError, AssertionError):
+    """A verified algorithm invariant (domination, connectivity...) failed.
+
+    Raised by :mod:`repro.core.properties` verification helpers when asked
+    to *assert* rather than report.
+    """
+
+
+class ProtocolError(ReproError, RuntimeError):
+    """The distributed message-passing protocol entered an invalid state."""
+
+
+class RoutingError(ReproError, RuntimeError):
+    """Packet routing failed (no gateway adjacency, unreachable target...)."""
+
+
+class EnergyError(ReproError, ValueError):
+    """Invalid energy-model parameter or battery operation."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The simulation engine could not make progress."""

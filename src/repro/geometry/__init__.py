@@ -1,0 +1,24 @@
+"""Geometry substrate: the 2-D free space hosts roam in.
+
+* :mod:`repro.geometry.space` — bounded region with clamp/reflect/torus
+  boundary policies,
+* :mod:`repro.geometry.points` — vectorized placement and displacement,
+* :mod:`repro.geometry.spatial_index` — uniform-grid neighbor queries.
+"""
+
+from repro.geometry.space import BoundaryPolicy, Region2D
+from repro.geometry.points import (
+    compass_unit_vectors,
+    displace,
+    random_points,
+)
+from repro.geometry.spatial_index import UniformGridIndex
+
+__all__ = [
+    "BoundaryPolicy",
+    "Region2D",
+    "compass_unit_vectors",
+    "displace",
+    "random_points",
+    "UniformGridIndex",
+]

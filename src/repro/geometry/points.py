@@ -1,0 +1,86 @@
+"""Vectorized point placement and displacement kernels.
+
+The paper's mobility step moves a host ``l`` units in one of the eight
+compass directions (E, S, W, N, SE, NE, SW, NW).  :func:`compass_unit_vectors`
+provides the direction table (diagonals are unit-normalized so ``l`` is
+always a Euclidean step length) and :func:`displace` applies a whole batch
+of moves in one fused NumPy expression.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.geometry.space import Region2D
+
+__all__ = ["compass_unit_vectors", "displace", "random_points", "COMPASS_NAMES"]
+
+#: Direction names in the paper's stated order (dir = rand(1..8)).
+COMPASS_NAMES: tuple[str, ...] = ("E", "S", "W", "N", "SE", "NE", "SW", "NW")
+
+_SQRT2_INV = 1.0 / np.sqrt(2.0)
+
+_COMPASS = np.array(
+    [
+        [1.0, 0.0],    # E
+        [0.0, -1.0],   # S
+        [-1.0, 0.0],   # W
+        [0.0, 1.0],    # N
+        [_SQRT2_INV, -_SQRT2_INV],   # SE
+        [_SQRT2_INV, _SQRT2_INV],    # NE
+        [-_SQRT2_INV, -_SQRT2_INV],  # SW
+        [-_SQRT2_INV, _SQRT2_INV],   # NW
+    ],
+    dtype=np.float64,
+)
+_COMPASS.setflags(write=False)
+
+
+def compass_unit_vectors() -> np.ndarray:
+    """The 8 unit direction vectors, shape ``(8, 2)``, read-only.
+
+    Index ``k`` corresponds to ``COMPASS_NAMES[k]`` and to the paper's
+    ``dir = k + 1``.
+    """
+    return _COMPASS
+
+
+def displace(
+    positions: np.ndarray,
+    direction_index: np.ndarray,
+    length: np.ndarray,
+    region: Region2D,
+    moving: np.ndarray | None = None,
+) -> np.ndarray:
+    """Move hosts in place: ``pos += length * compass[dir]``, then boundary.
+
+    Parameters
+    ----------
+    positions:
+        ``(n, 2)`` float array, modified in place.
+    direction_index:
+        ``(n,)`` ints in ``0..7`` (ignored where ``moving`` is False).
+    length:
+        ``(n,)`` step lengths (ignored where ``moving`` is False).
+    region:
+        Boundary policy provider.
+    moving:
+        Optional ``(n,)`` boolean mask; hosts with False stay put.
+    """
+    dirs = np.asarray(direction_index)
+    if dirs.size and (dirs.min() < 0 or dirs.max() > 7):
+        raise ConfigurationError("direction indices must be in 0..7")
+    step = _COMPASS[dirs] * np.asarray(length, dtype=np.float64)[:, None]
+    if moving is not None:
+        step = np.where(np.asarray(moving)[:, None], step, 0.0)
+    positions += step
+    region.apply_boundary(positions)
+    return positions
+
+
+def random_points(n: int, region: Region2D, rng: np.random.Generator) -> np.ndarray:
+    """Uniform random placement inside the region."""
+    if n < 0:
+        raise ConfigurationError(f"n must be non-negative, got {n}")
+    return region.sample(n, rng)

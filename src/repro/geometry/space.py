@@ -1,0 +1,87 @@
+"""Bounded 2-D regions with configurable boundary policies.
+
+The paper simulates a ``100 x 100`` free space but does not say what happens
+when a move would carry a host past the edge.  We default to **clamp**
+(stop at the wall) and offer **reflect** and **torus** as documented
+alternatives so the choice can be ablated.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["BoundaryPolicy", "Region2D"]
+
+
+class BoundaryPolicy(enum.Enum):
+    """What to do with a displacement that leaves the region."""
+
+    #: Clip each coordinate into ``[0, side]`` (host stops at the wall).
+    CLAMP = "clamp"
+    #: Mirror the overshoot back into the region (elastic bounce).
+    REFLECT = "reflect"
+    #: Wrap around (periodic boundary; removes edge effects entirely).
+    TORUS = "torus"
+
+
+@dataclass(frozen=True)
+class Region2D:
+    """An axis-aligned square ``[0, side] x [0, side]``.
+
+    The paper's region is the 100x100 square.  All operations are
+    vectorized over ``(n, 2)`` position arrays and mutate **in place**
+    (mobility runs every update interval; avoiding copies matters).
+    """
+
+    side: float = 100.0
+    policy: BoundaryPolicy = BoundaryPolicy.CLAMP
+
+    def __post_init__(self) -> None:
+        if not (self.side > 0 and np.isfinite(self.side)):
+            raise ConfigurationError(f"side must be positive finite, got {self.side}")
+
+    def contains(self, positions: np.ndarray) -> np.ndarray:
+        """Boolean per-point containment test (inclusive boundaries)."""
+        pos = np.asarray(positions, dtype=np.float64)
+        return np.all((pos >= 0.0) & (pos <= self.side), axis=-1)
+
+    def apply_boundary(self, positions: np.ndarray) -> np.ndarray:
+        """Enforce the boundary policy on ``positions`` in place.
+
+        Returns the same array for chaining.
+        """
+        pos = positions
+        if self.policy is BoundaryPolicy.CLAMP:
+            np.clip(pos, 0.0, self.side, out=pos)
+        elif self.policy is BoundaryPolicy.TORUS:
+            np.mod(pos, self.side, out=pos)
+        elif self.policy is BoundaryPolicy.REFLECT:
+            # Fold into [0, 2*side) then mirror the upper half.  Handles
+            # arbitrarily large overshoots (multiple bounces).
+            period = 2.0 * self.side
+            np.mod(pos, period, out=pos)
+            over = pos > self.side
+            pos[over] = period - pos[over]
+        else:  # pragma: no cover - enum is exhaustive
+            raise ConfigurationError(f"unknown boundary policy {self.policy!r}")
+        return pos
+
+    def distances(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Euclidean distances between paired points, torus-aware.
+
+        Under the torus policy the distance is the shortest wrap-around
+        displacement per axis; otherwise plain Euclidean.
+        """
+        diff = np.abs(np.asarray(a, dtype=np.float64) - np.asarray(b, dtype=np.float64))
+        if self.policy is BoundaryPolicy.TORUS:
+            diff = np.minimum(diff, self.side - diff)
+        return np.sqrt(np.sum(diff * diff, axis=-1))
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Uniform placement of ``n`` points, shape ``(n, 2)``."""
+        return rng.random((n, 2)) * self.side

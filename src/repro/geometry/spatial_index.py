@@ -1,0 +1,87 @@
+"""Uniform-grid spatial index for radius queries.
+
+Used by the grid UDG builder and available to user code that wants
+incremental neighbor queries (e.g. interference or sensing extensions).
+Cell size equals the query radius so any point within ``r`` of a query
+point lies in the 3x3 block of cells around it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["UniformGridIndex"]
+
+
+class UniformGridIndex:
+    """Bucket points into ``radius``-sized cells for O(1)-ish radius queries.
+
+    The index is a snapshot: rebuild (cheap, one pass) after positions move.
+    """
+
+    __slots__ = ("_radius", "_buckets", "_positions")
+
+    def __init__(self, positions: np.ndarray, radius: float):
+        if radius <= 0 or not np.isfinite(radius):
+            raise ConfigurationError(f"radius must be positive finite, got {radius}")
+        pos = np.asarray(positions, dtype=np.float64)
+        if pos.ndim != 2 or pos.shape[1] != 2:
+            raise ConfigurationError(f"positions must be (n, 2), got {pos.shape}")
+        self._radius = float(radius)
+        self._positions = pos
+        keys = np.floor(pos / radius).astype(np.int64)
+        buckets: dict[tuple[int, int], list[int]] = {}
+        for i, key in enumerate(map(tuple, keys)):
+            buckets.setdefault(key, []).append(i)
+        self._buckets = buckets
+
+    @property
+    def radius(self) -> float:
+        return self._radius
+
+    def __len__(self) -> int:
+        return len(self._positions)
+
+    def query(self, point: np.ndarray, radius: float | None = None) -> list[int]:
+        """Indices of points within ``radius`` (default: index radius) of
+        ``point``, in ascending order.
+
+        ``radius`` may not exceed the construction radius (the grid only
+        guarantees correctness up to one cell size).
+        """
+        r = self._radius if radius is None else float(radius)
+        if r > self._radius:
+            raise ConfigurationError(
+                f"query radius {r} exceeds index radius {self._radius}"
+            )
+        p = np.asarray(point, dtype=np.float64)
+        cx, cy = int(np.floor(p[0] / self._radius)), int(np.floor(p[1] / self._radius))
+        cand: list[int] = []
+        for dx in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                cand.extend(self._buckets.get((cx + dx, cy + dy), ()))
+        if not cand:
+            return []
+        arr = np.array(sorted(cand), dtype=np.intp)
+        d2 = np.sum((self._positions[arr] - p) ** 2, axis=1)
+        return [int(i) for i in arr[d2 <= r * r]]
+
+    def pairs_within(self) -> list[tuple[int, int]]:
+        """All pairs ``(i, j), i < j`` within the index radius."""
+        out: list[tuple[int, int]] = []
+        r2 = self._radius * self._radius
+        for (cx, cy), members in self._buckets.items():
+            cand: list[int] = []
+            for dx in (-1, 0, 1):
+                for dy in (-1, 0, 1):
+                    cand.extend(self._buckets.get((cx + dx, cy + dy), ()))
+            cand_arr = np.array(cand, dtype=np.intp)
+            cpos = self._positions[cand_arr]
+            for i in members:
+                d2 = np.sum((cpos - self._positions[i]) ** 2, axis=1)
+                for j in cand_arr[d2 <= r2]:
+                    if i < j:
+                        out.append((i, int(j)))
+        return sorted(set(out))

@@ -1,0 +1,68 @@
+"""Graph substrate: ad hoc network topologies and neighborhood machinery.
+
+The algorithms in :mod:`repro.core` consume graphs through the tiny
+:class:`repro.types.SupportsNeighborhoods` interface — ``n`` plus a list of
+open-neighborhood bitmasks.  This package provides:
+
+* :mod:`repro.graphs.bitset` — bitmask set algebra primitives,
+* :mod:`repro.graphs.neighborhoods` — views, coverage predicates, degrees,
+* :mod:`repro.graphs.unitdisk` — vectorized unit-disk-graph construction,
+* :mod:`repro.graphs.adhoc` — the mutable network container used by the
+  simulator (positions + radius + incremental rebuilds),
+* :mod:`repro.graphs.generators` — random and structured test topologies.
+"""
+
+from repro.graphs.adhoc import AdHocNetwork
+from repro.graphs.neighborhoods import NeighborhoodView, closed_mask, degree_sequence
+from repro.graphs.unitdisk import unit_disk_adjacency, unit_disk_edges
+from repro.graphs.digraph import (
+    DirectedView,
+    from_arcs,
+    heterogeneous_disk_digraph,
+    random_strongly_connected_digraph,
+    strongly_connected,
+)
+from repro.graphs.subgraphs import (
+    active_components,
+    is_dominating_over,
+    largest_component,
+    restrict_adjacency,
+)
+from repro.graphs.generators import (
+    clique,
+    clustered_connected_network,
+    cycle_graph,
+    from_edges,
+    grid_graph,
+    paper_example_graph,
+    path_graph,
+    random_connected_network,
+    star_graph,
+)
+
+__all__ = [
+    "clustered_connected_network",
+    "DirectedView",
+    "from_arcs",
+    "heterogeneous_disk_digraph",
+    "random_strongly_connected_digraph",
+    "strongly_connected",
+    "active_components",
+    "is_dominating_over",
+    "largest_component",
+    "restrict_adjacency",
+    "AdHocNetwork",
+    "NeighborhoodView",
+    "closed_mask",
+    "degree_sequence",
+    "unit_disk_adjacency",
+    "unit_disk_edges",
+    "clique",
+    "cycle_graph",
+    "from_edges",
+    "grid_graph",
+    "paper_example_graph",
+    "path_graph",
+    "random_connected_network",
+    "star_graph",
+]

@@ -1,0 +1,129 @@
+"""The mutable ad hoc wireless network container.
+
+``AdHocNetwork`` owns host positions, the (homogeneous) transmission radius,
+and a lazily rebuilt unit-disk adjacency.  It is the object the simulator
+mutates every update interval:
+
+* the mobility model moves ``positions`` in place and calls
+  :meth:`AdHocNetwork.invalidate`,
+* the CDS pipeline takes an immutable :meth:`snapshot`
+  (:class:`~repro.graphs.neighborhoods.NeighborhoodView`) so algorithms see
+  a fixed topology within the interval,
+* topology-delta queries (:meth:`changed_nodes_since`) feed the *localized
+  update* machinery of :mod:`repro.protocol.locality` (Wu-Li showed only
+  neighbors of changed hosts must refresh their status).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TopologyError
+from repro.graphs import bitset
+from repro.graphs.neighborhoods import NeighborhoodView, is_connected
+from repro.graphs.unitdisk import unit_disk_adjacency
+
+__all__ = ["AdHocNetwork"]
+
+
+class AdHocNetwork:
+    """Hosts in a 2-D free space joined by a unit-disk graph.
+
+    Parameters
+    ----------
+    positions:
+        ``(n, 2)`` array of host coordinates (copied to float64, owned).
+    radius:
+        Homogeneous transmission radius (edge iff distance <= radius).
+    side:
+        Side length of the square region, retained for mobility/serialization.
+    """
+
+    def __init__(self, positions: np.ndarray, radius: float, *, side: float = 100.0):
+        pos = np.array(positions, dtype=np.float64)
+        if pos.ndim != 2 or pos.shape[1] != 2:
+            raise TopologyError(f"positions must be (n, 2), got {pos.shape}")
+        if radius < 0 or not np.isfinite(radius):
+            raise TopologyError(f"radius must be non-negative finite, got {radius}")
+        self._pos = pos
+        self._radius = float(radius)
+        self._side = float(side)
+        self._adj: list[int] | None = None
+
+    # -- basic accessors ---------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of hosts."""
+        return len(self._pos)
+
+    @property
+    def positions(self) -> np.ndarray:
+        """The live ``(n, 2)`` position array (mutate then ``invalidate()``)."""
+        return self._pos
+
+    @property
+    def radius(self) -> float:
+        return self._radius
+
+    @property
+    def side(self) -> float:
+        return self._side
+
+    @property
+    def adjacency(self) -> list[int]:
+        """Open-neighborhood bitmasks, rebuilt lazily after invalidation."""
+        if self._adj is None:
+            self._adj = unit_disk_adjacency(self._pos, self._radius)
+        return self._adj
+
+    # -- mutation ----------------------------------------------------------
+
+    def invalidate(self) -> None:
+        """Mark the cached adjacency stale (call after moving positions)."""
+        self._adj = None
+
+    def move_host(self, v: int, xy) -> None:
+        """Teleport a single host and invalidate the adjacency."""
+        self._pos[v] = np.asarray(xy, dtype=np.float64)
+        self.invalidate()
+
+    # -- queries -----------------------------------------------------------
+
+    def neighbors(self, v: int) -> list[int]:
+        """``N(v)`` as a sorted id list."""
+        return bitset.ids_from_mask(self.adjacency[v])
+
+    def degree(self, v: int) -> int:
+        return bitset.popcount(self.adjacency[v])
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return bool(self.adjacency[u] >> v & 1)
+
+    def is_connected(self) -> bool:
+        return is_connected(self.adjacency)
+
+    def snapshot(self) -> NeighborhoodView:
+        """Immutable adjacency snapshot for the CDS pipeline."""
+        return NeighborhoodView(self.adjacency)
+
+    def changed_nodes_since(self, previous: NeighborhoodView) -> list[int]:
+        """Hosts whose open neighbor set differs from ``previous``.
+
+        This is the "changing hosts" set of Wu-Li's locality result: after a
+        topology change, only these hosts and their neighbors need to update
+        their gateway/non-gateway status.
+        """
+        if previous.n != self.n:
+            raise TopologyError("snapshot size mismatch")
+        adj = self.adjacency
+        return [v for v in range(self.n) if adj[v] != previous.adjacency[v]]
+
+    def copy(self) -> "AdHocNetwork":
+        """Deep copy (positions duplicated; adjacency cache dropped)."""
+        return AdHocNetwork(self._pos, self._radius, side=self._side)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"AdHocNetwork(n={self.n}, radius={self._radius}, side={self._side})"
+        )

@@ -1,0 +1,204 @@
+"""Directed-graph substrate for unidirectional wireless links.
+
+The paper assumes homogeneous transmission ranges, which makes every link
+bidirectional.  Real radios differ (power settings, battery-dependent
+amplifiers), producing *unidirectional* links: ``u -> v`` exists iff
+``dist(u, v) <= range(u)``.  Wu's follow-up work extends dominating-set
+routing to this digraph model; :mod:`repro.core.unidirectional` implements
+that extension on top of this substrate.
+
+A :class:`DirectedView` keeps both out- and in-neighbor bitmasks so the
+directed marking process (which needs ``I(v) x O(v)`` pairs) costs the
+same as the undirected one.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import TopologyError
+from repro.graphs import bitset
+from repro.types import as_generator, RngLike
+
+__all__ = [
+    "DirectedView",
+    "from_arcs",
+    "heterogeneous_disk_digraph",
+    "random_strongly_connected_digraph",
+    "strongly_connected",
+]
+
+
+class DirectedView:
+    """Immutable digraph snapshot over dense ids ``0..n-1``.
+
+    ``out_adj[v]`` has bit ``u`` set iff arc ``v -> u`` exists; ``in_adj``
+    is the transpose, derived at construction.
+    """
+
+    __slots__ = ("_out", "_in", "_n")
+
+    def __init__(self, out_adjacency: Sequence[int]):
+        self._out = list(out_adjacency)
+        self._n = len(self._out)
+        universe = (1 << self._n) - 1
+        for v, m in enumerate(self._out):
+            if m >> v & 1:
+                raise TopologyError(f"self-loop at node {v}")
+            if m & ~universe:
+                raise TopologyError(
+                    f"node {v} has out-neighbors outside 0..{self._n - 1}"
+                )
+        self._in = [0] * self._n
+        for v, m in enumerate(self._out):
+            for u in bitset.iter_bits(m):
+                self._in[u] |= 1 << v
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    @property
+    def out_adj(self) -> Sequence[int]:
+        return self._out
+
+    @property
+    def in_adj(self) -> Sequence[int]:
+        return self._in
+
+    def out_neighbors(self, v: int) -> list[int]:
+        """``O(v)``: hosts v can transmit to."""
+        return bitset.ids_from_mask(self._out[v])
+
+    def in_neighbors(self, v: int) -> list[int]:
+        """``I(v)``: hosts v can hear."""
+        return bitset.ids_from_mask(self._in[v])
+
+    def has_arc(self, u: int, v: int) -> bool:
+        return bool(self._out[u] >> v & 1)
+
+    def is_symmetric(self) -> bool:
+        """True iff every arc has its reverse (the paper's model)."""
+        return self._out == self._in
+
+    def underlying_undirected(self) -> list[int]:
+        """Adjacency of the underlying (symmetrized) undirected graph."""
+        return [o | i for o, i in zip(self._out, self._in)]
+
+    def bidirectional_core(self) -> list[int]:
+        """Adjacency keeping only mutual arcs (u->v and v->u)."""
+        return [o & i for o, i in zip(self._out, self._in)]
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, DirectedView) and self._out == other._out
+
+    def __hash__(self) -> int:
+        return hash(tuple(self._out))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        arcs = sum(bitset.popcount(m) for m in self._out)
+        return f"DirectedView(n={self._n}, arcs={arcs})"
+
+
+def from_arcs(n: int, arcs: Iterable[tuple[int, int]]) -> DirectedView:
+    """Build a digraph from explicit ``(u, v)`` arcs (u -> v)."""
+    out = [0] * n
+    for u, v in arcs:
+        if not (0 <= u < n and 0 <= v < n):
+            raise TopologyError(f"arc ({u}, {v}) outside 0..{n - 1}")
+        if u == v:
+            raise TopologyError(f"self-loop at {u}")
+        out[u] |= 1 << v
+    return DirectedView(out)
+
+
+def heterogeneous_disk_digraph(
+    positions: np.ndarray, ranges: Sequence[float]
+) -> DirectedView:
+    """The unidirectional-link model: arc ``u -> v`` iff
+    ``dist(u, v) <= ranges[u]``.
+
+    With equal ranges this degenerates to the paper's symmetric unit-disk
+    graph (asserted by the test suite).
+    """
+    pos = np.asarray(positions, dtype=np.float64)
+    if pos.ndim != 2 or pos.shape[1] != 2:
+        raise TopologyError(f"positions must be (n, 2), got {pos.shape}")
+    r = np.asarray(ranges, dtype=np.float64)
+    if r.shape != (len(pos),):
+        raise TopologyError(
+            f"ranges must have one entry per host, got shape {r.shape}"
+        )
+    if np.any(r < 0) or not np.all(np.isfinite(r)):
+        raise TopologyError("ranges must be non-negative finite")
+    n = len(pos)
+    if n == 0:
+        return DirectedView([])
+    diff = pos[:, None, :] - pos[None, :, :]
+    d2 = np.einsum("ijk,ijk->ij", diff, diff)
+    within = d2 <= (r * r)[:, None]  # row u: hosts within u's range
+    np.fill_diagonal(within, False)
+    packed = np.packbits(within, axis=1, bitorder="little")
+    return DirectedView(
+        [int.from_bytes(row.tobytes(), "little") for row in packed]
+    )
+
+
+def strongly_connected(view: DirectedView) -> bool:
+    """True iff every host can reach every other along directed arcs."""
+    n = view.n
+    if n <= 1:
+        return True
+    full = (1 << n) - 1
+    return (
+        _reachable_from(view.out_adj, 0) == full
+        and _reachable_from(view.in_adj, 0) == full
+    )
+
+
+def _reachable_from(adj: Sequence[int], start: int) -> int:
+    reached = 1 << start
+    frontier = reached
+    while frontier:
+        nxt = 0
+        m = frontier
+        while m:
+            low = m & -m
+            nxt |= adj[low.bit_length() - 1]
+            m ^= low
+        nxt &= ~reached
+        reached |= nxt
+        frontier = nxt
+    return reached
+
+
+def random_strongly_connected_digraph(
+    n: int,
+    *,
+    side: float = 100.0,
+    base_range: float = 25.0,
+    range_spread: float = 0.4,
+    rng: RngLike = None,
+    max_tries: int = 10_000,
+) -> tuple[DirectedView, np.ndarray, np.ndarray]:
+    """Random heterogeneous-range placement, resampled until strongly
+    connected.
+
+    Host ranges are uniform in ``base_range * (1 ± range_spread)``.
+    Returns ``(view, positions, ranges)``.
+    """
+    if not 0.0 <= range_spread < 1.0:
+        raise TopologyError(f"range_spread must be in [0,1), got {range_spread}")
+    gen = as_generator(rng)
+    lo, hi = base_range * (1 - range_spread), base_range * (1 + range_spread)
+    for _ in range(max_tries):
+        pos = gen.random((n, 2)) * side
+        ranges = gen.uniform(lo, hi, size=n)
+        view = heterogeneous_disk_digraph(pos, ranges)
+        if strongly_connected(view):
+            return view, pos, ranges
+    raise TopologyError(
+        f"no strongly connected placement of {n} hosts after {max_tries} tries"
+    )

@@ -1,0 +1,257 @@
+"""Topology generators: structured test graphs, random connected UDGs, and
+the paper's 27-node worked example.
+
+All generators return :class:`repro.graphs.neighborhoods.NeighborhoodView`
+(or :class:`~repro.graphs.adhoc.AdHocNetwork` for the positional ones) over
+dense ids ``0..n-1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError, TopologyError
+from repro.graphs.neighborhoods import NeighborhoodView, is_connected
+from repro.types import as_generator, RngLike
+
+__all__ = [
+    "clustered_connected_network",
+    "from_edges",
+    "path_graph",
+    "cycle_graph",
+    "clique",
+    "star_graph",
+    "grid_graph",
+    "random_gnp_connected",
+    "random_connected_network",
+    "PaperExample",
+    "paper_example_graph",
+]
+
+
+def from_edges(n: int, edges) -> NeighborhoodView:
+    """Build a view from an explicit undirected edge list over ``0..n-1``."""
+    adj = [0] * n
+    for u, v in edges:
+        if not (0 <= u < n and 0 <= v < n):
+            raise TopologyError(f"edge ({u}, {v}) outside 0..{n - 1}")
+        if u == v:
+            raise TopologyError(f"self-loop at {u}")
+        adj[u] |= 1 << v
+        adj[v] |= 1 << u
+    return NeighborhoodView(adj)
+
+
+def path_graph(n: int) -> NeighborhoodView:
+    """Path ``0 - 1 - ... - n-1`` (every interior node is a gateway)."""
+    return from_edges(n, [(i, i + 1) for i in range(n - 1)])
+
+
+def cycle_graph(n: int) -> NeighborhoodView:
+    """Cycle over ``n >= 3`` nodes."""
+    if n < 3:
+        raise ConfigurationError("cycle needs n >= 3")
+    return from_edges(n, [(i, (i + 1) % n) for i in range(n)])
+
+
+def clique(n: int) -> NeighborhoodView:
+    """Complete graph: the marking process marks nobody (no CDS needed)."""
+    return from_edges(n, [(i, j) for i in range(n) for j in range(i + 1, n)])
+
+
+def star_graph(n: int) -> NeighborhoodView:
+    """Star with center 0 and ``n-1`` leaves: the center is the unique gateway."""
+    if n < 1:
+        raise ConfigurationError("star needs n >= 1")
+    return from_edges(n, [(0, i) for i in range(1, n)])
+
+
+def grid_graph(rows: int, cols: int) -> NeighborhoodView:
+    """4-connected grid; node ``(r, c)`` has id ``r * cols + c``."""
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            i = r * cols + c
+            if c + 1 < cols:
+                edges.append((i, i + 1))
+            if r + 1 < rows:
+                edges.append((i, i + cols))
+    return from_edges(rows * cols, edges)
+
+
+def random_gnp_connected(
+    n: int, p: float, rng: RngLike = None, max_tries: int = 1000
+) -> NeighborhoodView:
+    """Erdős–Rényi G(n, p), resampled until connected.
+
+    Used in tests/property suites for non-geometric topologies; the paper's
+    own workload is geometric (:func:`random_connected_network`).
+    """
+    gen = as_generator(rng)
+    for _ in range(max_tries):
+        upper = gen.random((n, n)) < p
+        within = np.triu(upper, k=1)
+        within = within | within.T
+        adj = _masks(within)
+        if is_connected(adj):
+            return NeighborhoodView(adj)
+    raise TopologyError(f"no connected G({n}, {p}) after {max_tries} tries")
+
+
+def _masks(within: np.ndarray) -> list[int]:
+    packed = np.packbits(within, axis=1, bitorder="little")
+    return [int.from_bytes(row.tobytes(), "little") for row in packed]
+
+
+def random_connected_network(
+    n: int,
+    *,
+    side: float = 100.0,
+    radius: float = 25.0,
+    rng: RngLike = None,
+    max_tries: int = 10_000,
+):
+    """The paper's workload: ``n`` hosts uniform in a ``side x side`` square,
+    transmission radius ``radius``, resampled until the unit-disk graph is
+    connected.
+
+    Returns an :class:`repro.graphs.adhoc.AdHocNetwork` (positions retained
+    for the mobility model).  With the paper's parameters (side 100, radius
+    25) small ``n`` frequently yields disconnected placements; rejection
+    sampling matches the paper's implicit "given connected graph" premise.
+    """
+    from repro.graphs.adhoc import AdHocNetwork  # local import: avoid cycle
+
+    gen = as_generator(rng)
+    for _ in range(max_tries):
+        pos = gen.random((n, 2)) * side
+        net = AdHocNetwork(pos, radius, side=side)
+        if net.is_connected():
+            return net
+    raise TopologyError(
+        f"no connected placement of {n} hosts (side={side}, radius={radius}) "
+        f"after {max_tries} tries"
+    )
+
+
+def clustered_connected_network(
+    n: int,
+    *,
+    clusters: int = 3,
+    cluster_std: float = 12.0,
+    side: float = 100.0,
+    radius: float = 25.0,
+    rng: RngLike = None,
+    max_tries: int = 10_000,
+):
+    """Team-structured placement: hosts Gaussian-clustered around random
+    centers, resampled until the unit-disk graph is connected.
+
+    The paper's motivating applications (conferencing groups, search and
+    rescue teams, battlefield units) place hosts in clumps rather than
+    uniformly; clustered topologies have dense cores (heavy pruning) and
+    sparse inter-cluster bridges (irreplaceable gateways), which stresses
+    the rules differently than the uniform workload.
+
+    Returns an :class:`repro.graphs.adhoc.AdHocNetwork`.
+    """
+    from repro.graphs.adhoc import AdHocNetwork  # local import: avoid cycle
+
+    if clusters < 1:
+        raise ConfigurationError(f"clusters must be >= 1, got {clusters}")
+    if cluster_std <= 0:
+        raise ConfigurationError(
+            f"cluster_std must be positive, got {cluster_std}"
+        )
+    gen = as_generator(rng)
+    for _ in range(max_tries):
+        centers = gen.random((clusters, 2)) * side
+        assignment = gen.integers(0, clusters, size=n)
+        pos = centers[assignment] + gen.normal(0.0, cluster_std, size=(n, 2))
+        np.clip(pos, 0.0, side, out=pos)
+        net = AdHocNetwork(pos, radius, side=side)
+        if net.is_connected():
+            return net
+    raise TopologyError(
+        f"no connected clustered placement of {n} hosts "
+        f"({clusters} clusters, std {cluster_std}) after {max_tries} tries"
+    )
+
+
+@dataclass(frozen=True)
+class PaperExample:
+    """The 27-node worked example of the paper's §3.3 (Figures 5–9).
+
+    The paper prints only part of the topology (neighbor sets of nodes 2, 4,
+    9, 21, 22, 27 and coverage relations among 11, 13, 15, 18, 20); this
+    reconstruction satisfies every stated fact, and the test suite asserts
+    each documented rule outcome against it.  Node labels in the figures are
+    1-based; dense ids here are ``label - 1`` (see :attr:`label_of`).
+    """
+
+    graph: NeighborhoodView
+    #: energy level per dense id, consistent with Figures 8–9.
+    energy: tuple[float, ...]
+    #: dense id -> paper figure label.
+    label_of: tuple[int, ...] = field(default_factory=tuple)
+
+    def id_of_label(self, label: int) -> int:
+        """Dense id for a 1-based figure label."""
+        return label - 1
+
+    def labels(self, ids) -> set[int]:
+        """Dense ids -> set of 1-based figure labels."""
+        return {i + 1 for i in ids}
+
+
+#: 1-based adjacency of the reconstructed example (see PaperExample docs).
+_PAPER_EDGES_1BASED: tuple[tuple[int, int], ...] = (
+    (1, 2), (1, 4),
+    (2, 3), (2, 4), (2, 5), (2, 6), (2, 7), (2, 8), (2, 9),
+    (3, 4),
+    (4, 9), (4, 10), (4, 11),
+    (5, 9), (6, 9), (7, 9), (8, 9),
+    (9, 10),
+    (10, 11),
+    (11, 12), (11, 13), (11, 15), (11, 16), (11, 17), (11, 18), (11, 20),
+    (12, 13),
+    (13, 14), (13, 15),
+    (14, 15),
+    (15, 16),
+    (17, 18),
+    (18, 19), (18, 20),
+    (19, 20),
+    (20, 22),
+    (21, 22), (21, 23), (21, 24),
+    (22, 23), (22, 24), (22, 25), (22, 26), (22, 27),
+    (25, 27), (26, 27),
+)
+
+#: 1-based energy levels consistent with the Figure 8/9 walkthrough:
+#: el(21) < el(22); el(22) = el(27); el(2) = el(9); el(13) = el(15);
+#: node 18 has the minimum EL among {11, 18, 20}.
+_PAPER_ENERGY_1BASED: dict[int, float] = {
+    2: 3.0, 9: 3.0,
+    13: 3.0, 15: 3.0,
+    18: 1.0, 20: 3.0,
+    21: 2.0, 22: 4.0, 27: 4.0,
+}
+_PAPER_DEFAULT_ENERGY = 5.0
+_PAPER_N = 27
+
+
+def paper_example_graph() -> PaperExample:
+    """Build the §3.3 worked-example topology with its energy assignment."""
+    edges0 = [(u - 1, v - 1) for u, v in _PAPER_EDGES_1BASED]
+    graph = from_edges(_PAPER_N, edges0)
+    energy = tuple(
+        _PAPER_ENERGY_1BASED.get(label, _PAPER_DEFAULT_ENERGY)
+        for label in range(1, _PAPER_N + 1)
+    )
+    return PaperExample(
+        graph=graph,
+        energy=energy,
+        label_of=tuple(range(1, _PAPER_N + 1)),
+    )

@@ -1,0 +1,185 @@
+"""Neighborhood views and predicates over bitmask adjacency.
+
+This module is the bridge between raw adjacency bitmasks and the set
+operations the marking process and pruning rules are written in:
+
+* ``N(v)``  — *open* neighbor set: :attr:`NeighborhoodView.open_mask`,
+* ``N[v]``  — *closed* neighbor set (``N(v) ∪ {v}``): :func:`closed_mask`,
+* coverage predicates used by Rule 1 / Rule 2 (``N[v] ⊆ N[u]``,
+  ``N(v) ⊆ N(u) ∪ N(w)``),
+* connectivity checks via bitmask BFS.
+
+Everything operates on the :class:`repro.types.SupportsNeighborhoods`
+interface, so it works on :class:`repro.graphs.adhoc.AdHocNetwork`,
+generator outputs, and hand-built views alike.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import TopologyError
+from repro.graphs import bitset
+
+__all__ = [
+    "NeighborhoodView",
+    "closed_mask",
+    "degree_sequence",
+    "closed_covered_by",
+    "open_covered_by_pair",
+    "is_connected",
+    "connected_within",
+    "components",
+    "validate_adjacency",
+]
+
+
+class NeighborhoodView:
+    """Immutable adjacency snapshot satisfying ``SupportsNeighborhoods``.
+
+    The CDS pipeline consumes snapshots: the marking process and rules are
+    defined against a *fixed* topology within one update interval, so the
+    simulator hands algorithms a view rather than the live mutable network.
+    """
+
+    __slots__ = ("_adj", "_n")
+
+    def __init__(self, adjacency: Sequence[int]):
+        self._adj = list(adjacency)
+        self._n = len(self._adj)
+        validate_adjacency(self._adj)
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    @property
+    def adjacency(self) -> Sequence[int]:
+        return self._adj
+
+    def open_mask(self, v: int) -> int:
+        """``N(v)`` as a bitmask."""
+        return self._adj[v]
+
+    def neighbors(self, v: int) -> list[int]:
+        """``N(v)`` as a sorted id list."""
+        return bitset.ids_from_mask(self._adj[v])
+
+    def degree(self, v: int) -> int:
+        """``nd(v) = |N(v)|`` — the node degree used by the ND rules."""
+        return bitset.popcount(self._adj[v])
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return bool(self._adj[u] >> v & 1)
+
+    def edges(self) -> list[tuple[int, int]]:
+        """All undirected edges with ``u < v``."""
+        out = []
+        for u in range(self._n):
+            m = self._adj[u] >> (u + 1) << (u + 1)  # keep only bits > u
+            for v in bitset.iter_bits(m):
+                out.append((u, v))
+        return out
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, NeighborhoodView) and self._adj == other._adj
+
+    def __hash__(self) -> int:
+        return hash(tuple(self._adj))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"NeighborhoodView(n={self._n}, m={len(self.edges())})"
+
+
+def validate_adjacency(adj: Sequence[int]) -> None:
+    """Check symmetry, no self-loops, and id range; raise TopologyError."""
+    n = len(adj)
+    universe = (1 << n) - 1
+    for u, m in enumerate(adj):
+        if m >> u & 1:
+            raise TopologyError(f"self-loop at node {u}")
+        if m & ~universe:
+            raise TopologyError(f"node {u} has neighbors outside 0..{n - 1}")
+    for u, m in enumerate(adj):
+        for v in bitset.iter_bits(m):
+            if not adj[v] >> u & 1:
+                raise TopologyError(f"asymmetric edge ({u}, {v})")
+
+
+def closed_mask(adj: Sequence[int], v: int) -> int:
+    """``N[v] = N(v) ∪ {v}`` as a bitmask."""
+    return adj[v] | (1 << v)
+
+
+def degree_sequence(adj: Sequence[int]) -> list[int]:
+    """``nd(v)`` for every node."""
+    return [m.bit_count() for m in adj]
+
+
+def closed_covered_by(adj: Sequence[int], v: int, u: int) -> bool:
+    """Rule-1 coverage test: ``N[v] ⊆ N[u]`` in G.
+
+    Implies ``{v, u}`` is an edge whenever ``v != u`` (because ``v ∈ N[v]``
+    must be in ``N[u]``), which is exactly the connectivity argument the
+    paper uses to show pruning preserves the CDS.
+    """
+    return bitset.is_subset(closed_mask(adj, v), closed_mask(adj, u))
+
+
+def open_covered_by_pair(adj: Sequence[int], v: int, u: int, w: int) -> bool:
+    """Rule-2 coverage test: ``N(v) ⊆ N(u) ∪ N(w)`` in G."""
+    return bitset.is_subset(adj[v], adj[u] | adj[w])
+
+
+def connected_within(adj: Sequence[int], members: int, start: int | None = None) -> bool:
+    """True iff the subgraph induced by the ``members`` mask is connected.
+
+    Empty and singleton sets count as connected.  Runs a bitmask BFS: the
+    frontier expansion is a whole-neighborhood OR, so each sweep costs
+    O(n) big-int operations rather than per-edge work.
+    """
+    if members == 0:
+        return True
+    if start is None:
+        start = (members & -members).bit_length() - 1
+    if not members >> start & 1:
+        raise TopologyError(f"start node {start} not in member mask")
+    reached = 1 << start
+    frontier = reached
+    while frontier:
+        nxt = 0
+        for v in bitset.iter_bits(frontier):
+            nxt |= adj[v]
+        nxt &= members & ~reached
+        reached |= nxt
+        frontier = nxt
+    return reached == members
+
+
+def is_connected(adj: Sequence[int]) -> bool:
+    """True iff the whole graph is connected (vacuously true for n == 0)."""
+    n = len(adj)
+    if n == 0:
+        return True
+    return connected_within(adj, (1 << n) - 1, start=0)
+
+
+def components(adj: Sequence[int]) -> list[int]:
+    """Connected components as a list of member masks."""
+    n = len(adj)
+    remaining = (1 << n) - 1
+    out: list[int] = []
+    while remaining:
+        start = (remaining & -remaining).bit_length() - 1
+        reached = 1 << start
+        frontier = reached
+        while frontier:
+            nxt = 0
+            for v in bitset.iter_bits(frontier):
+                nxt |= adj[v]
+            nxt &= remaining & ~reached
+            reached |= nxt
+            frontier = nxt
+        out.append(reached)
+        remaining &= ~reached
+    return out

@@ -1,0 +1,85 @@
+"""Active-subset (induced subgraph) machinery.
+
+The paper treats hosts switching off to save power as "a special form of
+mobility".  We model an off host by keeping its id but isolating it:
+``restrict_adjacency`` clears every edge incident to an inactive host, so
+all downstream algorithms (marking, rules, routing) see the live topology
+without any id remapping.  Inactive hosts are trivially unmarked (no
+neighbors) and are excluded from domination requirements via
+``is_dominating_over``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import TopologyError
+from repro.graphs import bitset
+
+__all__ = [
+    "restrict_adjacency",
+    "active_components",
+    "is_dominating_over",
+    "largest_component",
+]
+
+
+def restrict_adjacency(adj: Sequence[int], active_mask: int) -> list[int]:
+    """Adjacency of the subgraph induced by the active hosts.
+
+    Inactive hosts keep their ids but lose all edges.
+    """
+    n = len(adj)
+    if active_mask >> n:
+        raise TopologyError("active mask references nodes outside the graph")
+    return [
+        adj[v] & active_mask if active_mask >> v & 1 else 0 for v in range(n)
+    ]
+
+
+def active_components(adj: Sequence[int], active_mask: int) -> list[int]:
+    """Connected components (as masks) of the active-induced subgraph."""
+    sub = restrict_adjacency(adj, active_mask)
+    comps: list[int] = []
+    remaining = active_mask
+    while remaining:
+        seed = remaining & -remaining
+        reached = seed
+        frontier = seed
+        while frontier:
+            nxt = 0
+            m = frontier
+            while m:
+                low = m & -m
+                nxt |= sub[low.bit_length() - 1]
+                m ^= low
+            nxt &= remaining & ~reached
+            reached |= nxt
+            frontier = nxt
+        comps.append(reached)
+        remaining &= ~reached
+    return comps
+
+
+def largest_component(adj: Sequence[int], active_mask: int) -> int:
+    """The biggest active component's mask (0 when nothing is active)."""
+    comps = active_components(adj, active_mask)
+    return max(comps, key=bitset.popcount, default=0)
+
+
+def is_dominating_over(
+    adj: Sequence[int], members: int | Iterable[int], required: int
+) -> bool:
+    """Domination restricted to the ``required`` host set.
+
+    Every required host must be a member or adjacent to one; hosts outside
+    ``required`` (switched off) impose nothing.
+    """
+    mask = members if isinstance(members, int) else bitset.mask_from_ids(members)
+    covered = mask
+    m = mask
+    while m:
+        low = m & -m
+        covered |= adj[low.bit_length() - 1]
+        m ^= low
+    return required & ~covered == 0

@@ -1,0 +1,126 @@
+"""Vectorized unit-disk-graph construction.
+
+The paper's topology model: hosts live in a 2-D free space and ``{u, v}``
+is an edge iff their Euclidean distance is at most the (homogeneous)
+transmission radius.  Two strategies are provided:
+
+* :func:`unit_disk_adjacency` — dense ``O(n^2)`` pairwise distances via a
+  single NumPy broadcast.  For the paper's regime (n ≤ a few hundred) this
+  is fastest by a wide margin because it stays inside one BLAS-free
+  vectorized expression.
+* :func:`unit_disk_adjacency_grid` — uniform-grid spatial hash that only
+  compares points in neighboring cells; asymptotically ``O(n)`` for bounded
+  density and preferable for thousands of hosts.
+
+Both return open-neighborhood bitmasks (see :mod:`repro.graphs.bitset`).
+``unit_disk_adjacency`` dispatches to the grid variant above a size cutoff.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TopologyError
+
+__all__ = [
+    "unit_disk_adjacency",
+    "unit_disk_adjacency_dense",
+    "unit_disk_adjacency_grid",
+    "unit_disk_edges",
+]
+
+#: Above this node count the grid strategy wins; below, dense broadcasting.
+_GRID_CUTOFF = 512
+
+
+def _check_positions(positions: np.ndarray) -> np.ndarray:
+    pos = np.asarray(positions, dtype=np.float64)
+    if pos.ndim != 2 or pos.shape[1] != 2:
+        raise TopologyError(f"positions must be (n, 2), got {pos.shape}")
+    if not np.all(np.isfinite(pos)):
+        raise TopologyError("positions contain NaN/inf")
+    return pos
+
+
+def unit_disk_adjacency(positions: np.ndarray, radius: float) -> list[int]:
+    """Open-neighborhood bitmasks of the unit-disk graph.
+
+    Edge rule: ``dist(u, v) <= radius`` (inclusive, matching "within
+    wireless transmission range").
+    """
+    pos = _check_positions(positions)
+    if radius < 0:
+        raise TopologyError(f"radius must be non-negative, got {radius}")
+    if len(pos) > _GRID_CUTOFF:
+        return unit_disk_adjacency_grid(pos, radius)
+    return unit_disk_adjacency_dense(pos, radius)
+
+
+def unit_disk_adjacency_dense(positions: np.ndarray, radius: float) -> list[int]:
+    """Dense ``O(n^2)`` strategy: one broadcasted distance matrix."""
+    pos = _check_positions(positions)
+    n = len(pos)
+    if n == 0:
+        return []
+    # Squared distances avoid n^2 sqrt calls.
+    diff = pos[:, None, :] - pos[None, :, :]
+    d2 = np.einsum("ijk,ijk->ij", diff, diff)
+    within = d2 <= radius * radius
+    np.fill_diagonal(within, False)
+    return _masks_from_bool_matrix(within)
+
+
+def _masks_from_bool_matrix(within: np.ndarray) -> list[int]:
+    """Pack each boolean row into a Python-int bitmask.
+
+    ``np.packbits`` + ``int.from_bytes`` converts a whole row in C instead
+    of a Python-level bit loop.
+    """
+    packed = np.packbits(within, axis=1, bitorder="little")
+    return [int.from_bytes(row.tobytes(), "little") for row in packed]
+
+
+def unit_disk_adjacency_grid(positions: np.ndarray, radius: float) -> list[int]:
+    """Spatial-hash strategy: compare only points in 3x3 neighboring cells."""
+    pos = _check_positions(positions)
+    n = len(pos)
+    if n == 0:
+        return []
+    if radius <= 0:
+        return [0] * n
+    cell = radius
+    keys = np.floor(pos / cell).astype(np.int64)
+    buckets: dict[tuple[int, int], list[int]] = {}
+    for i, (cx, cy) in enumerate(map(tuple, keys)):
+        buckets.setdefault((cx, cy), []).append(i)
+
+    r2 = radius * radius
+    adj = [0] * n
+    for (cx, cy), members in buckets.items():
+        cand: list[int] = []
+        for dx in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                cand.extend(buckets.get((cx + dx, cy + dy), ()))
+        cand_arr = np.array(cand, dtype=np.intp)
+        cpos = pos[cand_arr]
+        for i in members:
+            d2 = np.sum((cpos - pos[i]) ** 2, axis=1)
+            hits = cand_arr[d2 <= r2]
+            m = 0
+            for j in hits:
+                m |= 1 << int(j)
+            adj[i] = m & ~(1 << i)
+    return adj
+
+
+def unit_disk_edges(positions: np.ndarray, radius: float) -> list[tuple[int, int]]:
+    """Edge list ``(u, v), u < v`` of the unit-disk graph."""
+    adj = unit_disk_adjacency(positions, radius)
+    edges = []
+    for u, m in enumerate(adj):
+        upper = m >> (u + 1)
+        while upper:
+            low = upper & -upper
+            edges.append((u, u + 1 + low.bit_length() - 1))
+            upper ^= low
+    return edges

@@ -1,0 +1,40 @@
+"""Serialization: topologies and experiment traces.
+
+* :mod:`repro.io.topology_io` — save/load networks and plain graphs (JSON),
+* :mod:`repro.io.traces` — export trial metrics and experiment results to
+  JSON/CSV for offline analysis.
+"""
+
+from repro.io.topology_io import (
+    load_network,
+    load_view,
+    save_network,
+    save_view,
+)
+from repro.io.replay import (
+    SimulationTrace,
+    TraceFrame,
+    TraceRecorder,
+    replay_trace,
+)
+from repro.io.traces import (
+    experiment_to_csv,
+    experiment_to_json,
+    trials_to_csv,
+    trials_to_json,
+)
+
+__all__ = [
+    "SimulationTrace",
+    "TraceFrame",
+    "TraceRecorder",
+    "replay_trace",
+    "load_network",
+    "load_view",
+    "save_network",
+    "save_view",
+    "experiment_to_csv",
+    "experiment_to_json",
+    "trials_to_csv",
+    "trials_to_json",
+]

@@ -1,0 +1,140 @@
+"""Record a mobile run's topology/energy history and replay it offline.
+
+Reproducibility workflow: a simulation records one
+:class:`SimulationTrace` — the per-interval positions, energy levels, and
+gateway sets — which serializes to a single JSON document.  Replaying
+recomputes the CDS from the recorded state and checks it matches what was
+recorded, so a trace is a *self-verifying* artifact: anyone can confirm a
+published run without our simulator's RNG, and regressions in the CDS
+pipeline surface as replay mismatches on archived traces.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.cds import compute_cds
+from repro.errors import SimulationError
+from repro.graphs import bitset
+from repro.graphs.unitdisk import unit_disk_adjacency
+
+__all__ = ["TraceFrame", "SimulationTrace", "TraceRecorder", "replay_trace"]
+
+_FORMAT = "repro-trace-v1"
+
+
+@dataclass(frozen=True)
+class TraceFrame:
+    """One interval's recorded state."""
+
+    interval: int
+    positions: tuple[tuple[float, float], ...]
+    energy: tuple[float, ...]
+    gateways: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class SimulationTrace:
+    """A whole run: configuration essentials plus per-interval frames."""
+
+    scheme: str
+    radius: float
+    side: float
+    frames: tuple[TraceFrame, ...] = field(default=())
+
+    def save(self, path: str | Path) -> None:
+        doc = {
+            "format": _FORMAT,
+            "scheme": self.scheme,
+            "radius": self.radius,
+            "side": self.side,
+            "frames": [
+                {
+                    "interval": f.interval,
+                    "positions": [list(p) for p in f.positions],
+                    "energy": list(f.energy),
+                    "gateways": list(f.gateways),
+                }
+                for f in self.frames
+            ],
+        }
+        Path(path).write_text(json.dumps(doc))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "SimulationTrace":
+        doc = json.loads(Path(path).read_text())
+        if doc.get("format") != _FORMAT:
+            raise SimulationError(
+                f"{path}: expected format {_FORMAT!r}, got {doc.get('format')!r}"
+            )
+        frames = tuple(
+            TraceFrame(
+                interval=int(f["interval"]),
+                positions=tuple((float(x), float(y)) for x, y in f["positions"]),
+                energy=tuple(float(e) for e in f["energy"]),
+                gateways=tuple(int(g) for g in f["gateways"]),
+            )
+            for f in doc["frames"]
+        )
+        return cls(
+            scheme=doc["scheme"],
+            radius=float(doc["radius"]),
+            side=float(doc["side"]),
+            frames=frames,
+        )
+
+
+class TraceRecorder:
+    """Accumulates frames during a run; ``finish()`` yields the trace."""
+
+    def __init__(self, scheme: str, radius: float, side: float):
+        self.scheme = scheme
+        self.radius = radius
+        self.side = side
+        self._frames: list[TraceFrame] = []
+
+    def record(
+        self,
+        interval: int,
+        positions: np.ndarray,
+        energy: np.ndarray,
+        gateway_mask: int,
+    ) -> None:
+        self._frames.append(
+            TraceFrame(
+                interval=interval,
+                positions=tuple((float(x), float(y)) for x, y in positions),
+                energy=tuple(float(e) for e in energy),
+                gateways=tuple(bitset.ids_from_mask(gateway_mask)),
+            )
+        )
+
+    def finish(self) -> SimulationTrace:
+        return SimulationTrace(
+            scheme=self.scheme,
+            radius=self.radius,
+            side=self.side,
+            frames=tuple(self._frames),
+        )
+
+
+def replay_trace(trace: SimulationTrace) -> list[int]:
+    """Recompute every frame's CDS from its recorded state.
+
+    Returns the list of mismatching intervals (empty = the trace
+    verifies).  A mismatch means the recorded run and the current code
+    disagree — either the trace was tampered with or the pipeline's
+    behaviour changed.
+    """
+    mismatches: list[int] = []
+    for frame in trace.frames:
+        pos = np.asarray(frame.positions, dtype=np.float64)
+        adj = unit_disk_adjacency(pos, trace.radius)
+        result = compute_cds(adj, trace.scheme, energy=list(frame.energy))
+        if tuple(sorted(result.gateways)) != frame.gateways:
+            mismatches.append(frame.interval)
+    return mismatches

@@ -1,0 +1,79 @@
+"""Export trial metrics and experiment results for offline analysis.
+
+JSON carries full structure; CSV flattens to one row per (N, scheme) cell
+or per trial, convenient for spreadsheets and external plotting once the
+results leave the offline sandbox.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.experiments import ExperimentResult
+from repro.simulation.metrics import TrialMetrics
+
+__all__ = [
+    "trials_to_json",
+    "trials_to_csv",
+    "experiment_to_json",
+    "experiment_to_csv",
+]
+
+
+def trials_to_json(trials: Sequence[TrialMetrics], path: str | Path) -> None:
+    """One JSON document with every trial's summary (interval records too
+    if the trial kept them)."""
+    Path(path).write_text(
+        json.dumps([asdict(t) for t in trials], indent=1, default=str)
+    )
+
+
+def trials_to_csv(trials: Sequence[TrialMetrics], path: str | Path) -> None:
+    """One CSV row per trial (summary fields only)."""
+    fields = [
+        "lifespan",
+        "mean_cds_size",
+        "first_dead_host",
+        "total_gateway_drain",
+        "total_non_gateway_drain",
+        "frozen_intervals",
+        "energy_std_at_death",
+    ]
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(fields)
+        for t in trials:
+            writer.writerow([getattr(t, f) for f in fields])
+
+
+def experiment_to_json(result: ExperimentResult, path: str | Path) -> None:
+    """Full experiment result: per-cell mean/std/sem."""
+    doc = {
+        "figure": result.figure,
+        "metric": result.metric,
+        "drain_model": result.drain_model,
+        "trials": result.trials,
+        "n_values": list(result.n_values),
+        "series": {
+            scheme: [asdict(s) for s in summaries]
+            for scheme, summaries in result.series.items()
+        },
+        "notes": list(result.notes),
+    }
+    Path(path).write_text(json.dumps(doc, indent=1))
+
+
+def experiment_to_csv(result: ExperimentResult, path: str | Path) -> None:
+    """One CSV row per (N, scheme) cell."""
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["figure", "n", "scheme", "mean", "std", "sem", "trials"])
+        for scheme, summaries in result.series.items():
+            for n, s in zip(result.n_values, summaries):
+                writer.writerow(
+                    [result.figure, n, scheme, s.mean, s.std, s.sem, s.n]
+                )

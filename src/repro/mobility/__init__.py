@@ -1,0 +1,28 @@
+"""Mobility substrate: host movement models.
+
+* :mod:`repro.mobility.paper_walk` — the paper's §4 model (per-interval,
+  probability ``1-c`` of moving ``l ∈ [1..6]`` units in one of 8 compass
+  directions),
+* :mod:`repro.mobility.random_walk` — continuous-angle random walk,
+* :mod:`repro.mobility.random_waypoint` — classic random waypoint,
+* :mod:`repro.mobility.manager` — drives a model against an
+  :class:`~repro.graphs.adhoc.AdHocNetwork`, with optional connectivity
+  enforcement (retry moves until the topology stays connected).
+"""
+
+from repro.mobility.base import MobilityModel, StationaryModel
+from repro.mobility.paper_walk import PaperWalk
+from repro.mobility.random_walk import RandomWalk
+from repro.mobility.random_waypoint import RandomWaypoint
+from repro.mobility.manager import MobilityManager
+from repro.mobility.churn import ChurnModel
+
+__all__ = [
+    "ChurnModel",
+    "MobilityModel",
+    "StationaryModel",
+    "PaperWalk",
+    "RandomWalk",
+    "RandomWaypoint",
+    "MobilityManager",
+]

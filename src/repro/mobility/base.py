@@ -1,0 +1,43 @@
+"""Mobility model interface.
+
+A mobility model mutates a position array in place, once per update
+interval, using the region's boundary policy.  Models are stateless with
+respect to the population except where the model semantics require memory
+(random waypoint keeps per-host destinations).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.geometry.space import Region2D
+
+__all__ = ["MobilityModel", "StationaryModel"]
+
+
+@runtime_checkable
+class MobilityModel(Protocol):
+    """One update-interval movement step."""
+
+    name: str
+
+    def step(
+        self, positions: np.ndarray, region: Region2D, rng: np.random.Generator
+    ) -> None:
+        """Move hosts in place for one interval."""
+        ...
+
+
+class StationaryModel:
+    """No movement — for static-topology experiments (Figure 10 snapshots
+    are generated fresh per trial instead, but examples use this to study
+    a frozen network)."""
+
+    name = "stationary"
+
+    def step(
+        self, positions: np.ndarray, region: Region2D, rng: np.random.Generator
+    ) -> None:
+        return None

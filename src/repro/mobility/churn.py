@@ -1,0 +1,57 @@
+"""Host on/off churn — the paper's "special form of mobility".
+
+"The limitation of power leads users [to] disconnect [the] mobile unit
+frequently in order to save power consumption.  This feature may also
+introduce ... switching on/off, which can be considered as a special form
+of mobility." (§1)
+
+``ChurnModel`` flips per-host active flags each update interval with
+independent off/on probabilities.  Hosts that are off pay only the idle
+drain (usually 0 — that is the point of switching off), take no part in
+the CDS, and cannot route.  Dead hosts never come back on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ChurnModel"]
+
+
+class ChurnModel:
+    """Per-interval independent on->off / off->on transitions."""
+
+    def __init__(self, off_probability: float = 0.1, on_probability: float = 0.5):
+        if not 0.0 <= off_probability <= 1.0:
+            raise ConfigurationError(
+                f"off_probability must be in [0,1], got {off_probability}"
+            )
+        if not 0.0 <= on_probability <= 1.0:
+            raise ConfigurationError(
+                f"on_probability must be in [0,1], got {on_probability}"
+            )
+        self.off_probability = float(off_probability)
+        self.on_probability = float(on_probability)
+
+    def step(
+        self,
+        active: np.ndarray,
+        rng: np.random.Generator,
+        *,
+        eligible: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Advance one interval; mutates and returns the active mask array.
+
+        ``eligible`` marks hosts that may be switched on (alive); dead
+        hosts stay off forever.
+        """
+        n = len(active)
+        draw = rng.random(n)
+        turn_off = active & (draw < self.off_probability)
+        may_on = ~active if eligible is None else (~active & eligible)
+        turn_on = may_on & (draw < self.on_probability)
+        active[turn_off] = False
+        active[turn_on] = True
+        return active

@@ -1,0 +1,88 @@
+"""Random waypoint mobility (classic ad hoc networking model).
+
+Each host picks a uniform destination in the region and moves toward it at
+a per-interval speed; on arrival it pauses for a number of intervals, then
+picks a new destination.  Included because it is the de facto standard in
+the literature the paper sits in, and the ablation bench compares lifespan
+conclusions under it.
+
+Stateful: the model keeps per-host destinations, speeds, and pause
+counters, so one instance serves exactly one population (``reset`` rebinds).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.geometry.space import Region2D
+
+__all__ = ["RandomWaypoint"]
+
+
+class RandomWaypoint:
+    """Random waypoint with uniform speed and integer pause intervals."""
+
+    name = "random-waypoint"
+
+    def __init__(
+        self,
+        min_speed: float = 1.0,
+        max_speed: float = 6.0,
+        max_pause: int = 2,
+    ):
+        if not 0 < min_speed <= max_speed:
+            raise ConfigurationError(
+                f"need 0 < min_speed <= max_speed, got [{min_speed}, {max_speed}]"
+            )
+        if max_pause < 0:
+            raise ConfigurationError(f"max_pause must be >= 0, got {max_pause}")
+        self.min_speed = float(min_speed)
+        self.max_speed = float(max_speed)
+        self.max_pause = int(max_pause)
+        self._dest: np.ndarray | None = None
+        self._speed: np.ndarray | None = None
+        self._pause: np.ndarray | None = None
+
+    def reset(self) -> None:
+        """Forget per-host state (e.g. when rebinding to a new population)."""
+        self._dest = None
+        self._speed = None
+        self._pause = None
+
+    def _init_state(
+        self, n: int, region: Region2D, rng: np.random.Generator
+    ) -> None:
+        self._dest = region.sample(n, rng)
+        self._speed = rng.uniform(self.min_speed, self.max_speed, size=n)
+        self._pause = np.zeros(n, dtype=np.int64)
+
+    def step(
+        self, positions: np.ndarray, region: Region2D, rng: np.random.Generator
+    ) -> np.ndarray:
+        n = len(positions)
+        if self._dest is None or len(self._dest) != n:
+            self._init_state(n, region, rng)
+        assert self._dest is not None and self._speed is not None and self._pause is not None
+
+        paused = self._pause > 0
+        self._pause[paused] -= 1
+
+        to_dest = self._dest - positions
+        dist = np.sqrt(np.sum(to_dest * to_dest, axis=1))
+        arriving = (dist <= self._speed) & ~paused
+        moving = ~paused & ~arriving & (dist > 0)
+
+        # hosts mid-flight advance toward the destination
+        if np.any(moving):
+            unit = to_dest[moving] / dist[moving, None]
+            positions[moving] += unit * self._speed[moving, None]
+        # hosts arriving snap to the destination, start a pause, re-plan
+        if np.any(arriving):
+            positions[arriving] = self._dest[arriving]
+            k = int(arriving.sum())
+            self._pause[arriving] = rng.integers(0, self.max_pause + 1, size=k)
+            self._dest[arriving] = region.sample(k, rng)
+            self._speed[arriving] = rng.uniform(self.min_speed, self.max_speed, size=k)
+        region.apply_boundary(positions)
+        return moving | arriving

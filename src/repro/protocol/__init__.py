@@ -1,0 +1,38 @@
+"""Distributed protocol substrate.
+
+The paper's algorithms are *distributed*: every host decides its own
+gateway status from information it can learn by exchanging messages with
+direct neighbors.  This package makes that explicit:
+
+* :mod:`repro.protocol.messages` — the wire messages,
+* :mod:`repro.protocol.node_agent` — the per-host state machine,
+* :mod:`repro.protocol.network_sim` — a synchronous round engine that
+  delivers messages only along radio edges and counts traffic,
+* :mod:`repro.protocol.distributed_cds` — the full 4-round protocol
+  (neighbor-set exchange → marking → Rule 1 → Rule 2), proven equivalent
+  to the centralized pipeline by the test suite,
+* :mod:`repro.protocol.locality` — Wu–Li's locality result: after a
+  topology change only hosts near the change re-decide.
+"""
+
+from repro.protocol.messages import MarkerMsg, Message, NeighborSetMsg
+from repro.protocol.network_sim import SyncNetwork, TrafficStats
+from repro.protocol.node_agent import NodeAgent
+from repro.protocol.distributed_cds import DistributedCDS, distributed_cds
+from repro.protocol.locality import affected_by_change, localized_recompute
+from repro.protocol.async_sim import AsyncOutcome, run_async_cds
+
+__all__ = [
+    "AsyncOutcome",
+    "run_async_cds",
+    "MarkerMsg",
+    "Message",
+    "NeighborSetMsg",
+    "SyncNetwork",
+    "TrafficStats",
+    "NodeAgent",
+    "DistributedCDS",
+    "distributed_cds",
+    "affected_by_change",
+    "localized_recompute",
+]

@@ -1,0 +1,83 @@
+"""Wire messages of the distributed CDS protocol.
+
+Every message is a frozen dataclass with a ``sender`` and an estimated
+``wire_size`` (bytes) so the network simulator can account for traffic the
+way the paper's "low bandwidth" motivation cares about.  Sizes assume
+4-byte node ids, 8-byte energy, 1-byte flags — a reasonable compact
+encoding, used consistently so relative comparisons are meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Message", "NeighborSetMsg", "MarkerMsg"]
+
+_ID_BYTES = 4
+_ENERGY_BYTES = 8
+_FLAG_BYTES = 1
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base message: every frame carries its sender id."""
+
+    sender: int
+
+    @property
+    def wire_size(self) -> int:
+        return _ID_BYTES
+
+
+@dataclass(frozen=True)
+class NeighborSetMsg(Message):
+    """Round-1 broadcast: "here is my open neighbor set N(v)".
+
+    Receiving these from all neighbors gives each host distance-2
+    knowledge — all the marking process and the rules ever need.  The
+    sender's energy level rides along so the EL schemes need no extra
+    round (degree is implied by the set length).
+    """
+
+    neighbors: frozenset[int]
+    energy: float = 0.0
+
+    @property
+    def wire_size(self) -> int:
+        return _ID_BYTES + _ENERGY_BYTES + _ID_BYTES * len(self.neighbors)
+
+
+@dataclass(frozen=True)
+class MarkerMsg(Message):
+    """Status broadcast: "I am (still) a gateway / I just unmarked".
+
+    Sent after the marking step and again after the Rule-1 step (the
+    paper's "additional step": Rule 2 needs to know which neighbors are
+    still marked).  ``stage`` distinguishes the two broadcasts.
+    """
+
+    marked: bool
+    stage: str = "marking"  # "marking" | "rule1"
+
+    @property
+    def wire_size(self) -> int:
+        return _ID_BYTES + 2 * _FLAG_BYTES
+
+
+@dataclass(frozen=True)
+class CandidacyMsg(Message):
+    """Rule-2 sub-round broadcast: "my rule fires; I intend to unmark".
+
+    A candidate commits only when no *candidate* neighbor has a smaller
+    key (see :mod:`repro.core.rules` for why this yield-to-the-weakest
+    protocol is the sound batch semantics).  ``committed`` carries the
+    outcome of the previous sub-round so neighbors update their marked
+    tables in the same frame.
+    """
+
+    candidate: bool
+    committed: bool = False
+
+    @property
+    def wire_size(self) -> int:
+        return _ID_BYTES + 2 * _FLAG_BYTES

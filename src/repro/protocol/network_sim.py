@@ -1,0 +1,88 @@
+"""Synchronous round-based radio network.
+
+Agents hand the engine broadcasts; the engine delivers each broadcast to
+the sender's current radio neighbors at the **next** round boundary
+(synchronous model: all round-r messages arrive before any round-r+1
+computation).  The engine never leaks non-local information — an agent
+only sees frames from adjacent hosts, which is what makes the protocol's
+equivalence with the centralized algorithm a meaningful result.
+
+Traffic accounting (message and byte counts) feeds the protocol-overhead
+bench, quantifying the paper's "information collection is expensive"
+motivation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ProtocolError
+from repro.graphs import bitset
+from repro.protocol.messages import Message
+
+__all__ = ["SyncNetwork", "TrafficStats"]
+
+
+@dataclass
+class TrafficStats:
+    """Cumulative protocol traffic."""
+
+    rounds: int = 0
+    broadcasts: int = 0
+    deliveries: int = 0
+    bytes_on_air: int = 0
+    bytes_delivered: int = 0
+
+    def record_broadcast(self, msg: Message, n_receivers: int) -> None:
+        self.broadcasts += 1
+        self.deliveries += n_receivers
+        self.bytes_on_air += msg.wire_size
+        self.bytes_delivered += msg.wire_size * n_receivers
+
+
+class SyncNetwork:
+    """Delivers broadcasts along the adjacency, one synchronous round at a
+    time."""
+
+    def __init__(self, adjacency: list[int]):
+        self.adjacency = list(adjacency)
+        self.n = len(self.adjacency)
+        self.stats = TrafficStats()
+        self._outbox: list[Message | None] = [None] * self.n
+        self._inboxes: list[list[Message]] = [[] for _ in range(self.n)]
+
+    def broadcast(self, sender: int, msg: Message) -> None:
+        """Queue one broadcast for delivery at the next round boundary.
+
+        One broadcast per host per round (radio semantics); a second call
+        in the same round is a protocol bug.
+        """
+        if msg.sender != sender:
+            raise ProtocolError(
+                f"message sender field {msg.sender} != broadcasting host {sender}"
+            )
+        if self._outbox[sender] is not None:
+            raise ProtocolError(f"host {sender} already broadcast this round")
+        self._outbox[sender] = msg
+
+    def deliver_round(self) -> list[list[Message]]:
+        """Flush all queued broadcasts to their senders' neighbors.
+
+        Returns the per-host inbox for the round just completed.
+        """
+        self.stats.rounds += 1
+        inboxes: list[list[Message]] = [[] for _ in range(self.n)]
+        for sender, msg in enumerate(self._outbox):
+            if msg is None:
+                continue
+            receivers = bitset.ids_from_mask(self.adjacency[sender])
+            self.stats.record_broadcast(msg, len(receivers))
+            for r in receivers:
+                inboxes[r].append(msg)
+        self._outbox = [None] * self.n
+        self._inboxes = inboxes
+        return inboxes
+
+    def inbox(self, v: int) -> list[Message]:
+        """Messages host ``v`` received in the last completed round."""
+        return self._inboxes[v]

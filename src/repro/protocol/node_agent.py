@@ -1,0 +1,222 @@
+"""Per-host state machine of the distributed CDS protocol.
+
+An agent knows only:
+
+* its own id, energy level, and open neighbor set ``N(v)`` (the radio
+  layer gives it that — hello beacons, not modelled further),
+* whatever arrives in its inbox.
+
+From round-1 ``NeighborSetMsg`` frames it builds distance-2 knowledge and
+decides its marker; from ``MarkerMsg`` frames it learns which neighbors
+are gateways and applies Rule 1 and then Rule 2 *locally*.  The decision
+logic mirrors :mod:`repro.core.rules` exactly, but computed from the
+agent's local tables — the equivalence test in the suite is the proof
+that the paper's algorithm truly needs only local information.
+"""
+
+from __future__ import annotations
+
+from repro.core.priority import PriorityScheme
+from repro.errors import ProtocolError
+from repro.protocol.messages import CandidacyMsg, MarkerMsg, Message, NeighborSetMsg
+
+__all__ = ["NodeAgent"]
+
+
+class NodeAgent:
+    """One wireless host participating in the CDS protocol."""
+
+    def __init__(
+        self,
+        node: int,
+        neighbors: frozenset[int],
+        scheme: PriorityScheme,
+        energy: float = 0.0,
+    ):
+        self.node = node
+        self.neighbors = neighbors
+        self.scheme = scheme
+        self.energy = float(energy)
+        #: neighbor id -> that neighbor's open neighbor set.
+        self.nbr_sets: dict[int, frozenset[int]] = {}
+        #: neighbor id -> that neighbor's energy level.
+        self.nbr_energy: dict[int, float] = {}
+        #: neighbor id -> marker after the marking step / after Rule 1.
+        self.nbr_marked: dict[int, bool] = {}
+        self.nbr_marked_post_rule1: dict[int, bool] = {}
+        self.marked: bool | None = None
+        self.marked_post_rule1: bool | None = None
+        self.final_marked: bool | None = None
+
+    # -- round 1: neighbor-set exchange -------------------------------------
+
+    def make_neighbor_set_msg(self) -> NeighborSetMsg:
+        return NeighborSetMsg(
+            sender=self.node, neighbors=self.neighbors, energy=self.energy
+        )
+
+    def receive_neighbor_sets(self, inbox: list[Message]) -> None:
+        for msg in inbox:
+            if not isinstance(msg, NeighborSetMsg):
+                continue
+            if msg.sender not in self.neighbors:
+                raise ProtocolError(
+                    f"host {self.node} heard non-neighbor {msg.sender}"
+                )
+            self.nbr_sets[msg.sender] = msg.neighbors
+            self.nbr_energy[msg.sender] = msg.energy
+        missing = self.neighbors - self.nbr_sets.keys()
+        if missing:
+            raise ProtocolError(
+                f"host {self.node} missing neighbor sets from {sorted(missing)}"
+            )
+
+    # -- round 2: marking ----------------------------------------------------
+
+    def decide_marker(self) -> MarkerMsg:
+        """Step 3 of the marking process, from local tables only."""
+        nbrs = sorted(self.neighbors)
+        self.marked = any(
+            v not in self.nbr_sets[u]
+            for i, u in enumerate(nbrs)
+            for v in nbrs[i + 1 :]
+        )
+        return MarkerMsg(sender=self.node, marked=self.marked, stage="marking")
+
+    def receive_markers(self, inbox: list[Message]) -> None:
+        for msg in inbox:
+            if isinstance(msg, MarkerMsg) and msg.stage == "marking":
+                self.nbr_marked[msg.sender] = msg.marked
+
+    # -- keys ----------------------------------------------------------------
+
+    def _key(self, who: int) -> tuple:
+        """Priority key of self or a neighbor, from local knowledge."""
+        if who == self.node:
+            degree, energy = len(self.neighbors), self.energy
+        else:
+            degree = len(self.nbr_sets[who])
+            energy = self.nbr_energy[who]
+        if self.scheme.quantum is not None:
+            energy = round(energy / self.scheme.quantum) * self.scheme.quantum
+        from repro.core.priority import NodeAttrs
+
+        return self.scheme.key_fn(NodeAttrs(node=who, degree=degree, energy=energy))
+
+    # -- round 3: Rule 1 -----------------------------------------------------
+
+    def decide_rule1(self) -> MarkerMsg:
+        """Unmark if some marked neighbor closed-covers me with higher key."""
+        if self.marked is None:
+            raise ProtocolError("decide_rule1 before marking")
+        keep = self.marked
+        if self.scheme.uses_rules and self.marked:
+            closed_v = self.neighbors | {self.node}
+            my_key = self._key(self.node)
+            for u in self.neighbors:
+                if not self.nbr_marked.get(u, False):
+                    continue
+                closed_u = self.nbr_sets[u] | {u}
+                if closed_v <= closed_u and my_key < self._key(u):
+                    keep = False
+                    break
+        self.marked_post_rule1 = keep
+        return MarkerMsg(sender=self.node, marked=keep, stage="rule1")
+
+    def receive_rule1_markers(self, inbox: list[Message]) -> None:
+        for msg in inbox:
+            if isinstance(msg, MarkerMsg) and msg.stage == "rule1":
+                self.nbr_marked_post_rule1[msg.sender] = msg.marked
+
+    # -- rounds 4+: Rule 2 sub-rounds ----------------------------------------
+    #
+    # Rule 2 is a small iterated sub-protocol (see repro.core.rules): each
+    # sub-round every firing node announces candidacy; a candidate unmarks
+    # only when no candidate neighbor has a smaller key.  The agent keeps a
+    # live view of which neighbors are still marked / still candidates.
+
+    def begin_rule2(self) -> None:
+        """Initialize the Rule-2 working state from the post-Rule-1 view."""
+        if self.marked_post_rule1 is None:
+            raise ProtocolError("begin_rule2 before rule1")
+        self.rule2_marked = self.marked_post_rule1
+        self.nbr_rule2_marked = dict(self.nbr_marked_post_rule1)
+        self.nbr_candidate: dict[int, bool] = {}
+
+    def rule2_fires(self) -> bool:
+        """Does the rule fire for me against my current local view?"""
+        if not (self.scheme.uses_rules and self.rule2_marked):
+            return False
+        marked_nbrs = sorted(
+            u for u in self.neighbors if self.nbr_rule2_marked.get(u, False)
+        )
+        return len(marked_nbrs) >= 2 and self._rule2_unmarks(marked_nbrs)
+
+    def make_rule2_marker_msg(self) -> MarkerMsg:
+        """Status refresh opening a sub-round (propagates prior commits)."""
+        return MarkerMsg(
+            sender=self.node, marked=bool(self.rule2_marked), stage="rule2"
+        )
+
+    def receive_rule2_markers(self, inbox: list[Message]) -> None:
+        for msg in inbox:
+            if isinstance(msg, MarkerMsg) and msg.stage == "rule2":
+                self.nbr_rule2_marked[msg.sender] = msg.marked
+
+    def make_candidacy_msg(self) -> CandidacyMsg:
+        """Announce whether my rule fires against the refreshed view."""
+        return CandidacyMsg(sender=self.node, candidate=self.rule2_fires())
+
+    def receive_candidacies(self, inbox: list[Message]) -> None:
+        self.nbr_candidate = {}
+        for msg in inbox:
+            if isinstance(msg, CandidacyMsg):
+                self.nbr_candidate[msg.sender] = msg.candidate
+
+    def decide_rule2_subround(self) -> bool:
+        """Commit (unmark) iff I fire and no candidate neighbor is weaker.
+
+        Returns True when this agent unmarked in this sub-round.
+        """
+        if not self.rule2_fires():
+            return False
+        my_key = self._key(self.node)
+        for u in self.neighbors:
+            if self.nbr_candidate.get(u, False) and self._key(u) < my_key:
+                return False
+        self.rule2_marked = False
+        return True
+
+    def finalize(self) -> bool:
+        """Final gateway status once the Rule-2 sub-rounds have converged."""
+        self.final_marked = bool(self.rule2_marked)
+        return self.final_marked
+
+    def _rule2_unmarks(self, marked_nbrs: list[int]) -> bool:
+        nv = self.neighbors
+        kv = self._key(self.node)
+        cases = self.scheme.uses_coverage_cases
+        for i, u in enumerate(marked_nbrs):
+            nu = self.nbr_sets[u]
+            for w in marked_nbrs[i + 1 :]:
+                nw = self.nbr_sets[w]
+                if not nv <= (nu | nw):
+                    continue
+                if not cases:
+                    if kv < self._key(u) and kv < self._key(w):
+                        return True
+                    continue
+                cov_u = nu <= (nv | nw)
+                cov_w = nw <= (nu | nv)
+                if not cov_u and not cov_w:
+                    return True
+                if cov_u and not cov_w:
+                    if kv < self._key(u):
+                        return True
+                elif cov_w and not cov_u:
+                    if kv < self._key(w):
+                        return True
+                else:
+                    if kv < self._key(u) and kv < self._key(w):
+                        return True
+        return False

@@ -1,0 +1,50 @@
+"""Dominating-set-based routing (§2.1 of the paper).
+
+* :mod:`repro.routing.tables` — gateway domain membership lists and
+  gateway routing tables (the paper's Figure 2 data structures),
+* :mod:`repro.routing.shortest_path` — BFS machinery on the full graph and
+  on the gateway-induced subgraph, plus path-stretch analysis,
+* :mod:`repro.routing.dsr` — the three-step routing process
+  (source → source gateway → backbone → destination gateway → destination),
+* :mod:`repro.routing.forwarding` — hop-by-hop packet forwarding with
+  per-host traffic counters (ties routing load back to energy use).
+"""
+
+from repro.routing.tables import GatewayRoutingTable, build_routing_tables
+from repro.routing.shortest_path import (
+    bfs_distances,
+    bfs_path,
+    induced_path,
+    path_stretch,
+)
+from repro.routing.dsr import DominatingSetRouter, Route
+from repro.routing.forwarding import ForwardingEngine, PacketTrace
+from repro.routing.maintenance import MaintenanceStats, TableMaintainer
+from repro.routing.directed_routing import DirectedBackboneRouter, DirectedRoute
+from repro.routing.broadcast import (
+    FloodResult,
+    backbone_flood,
+    compare_flooding,
+    flood,
+)
+
+__all__ = [
+    "DirectedBackboneRouter",
+    "DirectedRoute",
+    "MaintenanceStats",
+    "TableMaintainer",
+    "FloodResult",
+    "backbone_flood",
+    "compare_flooding",
+    "flood",
+    "GatewayRoutingTable",
+    "build_routing_tables",
+    "bfs_distances",
+    "bfs_path",
+    "induced_path",
+    "path_stretch",
+    "DominatingSetRouter",
+    "Route",
+    "ForwardingEngine",
+    "PacketTrace",
+]

@@ -1,0 +1,171 @@
+"""Three-step routing over a directed (unidirectional-link) backbone.
+
+The directed analog of :mod:`repro.routing.dsr`: a packet climbs from the
+source to a *source gateway* it can transmit to, crosses the backbone
+along directed arcs, and descends from a *destination gateway* that can
+transmit to the destination.  The backbone must be dominating (step 3
+possible), absorbing (step 1 possible), and strongly connected (step 2
+possible) — exactly what :func:`repro.core.unidirectional.compute_directed_cds`
+guarantees.
+
+Note the asymmetry with the undirected router: the source needs a gateway
+in its **out**-neighborhood, the destination one in its **in**-neighborhood,
+and the backbone path follows arc directions, so route(a, b) and
+route(b, a) generally differ in both length and nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import RoutingError
+from repro.graphs import bitset
+from repro.graphs.digraph import DirectedView
+
+__all__ = ["DirectedRoute", "DirectedBackboneRouter"]
+
+
+@dataclass(frozen=True)
+class DirectedRoute:
+    """One routed packet's directed path."""
+
+    source: int
+    target: int
+    nodes: tuple[int, ...]
+    source_gateway: int | None
+    destination_gateway: int | None
+
+    @property
+    def length(self) -> int:
+        return len(self.nodes) - 1
+
+    @property
+    def intermediates(self) -> tuple[int, ...]:
+        return self.nodes[1:-1]
+
+
+def _directed_bfs(
+    out_adj: Sequence[int], source: int, allowed: int, n: int
+) -> list[int]:
+    dist = [-1] * n
+    dist[source] = 0
+    mask = allowed | (1 << source)
+    frontier = 1 << source
+    reached = frontier
+    d = 0
+    while frontier:
+        d += 1
+        nxt = 0
+        m = frontier
+        while m:
+            low = m & -m
+            nxt |= out_adj[low.bit_length() - 1]
+            m ^= low
+        nxt &= mask & ~reached
+        m = nxt
+        while m:
+            low = m & -m
+            dist[low.bit_length() - 1] = d
+            m ^= low
+        reached |= nxt
+        frontier = nxt
+    return dist
+
+
+def _directed_path(
+    view: DirectedView, source: int, target: int, allowed: int
+) -> list[int]:
+    """Shortest directed path inside ``allowed`` (endpoints free)."""
+    if source == target:
+        return [source]
+    dist = _directed_bfs(view.out_adj, source, allowed, view.n)
+    if dist[target] < 0:
+        raise RoutingError(f"no directed path {source} -> {target}")
+    # walk backwards along in-arcs, one hop closer each step
+    path = [target]
+    cur = target
+    while cur != source:
+        m = view.in_adj[cur]
+        step = None
+        while m:
+            low = m & -m
+            u = low.bit_length() - 1
+            m ^= low
+            if dist[u] == dist[cur] - 1:
+                step = u
+                break
+        if step is None:  # pragma: no cover - dist guarantees a predecessor
+            raise RoutingError("predecessor walk failed")
+        path.append(step)
+        cur = step
+    path.reverse()
+    return path
+
+
+class DirectedBackboneRouter:
+    """Routes over a fixed (digraph, directed-backbone) pair."""
+
+    def __init__(self, view: DirectedView, gateway_mask: int):
+        self.view = view
+        self.gw_mask = gateway_mask
+        if gateway_mask >> view.n:
+            raise RoutingError("gateway mask references nodes outside the graph")
+
+    def is_gateway(self, v: int) -> bool:
+        return bool(self.gw_mask >> v & 1)
+
+    def egress_gateways(self, v: int) -> list[int]:
+        """Gateways ``v`` can transmit to (candidates for step 1)."""
+        return bitset.ids_from_mask(self.view.out_adj[v] & self.gw_mask)
+
+    def ingress_gateways(self, v: int) -> list[int]:
+        """Gateways that can transmit to ``v`` (candidates for step 3)."""
+        return bitset.ids_from_mask(self.view.in_adj[v] & self.gw_mask)
+
+    def route(self, source: int, target: int) -> DirectedRoute:
+        view = self.view
+        n = view.n
+        if not (0 <= source < n and 0 <= target < n):
+            raise RoutingError(f"endpoint outside 0..{n - 1}")
+        if source == target:
+            return DirectedRoute(source, target, (source,), None, None)
+        if view.out_adj[source] >> target & 1:
+            return DirectedRoute(source, target, (source, target), None, None)
+
+        src_gws = (
+            [source] if self.is_gateway(source) else self.egress_gateways(source)
+        )
+        dst_gws = (
+            [target] if self.is_gateway(target) else self.ingress_gateways(target)
+        )
+        if not src_gws:
+            raise RoutingError(
+                f"host {source} cannot reach any gateway (set not absorbing?)"
+            )
+        if not dst_gws:
+            raise RoutingError(
+                f"no gateway can reach host {target} (set not dominating?)"
+            )
+
+        best: DirectedRoute | None = None
+        for sg in sorted(src_gws):
+            for dg in sorted(dst_gws):
+                try:
+                    backbone = _directed_path(view, sg, dg, self.gw_mask)
+                except RoutingError:
+                    continue
+                nodes = list(backbone)
+                if source != sg:
+                    nodes = [source] + nodes
+                if target != dg:
+                    nodes = nodes + [target]
+                route = DirectedRoute(source, target, tuple(nodes), sg, dg)
+                if best is None or route.length < best.length:
+                    best = route
+        if best is None:
+            raise RoutingError(
+                f"backbone cannot carry {source} -> {target} "
+                "(set not strongly connected?)"
+            )
+        return best

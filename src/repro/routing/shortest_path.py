@@ -1,0 +1,150 @@
+"""BFS path machinery on the full graph and the gateway-induced subgraph.
+
+Hop count is the metric throughout (homogeneous radios: every edge costs
+one transmission).  ``path_stretch`` quantifies the price of confining
+traffic to the backbone — Property 3 guarantees stretch 1 for the *marked*
+set before pruning; after Rule 1/Rule 2 pruning the backbone is smaller
+and stretch may exceed 1, a trade-off the routing bench measures.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import RoutingError
+from repro.graphs import bitset
+
+__all__ = [
+    "bfs_distances",
+    "bfs_path",
+    "induced_path",
+    "induced_bfs_distances_nexthop",
+    "path_stretch",
+]
+
+_UNREACHABLE = -1
+
+
+def bfs_distances(
+    adjacency: Sequence[int], source: int, allowed: int | None = None
+) -> list[int]:
+    """Hop distances from ``source`` (``-1`` = unreachable).
+
+    ``allowed`` restricts which nodes may be *entered* (the source is
+    always allowed).
+    """
+    n = len(adjacency)
+    mask = (1 << n) - 1 if allowed is None else allowed | (1 << source)
+    dist = [_UNREACHABLE] * n
+    dist[source] = 0
+    frontier = 1 << source
+    reached = frontier
+    d = 0
+    while frontier:
+        d += 1
+        nxt = 0
+        m = frontier
+        while m:
+            low = m & -m
+            nxt |= adjacency[low.bit_length() - 1]
+            m ^= low
+        nxt &= mask & ~reached
+        m = nxt
+        while m:
+            low = m & -m
+            dist[low.bit_length() - 1] = d
+            m ^= low
+        reached |= nxt
+        frontier = nxt
+    return dist
+
+
+def bfs_path(
+    adjacency: Sequence[int], source: int, target: int, allowed: int | None = None
+) -> list[int]:
+    """One shortest path (inclusive of endpoints); RoutingError if none.
+
+    Deterministic: among equal-length predecessors the lowest id wins.
+    """
+    if source == target:
+        return [source]
+    dist = bfs_distances(adjacency, source, allowed)
+    if dist[target] == _UNREACHABLE:
+        raise RoutingError(f"no path {source} -> {target} within allowed set")
+    # walk back from target choosing the lowest-id neighbor one hop closer
+    path = [target]
+    cur = target
+    while cur != source:
+        nbrs = adjacency[cur]
+        step = None
+        m = nbrs
+        while m:
+            low = m & -m
+            u = low.bit_length() - 1
+            m ^= low
+            if dist[u] == dist[cur] - 1:
+                step = u
+                break  # lowest id first by iteration order
+        if step is None:  # pragma: no cover - unreachable given dist
+            raise RoutingError("BFS predecessor walk failed")
+        path.append(step)
+        cur = step
+    path.reverse()
+    return path
+
+
+def induced_path(
+    adjacency: Sequence[int],
+    gateways_mask: int,
+    source_gw: int,
+    target_gw: int,
+) -> list[int]:
+    """Shortest path between two gateways inside the induced subgraph."""
+    return bfs_path(adjacency, source_gw, target_gw, allowed=gateways_mask)
+
+
+def induced_bfs_distances_nexthop(
+    adjacency: Sequence[int], gateways_mask: int
+) -> tuple[dict[int, dict[int, int]], dict[int, dict[int, int]]]:
+    """All-pairs (distance, next-hop) among gateways in the induced graph.
+
+    Returns ``(dist, nxt)`` keyed by gateway id; ``nxt[g][h]`` is the first
+    gateway after ``g`` on a shortest induced path to ``h`` (-1 if
+    unreachable, which for a *connected* dominating set never happens).
+    """
+    gws = bitset.ids_from_mask(gateways_mask)
+    dist: dict[int, dict[int, int]] = {}
+    nxt: dict[int, dict[int, int]] = {}
+    for g in gws:
+        d = bfs_distances(adjacency, g, allowed=gateways_mask)
+        dist[g] = {h: d[h] for h in gws}
+        row: dict[int, int] = {}
+        for h in gws:
+            if h == g or d[h] == _UNREACHABLE:
+                row[h] = _UNREACHABLE if h != g else g
+                continue
+            path = bfs_path(adjacency, g, h, allowed=gateways_mask)
+            row[h] = path[1]
+        nxt[g] = row
+    return dist, nxt
+
+
+def path_stretch(
+    adjacency: Sequence[int], gateways_mask: int, source: int, target: int
+) -> float:
+    """(backbone route length) / (true shortest path length).
+
+    The backbone route is the 3-step dominating-set route of
+    :class:`repro.routing.dsr.DominatingSetRouter`; stretch 1.0 means the
+    backbone loses nothing for this pair.
+    """
+    from repro.routing.dsr import DominatingSetRouter  # cycle guard
+
+    true = bfs_distances(adjacency, source)[target]
+    if true == _UNREACHABLE:
+        raise RoutingError(f"{source} and {target} are disconnected")
+    if true == 0:
+        return 1.0
+    router = DominatingSetRouter(adjacency, gateways_mask)
+    route = router.route(source, target)
+    return len(route.hops) / true

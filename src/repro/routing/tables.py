@@ -1,0 +1,85 @@
+"""Gateway routing state (the paper's Figure 2).
+
+Each gateway host keeps:
+
+* a **gateway domain membership list** — the non-gateway hosts adjacent to
+  it (its "domain"); a non-gateway may appear in several gateways' lists,
+  exactly as host 3 in the paper's example belongs to gateways 4 and 8;
+* a **gateway routing table** — one entry per gateway in the network with
+  that gateway's membership list, plus distance/next-hop columns (the
+  paper shows the membership column; distances are "not shown" but needed
+  to actually route, so we fill them via BFS on the induced subgraph).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.errors import RoutingError
+from repro.graphs import bitset
+from repro.routing.shortest_path import induced_bfs_distances_nexthop
+
+__all__ = ["GatewayRoutingTable", "build_routing_tables"]
+
+
+@dataclass(frozen=True)
+class GatewayRoutingTable:
+    """The routing state held by one gateway host."""
+
+    gateway: int
+    #: non-gateway neighbors of this gateway (its domain).
+    members: frozenset[int]
+    #: other gateway -> that gateway's membership list.
+    membership_of: Mapping[int, frozenset[int]]
+    #: other gateway -> hop distance through the induced subgraph.
+    distance_to: Mapping[int, int]
+    #: other gateway -> next gateway on a shortest induced path.
+    next_hop_to: Mapping[int, int]
+
+    def gateways_serving(self, host: int) -> list[int]:
+        """All gateways whose domain contains ``host`` (sorted)."""
+        return sorted(
+            g for g, mem in self.membership_of.items() if host in mem
+        ) + ([self.gateway] if host in self.members else [])
+
+    def entry_count(self) -> int:
+        return len(self.membership_of) + 1
+
+
+def build_routing_tables(
+    adjacency: Sequence[int], gateways: frozenset[int] | set[int]
+) -> dict[int, GatewayRoutingTable]:
+    """Build every gateway's table for one topology + gateway set.
+
+    Raises :class:`RoutingError` if the gateway set is empty while
+    non-gateway hosts exist and the graph is not complete-trivial — an
+    empty backbone can only route inside one radio hop.
+    """
+    n = len(adjacency)
+    gw = frozenset(gateways)
+    if not gw:
+        if n > 1:
+            raise RoutingError("empty gateway set cannot carry routes (n > 1)")
+        return {}
+    for g in gw:
+        if not 0 <= g < n:
+            raise RoutingError(f"gateway id {g} outside 0..{n - 1}")
+
+    gw_mask = bitset.mask_from_ids(gw)
+    members: dict[int, frozenset[int]] = {
+        g: frozenset(bitset.ids_from_mask(adjacency[g] & ~gw_mask)) for g in gw
+    }
+    dist, nxt = induced_bfs_distances_nexthop(adjacency, gw_mask)
+
+    tables: dict[int, GatewayRoutingTable] = {}
+    for g in gw:
+        others = {h: members[h] for h in gw if h != g}
+        tables[g] = GatewayRoutingTable(
+            gateway=g,
+            members=members[g],
+            membership_of=others,
+            distance_to={h: dist[g][h] for h in gw if h != g},
+            next_hop_to={h: nxt[g][h] for h in gw if h != g and nxt[g][h] >= 0},
+        )
+    return tables

@@ -1,0 +1,132 @@
+"""Lifespan simulation over unidirectional links (extension).
+
+The paper's §4 loop re-run on the heterogeneous-range digraph model:
+every interval the directed CDS is computed (directed marking + directed
+Rule 1, optionally Rule k), gateways drain ``d``, others ``d'``, and
+hosts roam with strong-connectivity enforcement (the directed analog of
+the retry policy).  This answers the natural question the unidirectional
+extension raises: does power-aware gateway rotation still pay off when
+links are asymmetric?  (It does — see ``bench_unidirectional.py``.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.priority import scheme_by_name
+from repro.core.unidirectional import compute_directed_cds
+from repro.energy.battery import BatteryBank
+from repro.energy.models import drain_model_by_name
+from repro.errors import SimulationError
+from repro.geometry.points import displace
+from repro.geometry.space import BoundaryPolicy, Region2D
+from repro.graphs import bitset
+from repro.graphs.digraph import (
+    heterogeneous_disk_digraph,
+    random_strongly_connected_digraph,
+    strongly_connected,
+)
+from repro.simulation.config import SimulationConfig
+from repro.types import as_generator, RngLike
+
+__all__ = ["DirectedLifespanResult", "DirectedLifespanSimulator"]
+
+
+@dataclass(frozen=True)
+class DirectedLifespanResult:
+    lifespan: int
+    first_dead_host: int | None
+    mean_cds_size: float
+    one_way_arc_fraction: float
+
+
+class DirectedLifespanSimulator:
+    """Roam + directed CDS + drain until the first death."""
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        *,
+        range_spread: float = 0.4,
+        use_rule_k: bool = True,
+        rng: RngLike = None,
+    ):
+        self.config = config
+        self.rng = as_generator(rng)
+        self.scheme = scheme_by_name(config.scheme)
+        self.drain_model = drain_model_by_name(config.drain_model)
+        self.use_rule_k = use_rule_k
+
+        self.view, self.positions, self.ranges = (
+            random_strongly_connected_digraph(
+                config.n_hosts,
+                side=config.side,
+                base_range=config.radius,
+                range_spread=range_spread,
+                rng=self.rng,
+            )
+        )
+        self.bank = BatteryBank(config.n_hosts, initial=config.initial_energy)
+        self.region = Region2D(
+            side=config.side, policy=BoundaryPolicy(config.boundary)
+        )
+
+    def _roam(self) -> None:
+        """One paper-walk step, retried until strong connectivity holds."""
+        cfg = self.config
+        n = cfg.n_hosts
+        before = self.positions.copy()
+        for _ in range(cfg.max_move_retries):
+            moving = self.rng.random(n) >= cfg.stability
+            dirs = self.rng.integers(0, 8, size=n)
+            lengths = self.rng.uniform(cfg.min_step, cfg.max_step, size=n)
+            displace(self.positions, dirs, lengths, self.region, moving=moving)
+            view = heterogeneous_disk_digraph(self.positions, self.ranges)
+            if strongly_connected(view):
+                self.view = view
+                return
+            self.positions[:] = before
+        # all retries failed: hosts freeze this interval
+        self.view = heterogeneous_disk_digraph(self.positions, self.ranges)
+
+    def run(self) -> DirectedLifespanResult:
+        cfg = self.config
+        sizes = []
+        oneway = []
+        interval = 0
+        while True:
+            interval += 1
+            energy = self.bank.levels if self.scheme.needs_energy else None
+            gws = compute_directed_cds(
+                self.view, self.scheme, energy=energy,
+                use_rule_k=self.use_rule_k,
+            )
+            n_gw = len(gws)
+            sizes.append(n_gw)
+            arcs = sum(bitset.popcount(m) for m in self.view.out_adj)
+            mutual = sum(
+                bitset.popcount(m) for m in self.view.bidirectional_core()
+            )
+            oneway.append(1.0 - mutual / arcs if arcs else 0.0)
+
+            drains = np.full(cfg.n_hosts, cfg.non_gateway_drain)
+            if n_gw:
+                d = self.drain_model.gateway_drain(cfg.n_hosts, n_gw)
+                for v in gws:
+                    drains[v] = d
+            self.bank.drain(drains)
+            if self.bank.any_dead():
+                break
+            if cfg.max_intervals is not None and interval >= cfg.max_intervals:
+                raise SimulationError(
+                    f"no death within max_intervals={cfg.max_intervals}"
+                )
+            self._roam()
+        return DirectedLifespanResult(
+            lifespan=interval,
+            first_dead_host=self.bank.first_death(),
+            mean_cds_size=float(np.mean(sizes)),
+            one_way_arc_fraction=float(np.mean(oneway)),
+        )

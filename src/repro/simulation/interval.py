@@ -1,0 +1,99 @@
+"""One update interval of the paper's simulation loop (§4 step 2-3).
+
+Sequence within an interval:
+
+1. snapshot the topology and compute the CDS under the configured scheme
+   (for the EL schemes the *current* battery levels feed the priority key —
+   this is the dynamic selection the paper proposes);
+2. drain energy: gateways lose ``d`` (drain model), others ``d' = 1``;
+3. if nobody died, roam hosts for the next interval.
+
+Kept as a free function so the lifespan simulator, the examples, and the
+tests can all drive single intervals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.cds import CDSResult, compute_cds
+from repro.core.priority import PriorityScheme
+from repro.energy.accounting import EnergyAccountant, IntervalDrainRecord
+from repro.graphs.adhoc import AdHocNetwork
+from repro.mobility.manager import MobilityManager
+from repro.simulation.metrics import IntervalMetrics
+
+__all__ = ["IntervalOutcome", "run_interval"]
+
+
+@dataclass(frozen=True)
+class IntervalOutcome:
+    """Everything one interval produced."""
+
+    cds: CDSResult
+    drain: IntervalDrainRecord
+    metrics: IntervalMetrics
+    someone_died: bool
+
+
+def run_interval(
+    network: AdHocNetwork,
+    scheme: PriorityScheme,
+    accountant: EnergyAccountant,
+    mobility: MobilityManager | None,
+    *,
+    interval_index: int,
+    fixed_point: bool = False,
+    verify: bool = False,
+    cds_fn=None,
+) -> IntervalOutcome:
+    """Execute one update interval; moves hosts only if nobody died.
+
+    ``cds_fn(adjacency, energy_levels) -> gateway bitmask`` replaces the
+    paper's pipeline when given (oracle/baseline comparisons).
+    """
+    if cds_fn is not None:
+        from repro.core.reduction import PruneStats
+        from repro.graphs import bitset
+
+        snap = network.snapshot()
+        mask = cds_fn(list(snap.adjacency), accountant.bank.levels)
+        size = bitset.popcount(mask)
+        cds = CDSResult(
+            scheme="custom",
+            gateway_mask=mask,
+            n=snap.n,
+            stats=PruneStats(size, 0, 0, 0),
+        )
+        if verify and mask:
+            from repro.core.properties import verify_cds
+
+            verify_cds(snap.adjacency, mask, context="cds_fn")
+    else:
+        energy = accountant.bank.levels if scheme.needs_energy else None
+        cds = compute_cds(
+            network.snapshot(),
+            scheme,
+            energy=energy,
+            fixed_point=fixed_point,
+            verify=verify,
+        )
+    drain = accountant.apply(cds.gateway_mask)
+    someone_died = bool(drain.died) or accountant.bank.any_dead()
+
+    topology_changed = False
+    if not someone_died and mobility is not None:
+        topology_changed = mobility.step()
+
+    metrics = IntervalMetrics(
+        interval=interval_index,
+        cds_size=cds.size,
+        gateway_drain=drain.gateway_drain,
+        min_energy_after=drain.min_level_after,
+        topology_changed=topology_changed,
+        removed_rule1=cds.stats.removed_rule1,
+        removed_rule2=cds.stats.removed_rule2,
+    )
+    return IntervalOutcome(
+        cds=cds, drain=drain, metrics=metrics, someone_died=someone_died
+    )

@@ -1,0 +1,88 @@
+"""Metric records produced by the simulator.
+
+``IntervalMetrics`` is the per-interval row (the paper records gateway
+counts per interval for Figure 10 and counts intervals for Figures 11-13);
+``TrialMetrics`` aggregates one lifespan run.  Both are plain frozen
+dataclasses so they serialize trivially (:mod:`repro.io.traces`) and
+cross process boundaries cheaply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["IntervalMetrics", "TrialMetrics"]
+
+
+@dataclass(frozen=True)
+class IntervalMetrics:
+    """One update interval's observations."""
+
+    interval: int
+    cds_size: int
+    gateway_drain: float
+    min_energy_after: float
+    topology_changed: bool
+    removed_rule1: int
+    removed_rule2: int
+
+
+@dataclass(frozen=True)
+class TrialMetrics:
+    """One lifespan trial's summary.
+
+    ``lifespan`` is the paper's metric: the number of completed update
+    intervals when the first host runs out of battery.
+    """
+
+    lifespan: int
+    mean_cds_size: float
+    first_dead_host: int | None
+    total_gateway_drain: float
+    total_non_gateway_drain: float
+    frozen_intervals: int
+    energy_std_at_death: float
+    #: Jain fairness of per-host gateway duty (1.0 = duty spread evenly —
+    #: the "balanced consumption" the power-aware schemes aim for).
+    gateway_duty_jain: float = 1.0
+    #: per-host fraction of intervals served as gateway.
+    gateway_duty: tuple[float, ...] = field(default=(), repr=False)
+    intervals: tuple[IntervalMetrics, ...] = field(default=(), repr=False)
+
+    @staticmethod
+    def summarize(
+        records: list[IntervalMetrics],
+        *,
+        first_dead_host: int | None,
+        total_gateway_drain: float,
+        total_non_gateway_drain: float,
+        frozen_intervals: int,
+        final_levels: np.ndarray,
+        keep_intervals: bool,
+        gateway_counts: np.ndarray | None = None,
+    ) -> "TrialMetrics":
+        from repro.analysis.fairness import duty_fractions, jain_index
+
+        sizes = [r.cds_size for r in records]
+        duty: tuple[float, ...] = ()
+        duty_jain = 1.0
+        if gateway_counts is not None and records:
+            fractions = duty_fractions(gateway_counts, len(records))
+            duty = tuple(float(f) for f in fractions)
+            duty_jain = jain_index(gateway_counts)
+        return TrialMetrics(
+            lifespan=len(records),
+            mean_cds_size=float(np.mean(sizes)) if sizes else 0.0,
+            first_dead_host=first_dead_host,
+            total_gateway_drain=total_gateway_drain,
+            total_non_gateway_drain=total_non_gateway_drain,
+            frozen_intervals=frozen_intervals,
+            energy_std_at_death=(
+                float(np.std(final_levels)) if len(final_levels) else 0.0
+            ),
+            gateway_duty_jain=duty_jain,
+            gateway_duty=duty,
+            intervals=tuple(records) if keep_intervals else (),
+        )

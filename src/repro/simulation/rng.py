@@ -1,0 +1,35 @@
+"""Reproducible random-stream management.
+
+Multi-trial experiments need statistically independent streams per trial
+(so parallel workers do not correlate) that are reproducible from one root
+seed.  NumPy's ``SeedSequence.spawn`` provides exactly this; these helpers
+standardize its use across the runner and the benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["spawn_seeds", "spawn_generators", "generator_for_trial"]
+
+
+def spawn_seeds(root_seed: int | None, count: int) -> list[np.random.SeedSequence]:
+    """``count`` independent child seed sequences from one root."""
+    return np.random.SeedSequence(root_seed).spawn(count)
+
+
+def spawn_generators(root_seed: int | None, count: int) -> list[np.random.Generator]:
+    """``count`` independent Generators from one root seed."""
+    return [np.random.default_rng(s) for s in spawn_seeds(root_seed, count)]
+
+
+def generator_for_trial(root_seed: int | None, trial: int) -> np.random.Generator:
+    """The trial-th child stream, derivable without materializing others.
+
+    ``SeedSequence(root, spawn_key=(trial,))`` equals the trial-th child of
+    ``SeedSequence(root).spawn(...)`` — this lets distributed workers
+    construct only their own stream.
+    """
+    return np.random.default_rng(
+        np.random.SeedSequence(root_seed, spawn_key=(trial,))
+    )

@@ -1,0 +1,68 @@
+"""Multi-trial fan-out: repeat lifespan trials over independent streams.
+
+Experiments average many trials per (N, scheme, drain-model) cell.  Trials
+are embarrassingly parallel, so the runner maps them over a process pool
+(``multiprocessing``; the work is pure Python/NumPy compute, so threads
+would serialize on the GIL).  Each trial gets its own
+``SeedSequence(root, spawn_key=(trial,))`` stream — workers never share
+random state, and any single trial can be re-run in isolation for
+debugging by reusing its (root_seed, trial index) pair.
+
+Set ``processes=1`` (or leave ``parallel=False``) for deterministic
+in-process execution — useful under pytest-benchmark where process
+spawn overhead would dominate.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+from dataclasses import dataclass
+
+from repro.simulation.config import SimulationConfig
+from repro.simulation.lifespan import LifespanSimulator
+from repro.simulation.metrics import TrialMetrics
+from repro.simulation.rng import generator_for_trial
+
+__all__ = ["TrialRunner", "run_trials"]
+
+
+def _run_one(args: tuple[SimulationConfig, int | None, int]) -> TrialMetrics:
+    config, root_seed, trial = args
+    sim = LifespanSimulator(config, rng=generator_for_trial(root_seed, trial))
+    return sim.run().metrics
+
+
+@dataclass(frozen=True)
+class TrialRunner:
+    """Reusable runner bound to a root seed and a process budget."""
+
+    root_seed: int | None = None
+    processes: int | None = None  # None = os.cpu_count()
+
+    def run(
+        self, config: SimulationConfig, trials: int, *, parallel: bool = True
+    ) -> list[TrialMetrics]:
+        """Execute ``trials`` independent lifespan runs of ``config``."""
+        jobs = [(config, self.root_seed, t) for t in range(trials)]
+        procs = self.processes or os.cpu_count() or 1
+        if not parallel or procs <= 1 or trials <= 1:
+            return [_run_one(j) for j in jobs]
+        # fork is fine here: workers only compute, no inherited locks used
+        ctx = mp.get_context("fork" if hasattr(os, "fork") else "spawn")
+        with ctx.Pool(min(procs, trials)) as pool:
+            return pool.map(_run_one, jobs)
+
+
+def run_trials(
+    config: SimulationConfig,
+    trials: int,
+    *,
+    root_seed: int | None = None,
+    processes: int | None = None,
+    parallel: bool = True,
+) -> list[TrialMetrics]:
+    """Functional one-shot form of :class:`TrialRunner`."""
+    return TrialRunner(root_seed=root_seed, processes=processes).run(
+        config, trials, parallel=parallel
+    )

@@ -1,0 +1,81 @@
+"""Shared type aliases and lightweight protocols used across subpackages.
+
+The library standardizes on *dense integer node ids*: a topology over ``n``
+hosts always uses ids ``0..n-1``.  The paper's figures use 1-based labels;
+:func:`repro.graphs.generators.paper_example_graph` keeps a label map for
+display, but every algorithm operates on the dense ids.  Dense ids are what
+make the bitset neighborhood representation (:mod:`repro.graphs.bitset`) and
+vectorized energy accounting possible.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+__all__ = [
+    "NodeId",
+    "EdgeList",
+    "AdjacencyBitsets",
+    "PositionArray",
+    "EnergyArray",
+    "RngLike",
+    "SupportsNeighborhoods",
+]
+
+#: A node identifier.  Always a dense integer in ``range(n)``.
+NodeId = int
+
+#: An iterable of undirected edges ``(u, v)``.
+EdgeList = Iterable[tuple[int, int]]
+
+#: Per-node neighborhoods encoded as Python-int bitmasks: bit ``j`` of
+#: ``adj[i]`` is set iff ``{i, j}`` is an edge.  Self-bits are never set.
+AdjacencyBitsets = Sequence[int]
+
+#: ``(n, 2)`` float64 array of host positions in the 2-D region.
+PositionArray = np.ndarray
+
+#: ``(n,)`` float64 array of remaining energy levels.
+EnergyArray = np.ndarray
+
+#: Anything accepted as a random source: a seed or a Generator.
+RngLike = int | np.random.Generator | None
+
+
+@runtime_checkable
+class SupportsNeighborhoods(Protocol):
+    """Minimal graph interface consumed by the CDS algorithms.
+
+    Both :class:`repro.graphs.adhoc.AdHocNetwork` and plain
+    :class:`repro.graphs.neighborhoods.NeighborhoodView` satisfy this.
+    """
+
+    @property
+    def n(self) -> int:
+        """Number of hosts (node ids are ``0..n-1``)."""
+        ...
+
+    @property
+    def adjacency(self) -> Sequence[int]:
+        """Open-neighborhood bitmask per node (see :data:`AdjacencyBitsets`)."""
+        ...
+
+
+def as_generator(rng: RngLike) -> np.random.Generator:
+    """Coerce ``rng`` (seed, Generator, or None) into a Generator.
+
+    Passing a Generator through unchanged lets callers share one stream;
+    passing an int gives a reproducible independent stream.
+    """
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def node_labels(mapping: Mapping[int, object] | None, ids: Iterable[int]) -> list[object]:
+    """Map dense ids back to display labels (identity when no mapping)."""
+    if mapping is None:
+        return list(ids)
+    return [mapping.get(i, i) for i in ids]

@@ -1,0 +1,92 @@
+"""Fairness metric tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.fairness import duty_fractions, gini, jain_index
+from repro.simulation.config import SimulationConfig
+from repro.simulation.runner import run_trials
+
+
+class TestJain:
+    def test_equal_values_are_perfectly_fair(self):
+        assert jain_index([3.0, 3.0, 3.0]) == pytest.approx(1.0)
+
+    def test_single_worker_is_one_over_n(self):
+        assert jain_index([10.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_scale_invariant(self):
+        a = [1.0, 2.0, 3.0]
+        b = [10.0, 20.0, 30.0]
+        assert jain_index(a) == pytest.approx(jain_index(b))
+
+    def test_all_zero_counts_as_fair(self):
+        assert jain_index([0.0, 0.0]) == 1.0
+
+    def test_empty(self):
+        assert jain_index([]) == 1.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            jain_index([1.0, -1.0])
+
+
+class TestGini:
+    def test_equal_values_zero(self):
+        assert gini([5.0, 5.0, 5.0]) == pytest.approx(0.0)
+
+    def test_concentration_increases_gini(self):
+        spread = gini([1.0, 1.0, 1.0, 1.0])
+        tight = gini([4.0, 0.0, 0.0, 0.0])
+        assert tight > spread
+
+    def test_bounds(self):
+        g = gini([9.0, 1.0, 0.0, 5.0])
+        assert 0.0 <= g < 1.0
+
+    def test_empty_and_zero(self):
+        assert gini([]) == 0.0
+        assert gini([0.0, 0.0]) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            gini([-1.0])
+
+
+class TestDutyFractions:
+    def test_basic(self):
+        out = duty_fractions([5, 0, 10], 10)
+        np.testing.assert_allclose(out, [0.5, 0.0, 1.0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            duty_fractions([1], 0)
+        with pytest.raises(ValueError):
+            duty_fractions([11], 10)
+        with pytest.raises(ValueError):
+            duty_fractions([-1], 10)
+
+
+class TestDutyInSimulation:
+    def test_duty_recorded_per_host(self):
+        cfg = SimulationConfig(n_hosts=15, scheme="nd", drain_model="fixed")
+        m = run_trials(cfg, 1, root_seed=2, parallel=False)[0]
+        assert len(m.gateway_duty) == 15
+        assert all(0.0 <= d <= 1.0 for d in m.gateway_duty)
+        assert 0.0 < m.gateway_duty_jain <= 1.0
+
+    def test_el_rotation_is_fairer_than_static_id(self):
+        """The paper's 'balanced consumption' goal, quantified: energy-
+        aware selection spreads gateway duty more evenly."""
+        jains = {}
+        for scheme in ("id", "el1"):
+            cfg = SimulationConfig(
+                n_hosts=30, scheme=scheme, drain_model="fixed"
+            )
+            ms = run_trials(cfg, 5, root_seed=3, parallel=False)
+            jains[scheme] = float(
+                np.mean([m.gateway_duty_jain for m in ms])
+            )
+        assert jains["el1"] > jains["id"]

@@ -1,0 +1,128 @@
+"""Network renderer and sensitivity sweep tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.netview import render_network
+from repro.analysis.sweeps import sweep_parameter, sweep_radius
+from repro.errors import ConfigurationError
+from repro.graphs import bitset
+from repro.simulation.config import SimulationConfig
+
+
+class TestNetview:
+    POS = np.array([[10.0, 10.0], [50.0, 50.0], [90.0, 90.0]])
+
+    def test_hosts_and_gateways_rendered(self):
+        out = render_network(self.POS, 100.0, gateway_mask=0b010)
+        assert out.count("#") == 1
+        assert out.count("o") == 2
+
+    def test_inactive_hosts_are_dots(self):
+        out = render_network(
+            self.POS, 100.0, active=np.array([True, False, True])
+        )
+        assert out.count(".") == 1
+        assert out.count("o") == 2
+
+    def test_grid_size_controls_canvas(self):
+        out = render_network(self.POS, 100.0, grid=10)
+        lines = out.splitlines()
+        assert len(lines) == 12  # 10 rows + 2 borders
+        assert all(len(l) == 12 for l in lines)
+
+    def test_backbone_links_marked(self):
+        pos = np.array([[10.0, 50.0], [90.0, 50.0]])
+        adj = [0b10, 0b01]
+        out = render_network(
+            pos, 100.0, gateway_mask=0b11,
+            show_backbone_links=True, adjacency=adj,
+        )
+        assert "+" in out.replace("+-", "").replace("-+", "")
+
+    def test_links_require_adjacency(self):
+        with pytest.raises(ConfigurationError, match="adjacency"):
+            render_network(self.POS, 100.0, show_backbone_links=True)
+
+    def test_tiny_grid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            render_network(self.POS, 100.0, grid=1)
+
+    def test_out_of_region_points_clamped_onto_canvas(self):
+        pos = np.array([[150.0, -20.0]])
+        out = render_network(pos, 100.0)
+        assert out.count("o") == 1
+
+
+class TestSweeps:
+    @pytest.fixture(scope="class")
+    def radius_sweep(self):
+        base = SimulationConfig(n_hosts=12, drain_model="fixed")
+        return sweep_radius(
+            (25.0, 40.0), base=base, schemes=["id", "el1"],
+            trials=3, root_seed=5, parallel=False,
+        )
+
+    def test_structure(self, radius_sweep):
+        assert radius_sweep.knob == "radius"
+        assert radius_sweep.values == (25.0, 40.0)
+        assert set(radius_sweep.series) == {"id", "el1"}
+        assert len(radius_sweep.series["id"]) == 2
+
+    def test_means_and_table(self, radius_sweep):
+        assert all(m >= 1.0 for m in radius_sweep.means("el1"))
+        table = radius_sweep.to_table()
+        assert "radius" in table and "EL1" in table
+
+    def test_generic_knob(self):
+        base = SimulationConfig(n_hosts=10, drain_model="fixed")
+        out = sweep_parameter(
+            "initial_energy", (50.0, 100.0), base=base,
+            schemes=["id"], trials=2, root_seed=1, parallel=False,
+        )
+        # doubling the battery roughly doubles the lifespan
+        lo, hi = out.means("id")
+        assert hi > lo * 1.5
+
+
+class TestReport:
+    def test_collects_existing_sections(self, tmp_path):
+        from repro.analysis.report import collect_report, write_report
+
+        (tmp_path / "figure10.txt").write_text("TABLE10\n")
+        (tmp_path / "extension_churn.txt").write_text("CHURN\n")
+        report = collect_report(tmp_path)
+        assert "TABLE10" in report and "CHURN" in report
+        assert "Figure 10" in report
+        assert "Not yet generated" in report  # other sections missing
+
+    def test_write_report_default_location(self, tmp_path):
+        from repro.analysis.report import write_report
+
+        (tmp_path / "figure10.txt").write_text("X\n")
+        out = write_report(tmp_path)
+        assert out.name == "REPORT.md"
+        assert "X" in out.read_text()
+
+    def test_complete_results_have_no_missing_section(self, tmp_path):
+        from repro.analysis.report import _SECTIONS, collect_report
+
+        for _, stem in _SECTIONS:
+            (tmp_path / f"{stem}.txt").write_text("data\n")
+        report = collect_report(tmp_path)
+        assert "Not yet generated" not in report
+
+
+class TestStabilitySweep:
+    def test_sweep_stability_runs(self):
+        from repro.analysis.sweeps import sweep_stability
+
+        base = SimulationConfig(n_hosts=10, drain_model="fixed")
+        out = sweep_stability(
+            (0.3, 0.7), base=base, schemes=["id"], trials=2,
+            root_seed=4, parallel=False,
+        )
+        assert out.knob == "stability"
+        assert len(out.means("id")) == 2

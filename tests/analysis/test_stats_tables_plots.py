@@ -1,0 +1,108 @@
+"""Analysis layer tests: stats, table rendering, ASCII charts."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.plots import ascii_chart
+from repro.analysis.stats import bootstrap_ci, summarize, welch_t
+from repro.analysis.tables import render_table
+
+
+class TestSummarize:
+    def test_basic_moments(self):
+        s = summarize([2.0, 4.0, 6.0])
+        assert s.n == 3
+        assert s.mean == pytest.approx(4.0)
+        assert s.std == pytest.approx(2.0)
+        assert s.sem == pytest.approx(2.0 / math.sqrt(3))
+        assert (s.minimum, s.maximum) == (2.0, 6.0)
+
+    def test_single_value(self):
+        s = summarize([5.0])
+        assert (s.mean, s.std, s.sem) == (5.0, 0.0, 0.0)
+
+    def test_empty_is_nan(self):
+        s = summarize([])
+        assert s.n == 0 and math.isnan(s.mean)
+
+    def test_str_format(self):
+        assert "±" in str(summarize([1.0, 2.0]))
+
+
+class TestBootstrap:
+    def test_ci_brackets_mean(self):
+        data = list(np.random.default_rng(0).normal(10, 2, 200))
+        lo, hi = bootstrap_ci(data, rng=1)
+        assert lo < 10.5 and hi > 9.5 and lo < hi
+
+    def test_degenerate_inputs(self):
+        assert bootstrap_ci([7.0]) == (7.0, 7.0)
+        lo, hi = bootstrap_ci([])
+        assert math.isnan(lo) and math.isnan(hi)
+
+    def test_reproducible_with_seed(self):
+        data = [1.0, 2.0, 3.0, 4.0]
+        assert bootstrap_ci(data, rng=5) == bootstrap_ci(data, rng=5)
+
+
+class TestWelch:
+    def test_sign_follows_means(self):
+        a = [10.0, 11.0, 9.0, 10.5]
+        b = [5.0, 6.0, 4.0, 5.5]
+        assert welch_t(a, b) > 0
+        assert welch_t(b, a) < 0
+
+    def test_small_samples_nan(self):
+        assert math.isnan(welch_t([1.0], [2.0, 3.0]))
+
+    def test_identical_constant_samples(self):
+        assert welch_t([3.0, 3.0], [3.0, 3.0]) == 0.0
+
+
+class TestTables:
+    def test_rows_align_and_floats_format(self):
+        out = render_table(
+            ["N", "ID"], [[10, 3.14159], [100, 2.0]], title="demo"
+        )
+        lines = out.splitlines()
+        assert lines[0] == "demo"
+        assert "3.14" in out and "3.14159" not in out
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1  # fully aligned
+
+    def test_empty_rows(self):
+        out = render_table(["A"], [])
+        assert "A" in out
+
+
+class TestAsciiChart:
+    def test_contains_legend_and_markers(self):
+        out = ascii_chart(
+            [1, 2, 3],
+            {"up": [1.0, 2.0, 3.0], "down": [3.0, 2.0, 1.0]},
+            title="t",
+        )
+        assert "legend" in out and "o=up" in out and "x=down" in out
+        assert out.count("o") >= 3
+
+    def test_constant_series_does_not_crash(self):
+        out = ascii_chart([1, 2], {"flat": [5.0, 5.0]})
+        assert "flat" in out
+
+    def test_nan_points_skipped(self):
+        out = ascii_chart([1, 2, 3], {"s": [1.0, float("nan"), 3.0]})
+        grid = "\n".join(l for l in out.splitlines() if "|" in l)
+        assert grid.count("o") == 2  # the NaN middle point is dropped
+
+    def test_empty_series(self):
+        assert ascii_chart([], {}, title="empty") == "empty"
+
+    def test_axis_labels_present(self):
+        out = ascii_chart(
+            [0, 10], {"s": [0.0, 1.0]}, xlabel="N", ylabel="life"
+        )
+        assert "N" in out and "life" in out

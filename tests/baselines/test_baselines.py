@@ -1,0 +1,174 @@
+"""Baseline CDS algorithms: validity, size, and edge cases."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    connected_greedy_ds,
+    greedy_dominating_set,
+    guha_khuller_cds,
+    mis_cds,
+    pieces_cds,
+)
+from repro.baselines.mis_cds import maximal_independent_set
+from repro.core.cds import compute_cds
+from repro.core.properties import is_cds, is_dominating
+from repro.errors import DisconnectedGraphError
+from repro.graphs import bitset
+from repro.graphs.generators import (
+    clique,
+    cycle_graph,
+    from_edges,
+    path_graph,
+    random_gnp_connected,
+    star_graph,
+)
+
+CDS_ALGOS = [guha_khuller_cds, pieces_cds, mis_cds, connected_greedy_ds]
+
+
+class TestValidityOnStructuredGraphs:
+    @pytest.mark.parametrize("algo", CDS_ALGOS)
+    def test_path(self, algo):
+        g = path_graph(7)
+        assert is_cds(g.adjacency, algo(g.adjacency))
+
+    @pytest.mark.parametrize("algo", CDS_ALGOS)
+    def test_cycle(self, algo):
+        g = cycle_graph(9)
+        assert is_cds(g.adjacency, algo(g.adjacency))
+
+    @pytest.mark.parametrize("algo", CDS_ALGOS)
+    def test_star_uses_only_center(self, algo):
+        g = star_graph(8)
+        assert algo(g.adjacency) == {0}
+
+    @pytest.mark.parametrize("algo", CDS_ALGOS)
+    def test_clique_single_node(self, algo):
+        g = clique(6)
+        result = algo(g.adjacency)
+        assert len(result) == 1
+        assert is_cds(g.adjacency, result)
+
+    @pytest.mark.parametrize("algo", CDS_ALGOS)
+    def test_trivial_sizes(self, algo):
+        assert algo([]) == set()
+        assert algo([0b0]) == {0} or algo([0b0]) == set()  # single node
+
+    @pytest.mark.parametrize("algo", CDS_ALGOS)
+    def test_disconnected_rejected(self, algo):
+        g = from_edges(4, [(0, 1), (2, 3)])
+        with pytest.raises(DisconnectedGraphError):
+            algo(g.adjacency)
+
+
+class TestValidityOnRandomGraphs:
+    @pytest.mark.parametrize("algo", CDS_ALGOS)
+    def test_random_graphs(self, algo, random_graphs):
+        for g, _ in random_graphs:
+            assert is_cds(g.adjacency, algo(g.adjacency))
+
+
+class TestQuality:
+    def test_greedy_sets_are_small_on_paths(self):
+        # the optimum CDS of P_n has n-2 nodes; greedy must match it
+        g = path_graph(10)
+        assert len(guha_khuller_cds(g.adjacency)) == 8
+
+    def test_centralized_greedy_beats_or_ties_marking_process(self, random_graphs):
+        """The intro's trade-off: global greedy finds smaller sets than the
+        local marking process without rules."""
+        wins = ties = losses = 0
+        for g, _ in random_graphs:
+            nr = compute_cds(g, "nr").size
+            gk = len(guha_khuller_cds(g.adjacency))
+            if gk < nr:
+                wins += 1
+            elif gk == nr:
+                ties += 1
+            else:
+                losses += 1
+        assert wins + ties > losses
+
+    def test_pieces_is_competitive_with_tree_growth(self, random_graphs):
+        total_pieces = total_gk = 0
+        for g, _ in random_graphs:
+            total_pieces += len(pieces_cds(g.adjacency))
+            total_gk += len(guha_khuller_cds(g.adjacency))
+        assert total_pieces <= total_gk * 1.5
+
+
+class TestGreedyDominatingSet:
+    def test_dominates_but_may_disconnect(self):
+        g = cycle_graph(9)
+        ds = greedy_dominating_set(g.adjacency)
+        assert is_dominating(g.adjacency, ds)
+
+    def test_connected_variant_is_superset(self, random_graphs):
+        for g, _ in random_graphs[:6]:
+            ds = greedy_dominating_set(g.adjacency)
+            cds = connected_greedy_ds(g.adjacency)
+            assert ds <= cds
+
+    def test_empty_graph(self):
+        assert greedy_dominating_set([]) == set()
+
+
+class TestMIS:
+    def test_mis_is_independent_and_maximal(self, random_graphs):
+        for g, _ in random_graphs[:8]:
+            mis = maximal_independent_set(g.adjacency)
+            mask = bitset.mask_from_ids(mis)
+            for v in mis:
+                assert not g.adjacency[v] & mask  # independent
+            for v in range(g.n):
+                # maximal: every outsider has a neighbor inside
+                assert (mask >> v & 1) or (g.adjacency[v] & mask)
+
+    def test_custom_order_changes_selection(self):
+        g = path_graph(4)
+        by_id = maximal_independent_set(g.adjacency)
+        reversed_order = maximal_independent_set(g.adjacency, order=[3, 2, 1, 0])
+        assert by_id == {0, 2} or by_id == {0, 3}
+        assert reversed_order != by_id
+
+
+class TestEnergyAwareGreedy:
+    def test_produces_valid_cds(self, random_graphs):
+        from repro.baselines.energy_greedy import energy_aware_greedy_cds
+
+        for g, energy in random_graphs[:10]:
+            mask = energy_aware_greedy_cds(g.adjacency, energy)
+            assert is_cds(g.adjacency, mask)
+
+    def test_prefers_high_energy_on_ties(self):
+        from repro.baselines.energy_greedy import energy_aware_greedy_cds
+
+        # 4-cycle: every node covers the same amount; energy decides
+        g = cycle_graph(4)
+        mask = energy_aware_greedy_cds(g.adjacency, [1.0, 9.0, 1.0, 2.0])
+        assert mask >> 1 & 1  # the high-energy node is picked first
+
+    def test_trivial_graphs(self):
+        from repro.baselines.energy_greedy import energy_aware_greedy_cds
+
+        assert energy_aware_greedy_cds([], []) == 0
+        assert energy_aware_greedy_cds([0], [5.0]) == 1
+
+    def test_disconnected_rejected(self):
+        from repro.baselines.energy_greedy import energy_aware_greedy_cds
+
+        g = from_edges(4, [(0, 1), (2, 3)])
+        with pytest.raises(DisconnectedGraphError):
+            energy_aware_greedy_cds(g.adjacency, [1.0] * 4)
+
+    def test_plugs_into_lifespan_simulator(self):
+        from repro.baselines.energy_greedy import energy_aware_greedy_cds
+        from repro.simulation.config import SimulationConfig
+        from repro.simulation.lifespan import LifespanSimulator
+
+        cfg = SimulationConfig(n_hosts=12, scheme="id", drain_model="fixed")
+        r = LifespanSimulator(cfg, rng=5, cds_fn=energy_aware_greedy_cds).run()
+        assert r.lifespan >= 1

@@ -1,0 +1,44 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import (
+    paper_example_graph,
+    random_connected_network,
+    random_gnp_connected,
+)
+
+
+@pytest.fixture(scope="session")
+def paper_example():
+    """The reconstructed §3.3 worked example (27 nodes, Figures 5–9)."""
+    return paper_example_graph()
+
+
+@pytest.fixture()
+def rng():
+    """Fresh deterministic generator per test."""
+    return np.random.default_rng(0xC0FFEE)
+
+
+@pytest.fixture(scope="session")
+def random_graphs():
+    """A pool of small random connected (graph, energy) pairs reused by
+    invariants tests — generated once per session for speed."""
+    gen = np.random.default_rng(20010905)
+    pool = []
+    for n in (5, 8, 12, 16, 24):
+        for _ in range(4):
+            g = random_gnp_connected(n, min(1.0, 2.5 / np.sqrt(n)), rng=gen)
+            energy = gen.integers(1, 6, size=n).astype(float)
+            pool.append((g, energy))
+    return pool
+
+
+@pytest.fixture(scope="session")
+def small_network():
+    """One 25-host geometric network with the paper's parameters."""
+    return random_connected_network(25, rng=7)

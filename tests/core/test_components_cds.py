@@ -1,0 +1,76 @@
+"""Per-component CDS tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.cds import compute_cds
+from repro.core.components_cds import compute_cds_per_component
+from repro.core.properties import induced_connected
+from repro.graphs import bitset
+from repro.graphs.generators import from_edges, path_graph, random_gnp_connected
+from repro.graphs.subgraphs import active_components, is_dominating_over
+
+
+def two_islands():
+    """Two 4-paths with no inter-island edges."""
+    return from_edges(
+        8, [(0, 1), (1, 2), (2, 3), (4, 5), (5, 6), (6, 7)]
+    )
+
+
+class TestDisconnectedGraphs:
+    def test_union_of_island_backbones(self):
+        g = two_islands()
+        mask = compute_cds_per_component(g, "id")
+        assert set(bitset.ids_from_mask(mask)) == {1, 2, 5, 6}
+
+    def test_connected_graph_matches_plain_pipeline(self, random_graphs):
+        for g, energy in random_graphs[:8]:
+            per_comp = compute_cds_per_component(g, "nd", energy=energy)
+            plain = compute_cds(g, "nd", energy=energy).gateway_mask
+            assert per_comp == plain
+
+    def test_singletons_and_pairs_need_no_gateway(self):
+        g = from_edges(4, [(0, 1)])  # a pair plus two isolated hosts
+        assert compute_cds_per_component(g, "id") == 0
+
+    def test_each_component_backbone_is_connected_and_dominating(self):
+        rng = np.random.default_rng(9)
+        for _ in range(10):
+            a = random_gnp_connected(6, 0.4, rng=rng)
+            b = random_gnp_connected(7, 0.4, rng=rng)
+            # merge disjointly: island b shifted by 6 ids
+            adj = list(a.adjacency) + [m << 6 for m in b.adjacency]
+            mask = compute_cds_per_component(adj, "id")
+            for comp in active_components(adj, (1 << 13) - 1):
+                comp_gw = mask & comp
+                if bitset.popcount(comp) <= 2:
+                    assert comp_gw == 0
+                    continue
+                assert is_dominating_over(adj, comp_gw, comp)
+                assert induced_connected(adj, comp_gw)
+
+
+class TestActiveMask:
+    def test_off_hosts_are_ignored(self):
+        g = path_graph(5)
+        # switching off host 2 splits the path into two pairs
+        mask = compute_cds_per_component(
+            g, "id", active_mask=bitset.mask_from_ids({0, 1, 3, 4})
+        )
+        assert mask == 0  # pairs need no gateway
+
+    def test_active_component_gets_backbone(self):
+        g = path_graph(6)
+        active = bitset.mask_from_ids({0, 1, 2, 3})
+        mask = compute_cds_per_component(g, "id", active_mask=active)
+        assert set(bitset.ids_from_mask(mask)) == {1, 2}
+
+    def test_energy_keys_respected(self):
+        g = two_islands()
+        # equal-shape islands; energies decide which end survives pruning
+        energy = [1.0, 5.0, 2.0, 1.0, 1.0, 5.0, 2.0, 1.0]
+        mask = compute_cds_per_component(g, "el1", energy=energy)
+        assert set(bitset.ids_from_mask(mask)) == {1, 2, 5, 6}

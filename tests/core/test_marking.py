@@ -1,0 +1,76 @@
+"""Marking process unit tests on structured topologies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.marking import marked_set, marking_process, node_is_marked
+from repro.graphs.generators import (
+    clique,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    star_graph,
+)
+
+
+class TestPathsAndCycles:
+    def test_path_marks_all_interior_nodes(self):
+        g = path_graph(6)
+        assert marked_set(g) == {1, 2, 3, 4}
+
+    def test_two_node_path_marks_nobody(self):
+        # adjacent hosts talk directly; no gateway needed
+        assert marked_set(path_graph(2)) == set()
+
+    def test_single_node_marks_nobody(self):
+        assert marked_set(path_graph(1)) == set()
+
+    def test_cycle_marks_everyone(self):
+        # every node has two non-adjacent neighbors on a >= 4 cycle
+        assert marked_set(cycle_graph(5)) == {0, 1, 2, 3, 4}
+
+    def test_triangle_marks_nobody(self):
+        # a 3-cycle is complete: all neighbor pairs connected
+        assert marked_set(cycle_graph(3)) == set()
+
+
+class TestCliquesAndStars:
+    @pytest.mark.parametrize("n", [3, 4, 7])
+    def test_clique_marks_nobody(self, n):
+        assert marked_set(clique(n)) == set()
+
+    def test_star_marks_only_center(self):
+        assert marked_set(star_graph(6)) == {0}
+
+    def test_star_of_two_is_an_edge(self):
+        assert marked_set(star_graph(2)) == set()
+
+
+class TestGrid:
+    def test_grid_corner_not_marked_when_diagonal_missing(self):
+        # 2x2 grid = 4-cycle: everyone marked
+        assert marked_set(grid_graph(2, 2)) == {0, 1, 2, 3}
+
+    def test_grid_3x3_marks_everything(self):
+        # all 4-neighborhoods on a grid contain non-adjacent pairs
+        assert marked_set(grid_graph(3, 3)) == set(range(9))
+
+
+class TestVectorAPI:
+    def test_marking_process_returns_aligned_vector(self):
+        g = path_graph(4)
+        vec = marking_process(g)
+        assert vec == [False, True, True, False]
+
+    def test_accepts_raw_adjacency(self):
+        g = path_graph(4)
+        assert marking_process(list(g.adjacency)) == marking_process(g)
+
+    def test_node_is_marked_matches_vector(self):
+        g = grid_graph(2, 3)
+        vec = marking_process(g)
+        assert [node_is_marked(g.adjacency, v) for v in range(g.n)] == vec
+
+    def test_empty_graph(self):
+        assert marking_process([]) == []

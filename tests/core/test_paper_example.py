@@ -1,0 +1,212 @@
+"""The paper's §3.3 worked example, executed.
+
+Every claim the paper makes about Figures 6–9 is asserted here against the
+reconstructed 27-node topology.  Labels are 1-based (paper figures);
+``ex.labels`` converts dense ids back.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cds import compute_cds
+from repro.core.marking import marked_set, node_is_marked
+from repro.core.properties import is_cds, shortest_paths_use_gateways
+from repro.core.rules import apply_rule1, apply_rule2
+from repro.core.priority import scheme_by_name
+from repro.graphs import bitset
+
+# expected outcomes, all 1-based labels, derived by hand from the paper
+MARKED = {2, 4, 9, 10, 11, 13, 15, 18, 20, 21, 22, 27}
+FINAL = {
+    "nr": MARKED,
+    "id": {4, 9, 10, 11, 13, 15, 18, 20, 22, 27},
+    "nd": {2, 4, 11, 15, 20, 22},
+    "el1": {4, 9, 11, 15, 20, 22, 27},
+    "el2": {2, 4, 11, 15, 20, 22},
+}
+
+
+def _ids(labels):
+    return {x - 1 for x in labels}
+
+
+class TestReconstructionMatchesPaperText:
+    """The stated neighbor sets of §3.3 hold in the reconstruction."""
+
+    def test_neighbor_sets_of_named_nodes(self, paper_example):
+        g = paper_example.graph
+        nb = lambda label: {u + 1 for u in g.neighbors(label - 1)}
+        assert nb(1) == {2, 4}
+        assert nb(2) == {1, 3, 4, 5, 6, 7, 8, 9}
+        assert nb(4) == {1, 2, 3, 9, 10, 11}
+        assert nb(9) == {2, 4, 5, 6, 7, 8, 10}
+        assert nb(21) == {22, 23, 24}
+        assert nb(22) == {20, 21, 23, 24, 25, 26, 27}
+        assert nb(27) == {22, 25, 26}
+
+    def test_stated_coverage_relations(self, paper_example):
+        adj = paper_example.graph.adjacency
+
+        def open_set(label):
+            return adj[label - 1]
+
+        def closed(label):
+            return adj[label - 1] | (1 << (label - 1))
+
+        # Rule 1 examples: N[21] ⊆ N[22], N[27] ⊆ N[22]
+        assert bitset.is_subset(closed(21), closed(22))
+        assert bitset.is_subset(closed(27), closed(22))
+        # Rule 2 examples around nodes 2, 4, 9
+        assert bitset.is_subset(open_set(2), open_set(4) | open_set(9))
+        assert bitset.is_subset(open_set(9), open_set(2) | open_set(4))
+        assert not bitset.is_subset(open_set(4), open_set(2) | open_set(9))
+        # around 11, 13, 15
+        assert bitset.is_subset(open_set(13), open_set(11) | open_set(15))
+        assert bitset.is_subset(open_set(15), open_set(11) | open_set(13))
+        assert not bitset.is_subset(open_set(11), open_set(13) | open_set(15))
+        # around 11, 18, 20
+        assert bitset.is_subset(open_set(18), open_set(11) | open_set(20))
+        assert not bitset.is_subset(open_set(11), open_set(18) | open_set(20))
+        assert not bitset.is_subset(open_set(20), open_set(11) | open_set(18))
+
+    def test_energy_relations(self, paper_example):
+        el = lambda label: paper_example.energy[label - 1]
+        assert el(21) < el(22)           # Rule 1b removes 21
+        assert el(22) == el(27)          # Rule 1b keeps 27; 1b' removes it
+        assert el(2) == el(9)            # Rule 2b: ID breaks the tie
+        assert el(13) == el(15)          # Rule 2b: ID breaks the tie
+        assert el(18) == min(el(11), el(18), el(20))  # paper's remark
+
+
+class TestMarkingProcess:
+    def test_marked_set_matches_figure(self, paper_example):
+        got = paper_example.labels(marked_set(paper_example.graph))
+        assert got == MARKED
+
+    def test_node_1_unmarked_node_4_marked(self, paper_example):
+        # the paper's §3.3 walkthrough of the marking step
+        adj = paper_example.graph.adjacency
+        assert not node_is_marked(adj, 0)   # node 1: neighbors 2,4 connected
+        assert node_is_marked(adj, 3)       # node 4: 3 and 9 unconnected
+
+    def test_marked_set_is_cds_with_property3(self, paper_example):
+        adj = paper_example.graph.adjacency
+        mask = bitset.mask_from_ids(_ids(MARKED))
+        assert is_cds(adj, mask)
+        assert shortest_paths_use_gateways(adj, mask)
+
+
+class TestRule1Variants:
+    def test_rule1_id_removes_only_21(self, paper_example):
+        after = apply_rule1(
+            paper_example.graph.adjacency, _ids(MARKED), scheme_by_name("id")
+        )
+        assert paper_example.labels(after) == MARKED - {21}
+
+    def test_rule1a_removes_21_and_27(self, paper_example):
+        after = apply_rule1(
+            paper_example.graph.adjacency, _ids(MARKED), scheme_by_name("nd")
+        )
+        removed = MARKED - paper_example.labels(after)
+        assert {21, 27} <= removed
+        # 10 is additionally covered by 4 with smaller degree — a removal
+        # the paper's partial figure neither shows nor contradicts
+        assert removed <= {10, 21, 27}
+
+    def test_rule1b_removes_21_not_27(self, paper_example):
+        after = apply_rule1(
+            paper_example.graph.adjacency,
+            _ids(MARKED),
+            scheme_by_name("el1"),
+            energy=paper_example.energy,
+        )
+        removed = MARKED - paper_example.labels(after)
+        assert 21 in removed
+        assert 27 not in removed  # EL tie with 22, larger id keeps it
+
+    def test_rule1b_prime_removes_21_and_27(self, paper_example):
+        after = apply_rule1(
+            paper_example.graph.adjacency,
+            _ids(MARKED),
+            scheme_by_name("el2"),
+            energy=paper_example.energy,
+        )
+        removed = MARKED - paper_example.labels(after)
+        assert {21, 27} <= removed
+
+
+class TestRule2Variants:
+    def test_rule2_id_removes_2(self, paper_example):
+        after = apply_rule2(
+            paper_example.graph.adjacency, _ids(MARKED), scheme_by_name("id")
+        )
+        assert 2 in MARKED - paper_example.labels(after)
+
+    def test_rule2a_removes_9_13_18(self, paper_example):
+        after = apply_rule2(
+            paper_example.graph.adjacency, _ids(MARKED), scheme_by_name("nd")
+        )
+        removed = MARKED - paper_example.labels(after)
+        assert {9, 13, 18} <= removed
+        assert 2 not in removed  # nd(2)=8 > nd(9)=7: 2 survives under ND
+
+    def test_rule2b_removes_2_13_18(self, paper_example):
+        after = apply_rule2(
+            paper_example.graph.adjacency,
+            _ids(MARKED),
+            scheme_by_name("el1"),
+            energy=paper_example.energy,
+        )
+        removed = MARKED - paper_example.labels(after)
+        assert {2, 13, 18} <= removed
+        assert 9 not in removed  # EL tie with 2; id(2) < id(9) removes 2
+
+    def test_rule2b_prime_removes_9_13_18(self, paper_example):
+        after = apply_rule2(
+            paper_example.graph.adjacency,
+            _ids(MARKED),
+            scheme_by_name("el2"),
+            energy=paper_example.energy,
+        )
+        removed = MARKED - paper_example.labels(after)
+        assert {9, 13, 18} <= removed
+        assert 2 not in removed  # EL tie, but nd(9) < nd(2) removes 9
+
+
+class TestFullPipeline:
+    @pytest.mark.parametrize("scheme", sorted(FINAL))
+    def test_final_gateway_sets(self, paper_example, scheme):
+        result = compute_cds(
+            paper_example.graph,
+            scheme,
+            energy=paper_example.energy,
+            verify=True,
+        )
+        assert paper_example.labels(result.gateways) == FINAL[scheme]
+
+    @pytest.mark.parametrize("scheme", sorted(FINAL))
+    def test_every_final_set_is_cds(self, paper_example, scheme):
+        result = compute_cds(
+            paper_example.graph, scheme, energy=paper_example.energy
+        )
+        assert is_cds(paper_example.graph.adjacency, result.gateway_mask)
+
+    def test_nd_and_el2_give_smallest_sets(self, paper_example):
+        """The paper's Figure 10 claim, on the worked example."""
+        sizes = {
+            s: compute_cds(
+                paper_example.graph, s, energy=paper_example.energy
+            ).size
+            for s in FINAL
+        }
+        assert sizes["nd"] == min(sizes.values())
+        assert sizes["el2"] == min(sizes.values())
+        assert sizes["nr"] == max(sizes.values())
+
+    def test_stats_account_for_all_removals(self, paper_example):
+        r = compute_cds(paper_example.graph, "id")
+        assert r.stats.initial_marked == len(MARKED)
+        assert r.stats.final_size == r.size
+        assert r.stats.removed_rule1 == 1   # node 21
+        assert r.stats.removed_rule2 == 1   # node 2

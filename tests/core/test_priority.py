@@ -1,0 +1,92 @@
+"""Priority scheme unit tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.priority import (
+    PAPER_SERIES_ORDER,
+    SCHEMES,
+    scheme_by_name,
+)
+from repro.errors import ConfigurationError
+
+
+class TestRegistry:
+    def test_all_paper_series_registered(self):
+        assert set(PAPER_SERIES_ORDER) == set(SCHEMES)
+
+    def test_lookup_is_case_insensitive(self):
+        assert scheme_by_name("EL1") is SCHEMES["el1"]
+        assert scheme_by_name("Nd") is SCHEMES["nd"]
+
+    def test_unknown_scheme_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown priority scheme"):
+            scheme_by_name("power")
+
+    def test_nr_disables_rules(self):
+        assert not SCHEMES["nr"].uses_rules
+        assert all(SCHEMES[s].uses_rules for s in ("id", "nd", "el1", "el2"))
+
+    def test_only_original_id_skips_coverage_cases(self):
+        assert not SCHEMES["id"].uses_coverage_cases
+        assert all(
+            SCHEMES[s].uses_coverage_cases for s in ("nd", "el1", "el2")
+        )
+
+    def test_energy_requirement_flags(self):
+        assert SCHEMES["el1"].needs_energy and SCHEMES["el2"].needs_energy
+        assert not SCHEMES["id"].needs_energy and not SCHEMES["nd"].needs_energy
+
+
+class TestKeyOrdering:
+    DEGREES = [3, 5, 5, 2]
+    ENERGY = [4.0, 4.0, 2.0, 9.0]
+
+    def _key(self, scheme, v):
+        return scheme_by_name(scheme).key(v, self.DEGREES, self.ENERGY)
+
+    def test_id_key_is_pure_id(self):
+        keys = [self._key("id", v) for v in range(4)]
+        assert keys == sorted(keys)
+
+    def test_nd_breaks_ties_by_id(self):
+        # nodes 1 and 2 share degree 5; id orders them
+        assert self._key("nd", 1) < self._key("nd", 2)
+        # node 3 (degree 2) ranks below everyone
+        assert self._key("nd", 3) < self._key("nd", 0)
+
+    def test_el1_orders_by_energy_then_id(self):
+        assert self._key("el1", 2) < self._key("el1", 0)  # 2.0 < 4.0
+        assert self._key("el1", 0) < self._key("el1", 1)  # tie -> id
+        assert max(range(4), key=lambda v: self._key("el1", v)) == 3
+
+    def test_el2_inserts_degree_between_energy_and_id(self):
+        # 0 and 1 tie on energy 4.0; degree 3 < 5 ranks 0 lower
+        assert self._key("el2", 0) < self._key("el2", 1)
+
+    def test_keys_are_distinct_total_order(self):
+        for name in SCHEMES:
+            keys = [self._key(name, v) for v in range(4)]
+            assert len(set(keys)) == 4
+
+
+class TestQuantization:
+    def test_float_noise_is_absorbed(self):
+        sch = scheme_by_name("el1")
+        a = sch.key(0, [1, 1], [5.0, 5.0 + 1e-12])
+        b = sch.key(1, [1, 1], [5.0, 5.0 + 1e-12])
+        # energies quantize equal, so id decides
+        assert a[0] == b[0] and a < b
+
+    def test_exact_mode_preserves_tiny_differences(self):
+        from dataclasses import replace
+
+        sch = replace(scheme_by_name("el1"), quantum=None)
+        a = sch.key(0, [1, 1], [5.0, 5.0 + 1e-12])
+        b = sch.key(1, [1, 1], [5.0, 5.0 + 1e-12])
+        assert a[0] < b[0]
+
+    def test_energy_defaults_to_zero_without_levels(self):
+        sch = scheme_by_name("el1")
+        assert sch.key(1, [2, 2], None)[0] == 0.0

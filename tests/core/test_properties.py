@@ -1,0 +1,100 @@
+"""Invariant checker unit tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.properties import (
+    induced_connected,
+    is_cds,
+    is_dominating,
+    shortest_paths_use_gateways,
+    verify_cds,
+)
+from repro.errors import InvariantViolation
+from repro.graphs import bitset
+from repro.graphs.generators import cycle_graph, from_edges, path_graph, star_graph
+
+
+class TestDomination:
+    def test_full_set_always_dominates(self):
+        g = path_graph(5)
+        assert is_dominating(g.adjacency, range(5))
+
+    def test_center_dominates_star(self):
+        g = star_graph(6)
+        assert is_dominating(g.adjacency, {0})
+        assert not is_dominating(g.adjacency, {1})
+
+    def test_interior_dominates_path(self):
+        g = path_graph(4)
+        assert is_dominating(g.adjacency, {1, 2})
+        assert not is_dominating(g.adjacency, {1})
+
+    def test_accepts_mask_or_iterable(self):
+        g = star_graph(4)
+        assert is_dominating(g.adjacency, 1) == is_dominating(g.adjacency, {0})
+
+    def test_empty_set_dominates_nothing(self):
+        g = path_graph(3)
+        assert not is_dominating(g.adjacency, set())
+
+
+class TestInducedConnectivity:
+    def test_adjacent_pair_connected(self):
+        g = path_graph(4)
+        assert induced_connected(g.adjacency, {1, 2})
+
+    def test_separated_pair_disconnected(self):
+        g = path_graph(5)
+        assert not induced_connected(g.adjacency, {0, 4})
+
+    def test_empty_and_singleton_connected(self):
+        g = path_graph(3)
+        assert induced_connected(g.adjacency, set())
+        assert induced_connected(g.adjacency, {2})
+
+
+class TestVerify:
+    def test_verify_passes_on_valid_cds(self):
+        g = path_graph(5)
+        verify_cds(g.adjacency, {1, 2, 3})
+
+    def test_verify_raises_on_non_dominating(self):
+        g = path_graph(5)
+        with pytest.raises(InvariantViolation, match="not dominating"):
+            verify_cds(g.adjacency, {1, 2})
+
+    def test_verify_raises_on_disconnected(self):
+        g = cycle_graph(6)
+        with pytest.raises(InvariantViolation, match="not connected"):
+            verify_cds(g.adjacency, {0, 2, 4})
+
+    def test_context_appears_in_message(self):
+        g = path_graph(5)
+        with pytest.raises(InvariantViolation, match="scheme=test"):
+            verify_cds(g.adjacency, {1}, context="scheme=test")
+
+
+class TestProperty3:
+    def test_holds_for_marked_set_on_path(self):
+        g = path_graph(6)
+        marked = bitset.mask_from_ids({1, 2, 3, 4})
+        assert shortest_paths_use_gateways(g.adjacency, marked)
+
+    def test_fails_when_a_shortcut_is_dropped(self):
+        # 0-1-2 and 0-3-2: keeping only {1} forces pairs through 1, fine;
+        # but on a 4-cycle keeping one node breaks opposite-corner paths
+        g = cycle_graph(4)
+        assert not shortest_paths_use_gateways(
+            g.adjacency, bitset.mask_from_ids({0})
+        )
+        assert shortest_paths_use_gateways(
+            g.adjacency, bitset.mask_from_ids({0, 1, 2, 3})
+        )
+
+    def test_is_cds_combines_both_checks(self):
+        g = from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        assert is_cds(g.adjacency, {1, 2})
+        assert not is_cds(g.adjacency, {0, 3})  # dominating but disconnected
+        assert not is_cds(g.adjacency, {1})     # connected but not dominating

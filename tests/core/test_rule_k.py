@@ -1,0 +1,99 @@
+"""Rule-k generalization tests (Dai–Wu extension)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.cds import compute_cds
+from repro.core.marking import marked_mask
+from repro.core.priority import scheme_by_name
+from repro.core.properties import is_cds
+from repro.core.rule_k import compute_cds_rule_k, rule_k_pass
+from repro.errors import ConfigurationError
+from repro.graphs import bitset
+from repro.graphs.generators import (
+    from_edges,
+    path_graph,
+    random_gnp_connected,
+    star_graph,
+)
+
+
+class TestMechanics:
+    def test_singleton_coverage_matches_rule1(self):
+        # figure3a shape: N[0] within N[1], both marked, key(0) < key(1)
+        g = from_edges(5, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (1, 4)])
+        marked = marked_mask(g.adjacency)
+        after = rule_k_pass(g.adjacency, marked, scheme_by_name("id"))
+        assert bitset.ids_from_mask(after) == [1]
+
+    def test_three_node_coverage_beyond_rule2(self):
+        # hub 0 surrounded by a 6-cycle 1..6: no pair of neighbors covers
+        # N(0) (each pair's neighborhoods miss the opposite side), but the
+        # full ring does, and every ring node outranks 0 by id
+        ring = [(i, i % 6 + 1) for i in range(1, 7)]
+        spokes = [(0, i) for i in range(1, 7)]
+        g = from_edges(7, ring + spokes)
+        marked = marked_mask(g.adjacency)
+        assert marked >> 0 & 1  # hub is marked
+        after_pairs = compute_cds(g, "id").gateway_mask
+        after_k = rule_k_pass(g.adjacency, marked, scheme_by_name("id"))
+        assert after_pairs >> 0 & 1  # pair rules keep the hub
+        assert not after_k >> 0 & 1  # rule-k removes it
+        assert is_cds(g.adjacency, after_k)
+
+    def test_requires_strictly_higher_priority(self):
+        # same hub topology but give the hub the HIGHEST id: nothing
+        # outranks it, so rule-k keeps it
+        ring = [(i, (i + 1) % 6) for i in range(6)]  # 0..5 cycle
+        spokes = [(6, i) for i in range(6)]
+        g = from_edges(7, ring + spokes)
+        marked = marked_mask(g.adjacency)
+        after = rule_k_pass(g.adjacency, marked, scheme_by_name("id"))
+        assert after >> 6 & 1
+
+    def test_energy_key_supported(self):
+        g = star_graph(5)
+        out = compute_cds_rule_k(g, "el1", energy=[5.0] * 5)
+        assert out == {0}
+
+    def test_missing_energy_rejected(self):
+        g = path_graph(4)
+        with pytest.raises(ConfigurationError):
+            compute_cds_rule_k(g, "el2")
+
+    def test_nr_scheme_returns_marking(self):
+        g = path_graph(6)
+        assert compute_cds_rule_k(g, "nr") == frozenset({1, 2, 3, 4})
+
+
+class TestInvariants:
+    @pytest.mark.parametrize("scheme", ["id", "nd", "el1", "el2"])
+    def test_cds_preserved_on_random_graphs(self, scheme):
+        rng = np.random.default_rng(hash(scheme) % 2**32)
+        for _ in range(40):
+            n = int(rng.integers(4, 24))
+            g = random_gnp_connected(n, float(rng.uniform(0.15, 0.6)), rng=rng)
+            energy = rng.integers(1, 6, n).astype(float)
+            out = compute_cds_rule_k(g, scheme, energy=energy)
+            if out:
+                assert is_cds(g.adjacency, out), scheme
+
+    def test_subset_of_marked(self, random_graphs):
+        for g, energy in random_graphs:
+            marked = marked_mask(g.adjacency)
+            out = compute_cds_rule_k(g, "nd", energy=energy)
+            assert bitset.mask_from_ids(out) & ~marked == 0
+
+    def test_often_not_larger_than_pair_rules(self, random_graphs):
+        wins = losses = 0
+        for g, energy in random_graphs:
+            rk = len(compute_cds_rule_k(g, "id", energy=energy))
+            r2 = compute_cds(g, "id", energy=energy).size
+            if rk < r2:
+                wins += 1
+            elif rk > r2:
+                losses += 1
+        # arbitrary-size coverage usually prunes at least as much under ID
+        assert wins >= losses

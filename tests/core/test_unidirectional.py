@@ -1,0 +1,107 @@
+"""Directed (unidirectional-link) CDS tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.marking import marked_mask
+from repro.core.priority import scheme_by_name
+from repro.core.unidirectional import (
+    compute_directed_cds,
+    directed_marking,
+    directed_rule1_pass,
+    directed_rule_k_pass,
+    is_dominating_and_absorbing,
+    strongly_connected_within,
+)
+from repro.errors import ConfigurationError
+from repro.graphs import bitset
+from repro.graphs.digraph import (
+    from_arcs,
+    heterogeneous_disk_digraph,
+    random_strongly_connected_digraph,
+)
+
+
+class TestDirectedMarking:
+    def test_directed_cycle_marks_everyone(self):
+        # every node relays: its in-neighbor cannot reach its out-neighbor
+        v = from_arcs(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        assert directed_marking(v) == 0b1111
+
+    def test_complete_digraph_marks_nobody(self):
+        arcs = [(u, w) for u in range(4) for w in range(4) if u != w]
+        v = from_arcs(4, arcs)
+        assert directed_marking(v) == 0
+
+    def test_symmetric_digraph_matches_wu_li(self, rng):
+        pos = rng.random((25, 2)) * 100
+        v = heterogeneous_disk_digraph(pos, np.full(25, 25.0))
+        assert directed_marking(v) == marked_mask(v.underlying_undirected())
+
+    def test_relay_of_a_one_way_shortcut(self):
+        # 0 -> 1 -> 2 with a one-way return 2 -> 0:
+        # 1 relays (0 can't reach 2); with arc 0->2 added 1 stops relaying
+        v = from_arcs(3, [(0, 1), (1, 2), (2, 0)])
+        assert directed_marking(v) >> 1 & 1
+        v2 = from_arcs(3, [(0, 1), (1, 2), (2, 0), (0, 2)])
+        assert not directed_marking(v2) >> 1 & 1
+
+
+class TestDirectedInvariants:
+    @pytest.mark.parametrize("scheme", ["id", "nd", "el1", "el2"])
+    @pytest.mark.parametrize("use_rule_k", [False, True])
+    def test_result_dominates_absorbs_and_connects(self, scheme, use_rule_k):
+        rng = np.random.default_rng(hash((scheme, use_rule_k)) % 2**32)
+        for _ in range(15):
+            n = int(rng.integers(8, 30))
+            view, _, _ = random_strongly_connected_digraph(n, rng=rng)
+            energy = rng.integers(1, 6, n).astype(float)
+            out = compute_directed_cds(
+                view, scheme, energy=energy, use_rule_k=use_rule_k
+            )
+            if not out:
+                continue  # complete-like digraph
+            assert is_dominating_and_absorbing(view, out)
+            assert strongly_connected_within(view, bitset.mask_from_ids(out))
+
+    def test_rules_only_shrink(self, rng):
+        view, _, _ = random_strongly_connected_digraph(25, rng=rng)
+        marked = directed_marking(view)
+        sch = scheme_by_name("nd")
+        after1 = directed_rule1_pass(view, marked, sch)
+        afterk = directed_rule_k_pass(view, after1, sch)
+        assert bitset.is_subset(after1, marked)
+        assert bitset.is_subset(afterk, after1)
+
+    def test_el_scheme_requires_energy(self, rng):
+        view, _, _ = random_strongly_connected_digraph(10, rng=rng)
+        with pytest.raises(ConfigurationError):
+            compute_directed_cds(view, "el1")
+
+    def test_nr_scheme_returns_marking(self, rng):
+        view, _, _ = random_strongly_connected_digraph(12, rng=rng)
+        out = compute_directed_cds(view, "nr")
+        assert bitset.mask_from_ids(out) == directed_marking(view)
+
+
+class TestDirectedVerifiers:
+    def test_dominating_and_absorbing_checks_both_directions(self):
+        # star where the center only transmits: dominates but nothing
+        # can reach it back except host 1
+        v = from_arcs(3, [(0, 1), (0, 2), (1, 0)])
+        assert is_dominating_and_absorbing(v, {0, 2})
+        # {0} dominates (reaches 1, 2) but host 2 cannot transmit to it
+        assert not is_dominating_and_absorbing(v, {0})
+
+    def test_strong_connectivity_of_subset(self):
+        v = from_arcs(4, [(0, 1), (1, 0), (1, 2), (2, 3), (3, 1)])
+        assert strongly_connected_within(v, {0, 1})
+        assert strongly_connected_within(v, {1, 2, 3})
+        assert not strongly_connected_within(v, {0, 2})
+
+    def test_trivial_subsets_connected(self):
+        v = from_arcs(3, [(0, 1), (1, 2), (2, 0)])
+        assert strongly_connected_within(v, set())
+        assert strongly_connected_within(v, {2})

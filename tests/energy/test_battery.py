@@ -1,0 +1,96 @@
+"""BatteryBank tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.energy.battery import PAPER_INITIAL_ENERGY, BatteryBank
+from repro.errors import EnergyError
+
+
+class TestConstruction:
+    def test_paper_default_is_100(self):
+        bank = BatteryBank(5)
+        assert PAPER_INITIAL_ENERGY == 100.0
+        assert np.all(bank.levels == 100.0)
+
+    def test_from_levels_copies(self):
+        src = np.array([1.0, 2.0])
+        bank = BatteryBank.from_levels(src)
+        src[0] = 99.0
+        assert bank.level(0) == 1.0
+
+    @pytest.mark.parametrize("bad", [0.0, -5.0, float("inf")])
+    def test_bad_initial_rejected(self, bad):
+        with pytest.raises(EnergyError):
+            BatteryBank(3, initial=bad)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(EnergyError):
+            BatteryBank(-1)
+
+    def test_from_levels_rejects_nan(self):
+        with pytest.raises(EnergyError):
+            BatteryBank.from_levels([1.0, float("nan")])
+
+
+class TestDrain:
+    def test_scalar_drain_hits_everyone(self):
+        bank = BatteryBank(3, initial=10.0)
+        bank.drain(2.5)
+        assert np.all(bank.levels == 7.5)
+
+    def test_vector_drain(self):
+        bank = BatteryBank(3, initial=10.0)
+        bank.drain(np.array([1.0, 2.0, 3.0]))
+        assert bank.levels.tolist() == [9.0, 8.0, 7.0]
+
+    def test_masked_drain(self):
+        bank = BatteryBank(3, initial=10.0)
+        bank.drain(4.0, who=np.array([True, False, True]))
+        assert bank.levels.tolist() == [6.0, 10.0, 6.0]
+
+    def test_negative_drain_rejected(self):
+        bank = BatteryBank(2)
+        with pytest.raises(EnergyError):
+            bank.drain(-1.0)
+
+    def test_recharge(self):
+        bank = BatteryBank(2, initial=5.0)
+        bank.recharge(1, 3.0)
+        assert bank.level(1) == 8.0
+        with pytest.raises(EnergyError):
+            bank.recharge(0, -1.0)
+
+
+class TestDeath:
+    def test_death_detection(self):
+        bank = BatteryBank(3, initial=2.0)
+        assert not bank.any_dead()
+        bank.drain(np.array([0.0, 2.0, 3.0]))
+        assert bank.any_dead()
+        assert bank.dead_hosts() == [1, 2]
+        assert bank.first_death() == 1
+
+    def test_first_death_none_when_alive(self):
+        assert BatteryBank(2).first_death() is None
+
+    def test_exact_zero_counts_as_dead(self):
+        bank = BatteryBank(1, initial=1.0)
+        bank.drain(1.0)
+        assert bank.any_dead()
+
+
+class TestAggregates:
+    def test_min_and_total(self):
+        bank = BatteryBank.from_levels([3.0, 1.0, 5.0])
+        assert bank.min_level() == 1.0
+        assert bank.total() == 9.0
+
+    def test_copy_is_independent(self):
+        bank = BatteryBank(2, initial=4.0)
+        dup = bank.copy()
+        dup.drain(1.0)
+        assert bank.level(0) == 4.0
+        assert dup.level(0) == 3.0

@@ -1,0 +1,64 @@
+"""Drain model tests — the exact formulas of §4."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.energy.models import (
+    PAPER_DRAIN_MODELS,
+    ConstantDrain,
+    FixedDrain,
+    LinearDrain,
+    QuadraticDrain,
+    drain_model_by_name,
+)
+from repro.errors import EnergyError
+
+
+class TestFormulas:
+    def test_constant_model_is_2_over_gprime(self):
+        assert ConstantDrain().gateway_drain(50, 10) == pytest.approx(0.2)
+        assert ConstantDrain().gateway_drain(100, 10) == pytest.approx(0.2)
+
+    def test_linear_model_is_n_over_gprime(self):
+        assert LinearDrain().gateway_drain(50, 10) == pytest.approx(5.0)
+        assert LinearDrain().gateway_drain(100, 20) == pytest.approx(5.0)
+
+    def test_quadratic_model_matches_paper_formula(self):
+        # d = N(N-1)/2 / (10 |G'|)
+        assert QuadraticDrain().gateway_drain(100, 25) == pytest.approx(
+            (100 * 99 / 2) / (10 * 25)
+        )
+
+    def test_fixed_model_ignores_gprime(self):
+        assert FixedDrain(d=3.0).gateway_drain(10, 2) == 3.0
+        assert FixedDrain(d=3.0).gateway_drain(10, 9) == 3.0
+
+    def test_smaller_backbone_works_harder(self):
+        m = LinearDrain()
+        assert m.gateway_drain(60, 5) > m.gateway_drain(60, 20)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("model", list(PAPER_DRAIN_MODELS.values()))
+    def test_zero_gateways_rejected(self, model):
+        with pytest.raises(EnergyError):
+            model.gateway_drain(10, 0)
+
+    @pytest.mark.parametrize("model", list(PAPER_DRAIN_MODELS.values()))
+    def test_zero_hosts_rejected(self, model):
+        with pytest.raises(EnergyError):
+            model.gateway_drain(0, 1)
+
+
+class TestRegistry:
+    def test_paper_models_registered(self):
+        assert set(PAPER_DRAIN_MODELS) == {"constant", "linear", "quadratic"}
+
+    def test_lookup_by_name(self):
+        assert isinstance(drain_model_by_name("LINEAR"), LinearDrain)
+        assert isinstance(drain_model_by_name("fixed"), FixedDrain)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(EnergyError, match="unknown drain model"):
+            drain_model_by_name("cubic")

@@ -1,0 +1,85 @@
+"""Traffic-driven energy model tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.cds import compute_cds
+from repro.energy.battery import BatteryBank
+from repro.energy.traffic_model import TrafficEnergyModel
+from repro.errors import EnergyError
+from repro.graphs import bitset
+from repro.graphs.generators import path_graph, random_connected_network
+
+
+class TestConfiguration:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"tx_cost": -1.0},
+            {"rx_cost": -0.1},
+            {"idle_cost": -0.1},
+            {"packets_per_interval": -1},
+        ],
+    )
+    def test_negative_costs_rejected(self, kwargs):
+        with pytest.raises(EnergyError):
+            TrafficEnergyModel(**kwargs)
+
+
+class TestApply:
+    def test_idle_only_when_no_traffic(self, rng):
+        g = path_graph(4)
+        bank = BatteryBank(4, initial=10.0)
+        model = TrafficEnergyModel(packets_per_interval=0, idle_cost=0.5)
+        rec = model.apply(bank, list(g.adjacency), 0b0110, rng, interval=1)
+        assert rec.packets_routed == 0
+        assert np.all(bank.levels == 9.5)
+
+    def test_forwarders_pay_more_than_endpoints(self, rng):
+        g = path_graph(3)  # 0 - 1 - 2, gateway 1 relays everything
+        bank = BatteryBank(3, initial=100.0)
+        model = TrafficEnergyModel(
+            tx_cost=1.0, rx_cost=0.5, idle_cost=0.0, packets_per_interval=30
+        )
+        model.apply(bank, list(g.adjacency), 0b010, rng, interval=1)
+        # host 1 pays rx+tx per carried packet plus its own endpoint costs
+        assert bank.level(1) < bank.level(0)
+        assert bank.level(1) < bank.level(2)
+
+    def test_gateway_share_is_full_on_valid_backbone(self, rng):
+        net = random_connected_network(20, rng=rng)
+        r = compute_cds(net, "id")
+        bank = BatteryBank(20, initial=1e6)
+        model = TrafficEnergyModel(packets_per_interval=40)
+        rec = model.apply(
+            bank, list(net.adjacency), r.gateway_mask, rng, interval=1
+        )
+        assert rec.packets_routed == 40
+        assert rec.gateway_forwarding_share == pytest.approx(1.0)
+        assert rec.mean_route_length >= 1.0
+
+    def test_no_backbone_drops_all_packets(self, rng):
+        g = path_graph(4)
+        bank = BatteryBank(4, initial=10.0)
+        model = TrafficEnergyModel(packets_per_interval=10)
+        rec = model.apply(bank, list(g.adjacency), 0, rng, interval=1)
+        assert rec.packets_routed == 0
+
+    def test_death_reported(self, rng):
+        g = path_graph(3)
+        bank = BatteryBank.from_levels([10.0, 0.4, 10.0])
+        model = TrafficEnergyModel(
+            tx_cost=1.0, rx_cost=1.0, idle_cost=0.0, packets_per_interval=5
+        )
+        rec = model.apply(bank, list(g.adjacency), 0b010, rng, interval=1)
+        assert 1 in rec.died
+
+    def test_dead_hosts_excluded_from_traffic(self, rng):
+        g = path_graph(3)
+        bank = BatteryBank.from_levels([10.0, 10.0, -1.0])
+        model = TrafficEnergyModel(packets_per_interval=10, idle_cost=0.0)
+        before = bank.level(2)
+        model.apply(bank, list(g.adjacency), 0b010, rng, interval=1)
+        assert bank.level(2) == before  # off the air entirely

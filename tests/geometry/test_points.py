@@ -1,0 +1,84 @@
+"""Displacement kernel tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.geometry.points import (
+    COMPASS_NAMES,
+    compass_unit_vectors,
+    displace,
+    random_points,
+)
+from repro.geometry.space import Region2D
+
+
+class TestCompass:
+    def test_eight_unit_vectors(self):
+        vecs = compass_unit_vectors()
+        assert vecs.shape == (8, 2)
+        np.testing.assert_allclose(np.linalg.norm(vecs, axis=1), 1.0)
+
+    def test_names_align_with_vectors(self):
+        vecs = compass_unit_vectors()
+        byname = dict(zip(COMPASS_NAMES, vecs))
+        np.testing.assert_allclose(byname["E"], [1.0, 0.0])
+        np.testing.assert_allclose(byname["N"], [0.0, 1.0])
+        s = 1 / np.sqrt(2)
+        np.testing.assert_allclose(byname["SW"], [-s, -s])
+
+    def test_read_only(self):
+        with pytest.raises(ValueError):
+            compass_unit_vectors()[0, 0] = 9.0
+
+
+class TestDisplace:
+    def test_moves_by_length_along_direction(self):
+        region = Region2D(side=100.0)
+        pos = np.array([[50.0, 50.0]])
+        displace(pos, np.array([0]), np.array([5.0]), region)  # E
+        np.testing.assert_allclose(pos, [[55.0, 50.0]])
+
+    def test_diagonal_step_has_euclidean_length(self):
+        region = Region2D(side=100.0)
+        pos = np.array([[50.0, 50.0]])
+        displace(pos, np.array([5]), np.array([6.0]), region)  # NE
+        assert np.hypot(pos[0, 0] - 50, pos[0, 1] - 50) == pytest.approx(6.0)
+
+    def test_moving_mask_freezes_hosts(self):
+        region = Region2D(side=100.0)
+        pos = np.array([[10.0, 10.0], [20.0, 20.0]])
+        displace(
+            pos,
+            np.array([0, 0]),
+            np.array([5.0, 5.0]),
+            region,
+            moving=np.array([True, False]),
+        )
+        np.testing.assert_allclose(pos, [[15.0, 10.0], [20.0, 20.0]])
+
+    def test_boundary_applied_after_move(self):
+        region = Region2D(side=100.0)
+        pos = np.array([[98.0, 50.0]])
+        displace(pos, np.array([0]), np.array([6.0]), region)
+        np.testing.assert_allclose(pos, [[100.0, 50.0]])  # clamped
+
+    def test_invalid_direction_rejected(self):
+        region = Region2D()
+        pos = np.zeros((1, 2))
+        with pytest.raises(ConfigurationError):
+            displace(pos, np.array([8]), np.array([1.0]), region)
+
+
+class TestRandomPoints:
+    def test_shape_and_range(self, rng):
+        region = Region2D(side=30.0)
+        pts = random_points(50, region, rng)
+        assert pts.shape == (50, 2)
+        assert np.all((pts >= 0) & (pts <= 30.0))
+
+    def test_negative_count_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            random_points(-1, Region2D(), rng)

@@ -1,0 +1,88 @@
+"""Region and boundary-policy tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.geometry.space import BoundaryPolicy, Region2D
+
+
+class TestConstruction:
+    def test_defaults_match_paper(self):
+        r = Region2D()
+        assert r.side == 100.0
+        assert r.policy is BoundaryPolicy.CLAMP
+
+    @pytest.mark.parametrize("side", [0.0, -5.0, float("inf"), float("nan")])
+    def test_bad_side_rejected(self, side):
+        with pytest.raises(ConfigurationError):
+            Region2D(side=side)
+
+
+class TestContains:
+    def test_inclusive_boundaries(self):
+        r = Region2D(side=10.0)
+        pts = np.array([[0.0, 0.0], [10.0, 10.0], [5.0, 5.0], [10.1, 5.0]])
+        assert r.contains(pts).tolist() == [True, True, True, False]
+
+
+class TestClamp:
+    def test_overshoot_stops_at_wall(self):
+        r = Region2D(side=10.0)
+        pos = np.array([[-3.0, 4.0], [12.0, 15.0]])
+        r.apply_boundary(pos)
+        assert pos.tolist() == [[0.0, 4.0], [10.0, 10.0]]
+
+    def test_in_place(self):
+        r = Region2D(side=10.0)
+        pos = np.array([[11.0, 5.0]])
+        out = r.apply_boundary(pos)
+        assert out is pos
+
+
+class TestReflect:
+    def test_single_bounce(self):
+        r = Region2D(side=10.0, policy=BoundaryPolicy.REFLECT)
+        pos = np.array([[12.0, -2.0]])
+        r.apply_boundary(pos)
+        assert pos.tolist() == [[8.0, 2.0]]
+
+    def test_multiple_bounces(self):
+        r = Region2D(side=10.0, policy=BoundaryPolicy.REFLECT)
+        pos = np.array([[27.0, 0.0]])  # 27 -> fold by 20 -> 7
+        r.apply_boundary(pos)
+        assert pos.tolist() == [[7.0, 0.0]]
+
+    def test_interior_untouched(self):
+        r = Region2D(side=10.0, policy=BoundaryPolicy.REFLECT)
+        pos = np.array([[3.0, 9.0]])
+        r.apply_boundary(pos)
+        assert pos.tolist() == [[3.0, 9.0]]
+
+
+class TestTorus:
+    def test_wraps_around(self):
+        r = Region2D(side=10.0, policy=BoundaryPolicy.TORUS)
+        pos = np.array([[12.0, -2.0]])
+        r.apply_boundary(pos)
+        assert pos.tolist() == [[2.0, 8.0]]
+
+    def test_torus_distance_takes_short_way(self):
+        r = Region2D(side=10.0, policy=BoundaryPolicy.TORUS)
+        d = r.distances(np.array([1.0, 0.0]), np.array([9.0, 0.0]))
+        assert d == pytest.approx(2.0)
+
+    def test_euclidean_distance_otherwise(self):
+        r = Region2D(side=10.0)
+        d = r.distances(np.array([1.0, 0.0]), np.array([9.0, 0.0]))
+        assert d == pytest.approx(8.0)
+
+
+class TestSample:
+    def test_sample_inside_region(self, rng):
+        r = Region2D(side=42.0)
+        pts = r.sample(200, rng)
+        assert pts.shape == (200, 2)
+        assert np.all(r.contains(pts))

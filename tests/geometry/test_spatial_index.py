@@ -1,0 +1,69 @@
+"""Uniform-grid spatial index tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.geometry.spatial_index import UniformGridIndex
+
+
+class TestConstruction:
+    def test_len(self, rng):
+        idx = UniformGridIndex(rng.random((17, 2)), 1.0)
+        assert len(idx) == 17
+
+    @pytest.mark.parametrize("r", [0.0, -1.0, float("nan")])
+    def test_bad_radius_rejected(self, r, rng):
+        with pytest.raises(ConfigurationError):
+            UniformGridIndex(rng.random((3, 2)), r)
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ConfigurationError):
+            UniformGridIndex(np.zeros((3, 3)), 1.0)
+
+
+class TestQuery:
+    def test_matches_brute_force(self, rng):
+        pts = rng.random((80, 2)) * 50
+        idx = UniformGridIndex(pts, 7.0)
+        for q in pts[:10]:
+            got = idx.query(q)
+            want = [
+                i for i in range(80) if np.hypot(*(pts[i] - q)) <= 7.0
+            ]
+            assert got == want
+
+    def test_query_includes_self_point(self, rng):
+        pts = rng.random((10, 2)) * 10
+        idx = UniformGridIndex(pts, 3.0)
+        assert 0 in idx.query(pts[0])
+
+    def test_smaller_radius_allowed(self, rng):
+        pts = np.array([[0.0, 0.0], [2.0, 0.0], [4.5, 0.0]])
+        idx = UniformGridIndex(pts, 5.0)
+        assert idx.query(np.array([0.0, 0.0]), radius=2.5) == [0, 1]
+
+    def test_larger_radius_rejected(self, rng):
+        idx = UniformGridIndex(rng.random((5, 2)), 1.0)
+        with pytest.raises(ConfigurationError, match="exceeds"):
+            idx.query(np.zeros(2), radius=2.0)
+
+    def test_empty_region_query(self):
+        pts = np.array([[0.0, 0.0]])
+        idx = UniformGridIndex(pts, 1.0)
+        assert idx.query(np.array([50.0, 50.0])) == []
+
+
+class TestPairs:
+    def test_pairs_match_brute_force(self, rng):
+        pts = rng.random((40, 2)) * 30
+        idx = UniformGridIndex(pts, 6.0)
+        want = sorted(
+            (i, j)
+            for i in range(40)
+            for j in range(i + 1, 40)
+            if np.hypot(*(pts[i] - pts[j])) <= 6.0
+        )
+        assert idx.pairs_within() == want

@@ -1,0 +1,58 @@
+"""Bitmask set-algebra unit tests."""
+
+from __future__ import annotations
+
+from repro.graphs import bitset
+
+
+class TestConstruction:
+    def test_bit_singleton(self):
+        assert bitset.bit(0) == 1
+        assert bitset.bit(5) == 32
+
+    def test_mask_round_trips_ids(self):
+        ids = [0, 3, 7, 100]
+        assert bitset.ids_from_mask(bitset.mask_from_ids(ids)) == ids
+
+    def test_empty_mask(self):
+        assert bitset.mask_from_ids([]) == 0
+        assert bitset.ids_from_mask(0) == []
+
+    def test_duplicate_ids_collapse(self):
+        assert bitset.mask_from_ids([2, 2, 2]) == 4
+
+
+class TestIteration:
+    def test_iter_bits_ascending(self):
+        assert list(bitset.iter_bits(0b101001)) == [0, 3, 5]
+
+    def test_iter_bits_large_positions(self):
+        m = bitset.bit(0) | bitset.bit(300)
+        assert list(bitset.iter_bits(m)) == [0, 300]
+
+
+class TestAlgebra:
+    def test_subset_reflexive_and_monotone(self):
+        a = bitset.mask_from_ids([1, 4])
+        b = bitset.mask_from_ids([1, 2, 4])
+        assert bitset.is_subset(a, a)
+        assert bitset.is_subset(a, b)
+        assert not bitset.is_subset(b, a)
+
+    def test_empty_is_subset_of_everything(self):
+        assert bitset.is_subset(0, 0)
+        assert bitset.is_subset(0, 0b111)
+
+    def test_popcount(self):
+        assert bitset.popcount(0) == 0
+        assert bitset.popcount(0b1011) == 3
+
+    def test_without_removes_and_is_idempotent(self):
+        m = bitset.mask_from_ids([1, 2, 3])
+        assert bitset.ids_from_mask(bitset.without(m, 2)) == [1, 3]
+        assert bitset.without(bitset.without(m, 2), 2) == bitset.without(m, 2)
+
+    def test_union_all(self):
+        masks = [0b001, 0b010, 0b100]
+        assert bitset.union_all(masks) == 0b111
+        assert bitset.union_all([]) == 0

@@ -1,0 +1,108 @@
+"""Digraph substrate tests (unidirectional links)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import TopologyError
+from repro.graphs.digraph import (
+    DirectedView,
+    from_arcs,
+    heterogeneous_disk_digraph,
+    random_strongly_connected_digraph,
+    strongly_connected,
+)
+
+
+class TestDirectedView:
+    def test_in_adjacency_is_transpose(self):
+        v = from_arcs(3, [(0, 1), (1, 2), (2, 0)])
+        assert v.out_neighbors(0) == [1]
+        assert v.in_neighbors(0) == [2]
+        assert v.has_arc(0, 1) and not v.has_arc(1, 0)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(TopologyError, match="self-loop"):
+            from_arcs(2, [(1, 1)])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(TopologyError):
+            from_arcs(2, [(0, 5)])
+
+    def test_symmetry_detection(self):
+        sym = from_arcs(2, [(0, 1), (1, 0)])
+        asym = from_arcs(2, [(0, 1)])
+        assert sym.is_symmetric()
+        assert not asym.is_symmetric()
+
+    def test_underlying_and_core(self):
+        v = from_arcs(3, [(0, 1), (1, 0), (1, 2)])
+        assert v.underlying_undirected()[2] == 0b010  # 2 ~ 1
+        assert v.bidirectional_core()[1] == 0b001     # only the 0<->1 pair
+
+    def test_equality(self):
+        a = from_arcs(2, [(0, 1)])
+        b = from_arcs(2, [(0, 1)])
+        assert a == b and hash(a) == hash(b)
+
+
+class TestHeterogeneousDisk:
+    def test_asymmetric_ranges_make_unidirectional_links(self):
+        pos = np.array([[0.0, 0.0], [10.0, 0.0]])
+        v = heterogeneous_disk_digraph(pos, [15.0, 5.0])
+        assert v.has_arc(0, 1)      # 0's big radio reaches 1
+        assert not v.has_arc(1, 0)  # 1's small radio does not reach back
+
+    def test_equal_ranges_are_symmetric(self, rng):
+        pos = rng.random((20, 2)) * 100
+        v = heterogeneous_disk_digraph(pos, np.full(20, 25.0))
+        assert v.is_symmetric()
+
+    def test_matches_undirected_udg_when_symmetric(self, rng):
+        from repro.graphs.unitdisk import unit_disk_adjacency
+
+        pos = rng.random((15, 2)) * 100
+        v = heterogeneous_disk_digraph(pos, np.full(15, 25.0))
+        assert list(v.out_adj) == unit_disk_adjacency(pos, 25.0)
+
+    def test_bad_inputs_rejected(self):
+        with pytest.raises(TopologyError):
+            heterogeneous_disk_digraph(np.zeros((2, 3)), [1.0, 1.0])
+        with pytest.raises(TopologyError):
+            heterogeneous_disk_digraph(np.zeros((2, 2)), [1.0])
+        with pytest.raises(TopologyError):
+            heterogeneous_disk_digraph(np.zeros((2, 2)), [1.0, -1.0])
+
+    def test_empty(self):
+        v = heterogeneous_disk_digraph(np.zeros((0, 2)), [])
+        assert v.n == 0
+
+
+class TestStrongConnectivity:
+    def test_cycle_is_strong(self):
+        v = from_arcs(3, [(0, 1), (1, 2), (2, 0)])
+        assert strongly_connected(v)
+
+    def test_one_way_chain_is_not(self):
+        v = from_arcs(3, [(0, 1), (1, 2)])
+        assert not strongly_connected(v)
+
+    def test_random_generator_delivers(self, rng):
+        view, pos, ranges = random_strongly_connected_digraph(15, rng=rng)
+        assert strongly_connected(view)
+        assert len(pos) == len(ranges) == 15
+        # heterogeneity should produce at least one one-way link usually
+        assert not view.is_symmetric()
+
+    def test_generator_seed_reproducible(self):
+        a, pa, ra = random_strongly_connected_digraph(10, rng=3)
+        b, pb, rb = random_strongly_connected_digraph(10, rng=3)
+        assert a == b
+        assert np.array_equal(pa, pb) and np.array_equal(ra, rb)
+
+    def test_impossible_raises(self):
+        with pytest.raises(TopologyError, match="no strongly connected"):
+            random_strongly_connected_digraph(
+                30, base_range=0.5, rng=1, max_tries=3
+            )

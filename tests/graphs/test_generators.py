@@ -1,0 +1,162 @@
+"""Topology generator tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, TopologyError
+from repro.graphs.generators import (
+    clique,
+    cycle_graph,
+    from_edges,
+    grid_graph,
+    paper_example_graph,
+    path_graph,
+    random_connected_network,
+    random_gnp_connected,
+    star_graph,
+)
+from repro.graphs.neighborhoods import is_connected
+
+
+class TestStructured:
+    def test_path(self):
+        g = path_graph(4)
+        assert g.edges() == [(0, 1), (1, 2), (2, 3)]
+
+    def test_cycle(self):
+        g = cycle_graph(4)
+        assert len(g.edges()) == 4
+        assert all(g.degree(v) == 2 for v in range(4))
+
+    def test_cycle_too_small_raises(self):
+        with pytest.raises(ConfigurationError):
+            cycle_graph(2)
+
+    def test_clique(self):
+        g = clique(5)
+        assert len(g.edges()) == 10
+        assert all(g.degree(v) == 4 for v in range(5))
+
+    def test_star(self):
+        g = star_graph(5)
+        assert g.degree(0) == 4
+        assert all(g.degree(v) == 1 for v in range(1, 5))
+
+    def test_grid(self):
+        g = grid_graph(3, 4)
+        assert g.n == 12
+        # corners degree 2, edges 3, interior 4
+        assert g.degree(0) == 2
+        assert g.degree(5) == 4
+
+
+class TestFromEdges:
+    def test_rejects_out_of_range(self):
+        with pytest.raises(TopologyError):
+            from_edges(2, [(0, 2)])
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(TopologyError):
+            from_edges(2, [(1, 1)])
+
+    def test_duplicate_edges_collapse(self):
+        g = from_edges(2, [(0, 1), (1, 0), (0, 1)])
+        assert g.edges() == [(0, 1)]
+
+
+class TestRandom:
+    def test_gnp_connected_is_connected(self, rng):
+        for _ in range(5):
+            g = random_gnp_connected(12, 0.3, rng=rng)
+            assert is_connected(g.adjacency)
+
+    def test_gnp_impossible_raises(self, rng):
+        with pytest.raises(TopologyError, match="no connected"):
+            random_gnp_connected(5, 0.0, rng=rng, max_tries=3)
+
+    def test_network_uses_paper_parameters(self, rng):
+        net = random_connected_network(15, rng=rng)
+        assert net.side == 100.0
+        assert net.radius == 25.0
+        assert net.is_connected()
+        assert np.all(net.positions >= 0) and np.all(net.positions <= 100)
+
+    def test_network_seed_reproducibility(self):
+        a = random_connected_network(10, rng=5)
+        b = random_connected_network(10, rng=5)
+        assert np.array_equal(a.positions, b.positions)
+
+    def test_network_impossible_raises(self):
+        with pytest.raises(TopologyError, match="no connected placement"):
+            random_connected_network(50, radius=0.5, rng=1, max_tries=5)
+
+
+class TestPaperExample:
+    def test_dimensions(self):
+        ex = paper_example_graph()
+        assert ex.graph.n == 27
+        assert len(ex.energy) == 27
+
+    def test_connected(self):
+        ex = paper_example_graph()
+        assert is_connected(ex.graph.adjacency)
+
+    def test_label_round_trip(self):
+        ex = paper_example_graph()
+        assert ex.id_of_label(1) == 0
+        assert ex.labels({0, 26}) == {1, 27}
+
+
+class TestClusteredNetwork:
+    def test_connected_with_paper_radio(self, rng):
+        from repro.graphs.generators import clustered_connected_network
+
+        net = clustered_connected_network(30, clusters=3, rng=rng)
+        assert net.n == 30
+        assert net.is_connected()
+        assert np.all((net.positions >= 0) & (net.positions <= 100))
+
+    def test_single_cluster_is_a_tight_blob(self):
+        from repro.graphs.generators import clustered_connected_network
+
+        net = clustered_connected_network(
+            20, clusters=1, cluster_std=5.0, rng=3
+        )
+        spread = net.positions.std(axis=0).max()
+        assert spread < 15.0  # much tighter than a uniform placement
+
+    def test_seed_reproducible(self):
+        from repro.graphs.generators import clustered_connected_network
+
+        a = clustered_connected_network(15, rng=9)
+        b = clustered_connected_network(15, rng=9)
+        assert np.array_equal(a.positions, b.positions)
+
+    def test_bad_parameters_rejected(self):
+        from repro.errors import ConfigurationError
+        from repro.graphs.generators import clustered_connected_network
+
+        with pytest.raises(ConfigurationError):
+            clustered_connected_network(10, clusters=0)
+        with pytest.raises(ConfigurationError):
+            clustered_connected_network(10, cluster_std=0.0)
+
+    def test_clustering_prunes_harder_than_uniform(self):
+        """Dense cores are cliques-ish: the rules collapse them to a few
+        gateways, so clustered backbones are far smaller."""
+        from repro.core.cds import compute_cds
+        from repro.graphs.generators import (
+            clustered_connected_network,
+            random_connected_network,
+        )
+
+        rng = np.random.default_rng(4)
+        clustered = uniform = 0
+        for _ in range(5):
+            cn = clustered_connected_network(40, clusters=3, rng=rng)
+            un = random_connected_network(40, rng=rng)
+            clustered += compute_cds(cn, "nd").size
+            uniform += compute_cds(un, "nd").size
+        assert clustered < uniform

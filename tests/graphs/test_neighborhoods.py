@@ -1,0 +1,113 @@
+"""Neighborhood view and predicate tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.graphs import bitset
+from repro.graphs.neighborhoods import (
+    NeighborhoodView,
+    closed_covered_by,
+    closed_mask,
+    components,
+    connected_within,
+    degree_sequence,
+    is_connected,
+    open_covered_by_pair,
+    validate_adjacency,
+)
+from repro.graphs.generators import cycle_graph, from_edges, path_graph
+
+
+class TestViewBasics:
+    def test_neighbors_and_degree(self):
+        g = from_edges(4, [(0, 1), (0, 2), (2, 3)])
+        assert g.neighbors(0) == [1, 2]
+        assert g.degree(0) == 2
+        assert g.degree(3) == 1
+
+    def test_has_edge_symmetric(self):
+        g = from_edges(3, [(0, 2)])
+        assert g.has_edge(0, 2) and g.has_edge(2, 0)
+        assert not g.has_edge(0, 1)
+
+    def test_edges_listing(self):
+        g = from_edges(4, [(2, 3), (0, 1)])
+        assert g.edges() == [(0, 1), (2, 3)]
+
+    def test_equality_and_hash(self):
+        a = from_edges(3, [(0, 1)])
+        b = from_edges(3, [(0, 1)])
+        c = from_edges(3, [(1, 2)])
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+    def test_degree_sequence(self):
+        g = path_graph(4)
+        assert degree_sequence(g.adjacency) == [1, 2, 2, 1]
+
+
+class TestValidation:
+    def test_self_loop_rejected(self):
+        with pytest.raises(TopologyError, match="self-loop"):
+            NeighborhoodView([0b001, 0b000, 0b000])
+
+    def test_asymmetric_edge_rejected(self):
+        with pytest.raises(TopologyError, match="asymmetric"):
+            NeighborhoodView([0b010, 0b000])
+
+    def test_out_of_range_neighbor_rejected(self):
+        with pytest.raises(TopologyError, match="outside"):
+            NeighborhoodView([0b100])
+
+    def test_valid_adjacency_passes(self):
+        validate_adjacency([0b010, 0b001])
+
+
+class TestCoveragePredicates:
+    def test_closed_mask_includes_self(self):
+        g = path_graph(3)
+        assert closed_mask(g.adjacency, 1) == 0b111
+
+    def test_closed_covered_by(self):
+        # 0's closed nbhd {0,1} within 1's {0,1,2}
+        g = path_graph(3)
+        assert closed_covered_by(g.adjacency, 0, 1)
+        assert not closed_covered_by(g.adjacency, 1, 0)
+
+    def test_open_covered_by_pair_requires_uw_adjacent(self):
+        # u=1, w=2 adjacent; v=0 between them
+        g = from_edges(3, [(0, 1), (0, 2), (1, 2)])
+        assert open_covered_by_pair(g.adjacency, 0, 1, 2)
+        # drop the u-w edge: v's neighbor u is no longer in N(u) ∪ N(w)
+        h = from_edges(3, [(0, 1), (0, 2)])
+        assert not open_covered_by_pair(h.adjacency, 0, 1, 2)
+
+
+class TestConnectivity:
+    def test_path_connected(self):
+        assert is_connected(path_graph(6).adjacency)
+
+    def test_two_components_detected(self):
+        g = from_edges(4, [(0, 1), (2, 3)])
+        assert not is_connected(g.adjacency)
+        comps = components(g.adjacency)
+        assert sorted(bitset.popcount(c) for c in comps) == [2, 2]
+
+    def test_isolated_node_is_component(self):
+        g = from_edges(3, [(0, 1)])
+        assert len(components(g.adjacency)) == 2
+
+    def test_connected_within_submask(self):
+        g = cycle_graph(6)
+        assert connected_within(g.adjacency, bitset.mask_from_ids({0, 1, 2}))
+        assert not connected_within(g.adjacency, bitset.mask_from_ids({0, 3}))
+
+    def test_connected_within_bad_start_raises(self):
+        g = path_graph(3)
+        with pytest.raises(TopologyError):
+            connected_within(g.adjacency, 0b011, start=2)
+
+    def test_empty_graph_is_connected(self):
+        assert is_connected([])

@@ -1,0 +1,81 @@
+"""Active-subset (induced subgraph) tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.graphs import bitset
+from repro.graphs.generators import cycle_graph, from_edges, path_graph
+from repro.graphs.subgraphs import (
+    active_components,
+    is_dominating_over,
+    largest_component,
+    restrict_adjacency,
+)
+
+
+class TestRestrict:
+    def test_inactive_nodes_are_isolated(self):
+        g = path_graph(4)
+        sub = restrict_adjacency(g.adjacency, bitset.mask_from_ids({0, 1, 3}))
+        assert sub[2] == 0
+        assert sub[1] == 0b0001  # edge to 2 dropped, edge to 0 kept
+        assert sub[3] == 0       # its only neighbor 2 is off
+
+    def test_full_mask_is_identity(self):
+        g = cycle_graph(5)
+        assert restrict_adjacency(g.adjacency, 0b11111) == list(g.adjacency)
+
+    def test_mask_out_of_range_rejected(self):
+        g = path_graph(3)
+        with pytest.raises(TopologyError, match="outside"):
+            restrict_adjacency(g.adjacency, 1 << 5)
+
+    def test_result_is_symmetric(self):
+        g = cycle_graph(6)
+        sub = restrict_adjacency(g.adjacency, 0b101011)
+        for u in range(6):
+            for v in bitset.iter_bits(sub[u]):
+                assert sub[v] >> u & 1
+
+
+class TestComponents:
+    def test_removing_a_cut_vertex_splits(self):
+        g = path_graph(5)
+        comps = active_components(g.adjacency, bitset.mask_from_ids({0, 1, 3, 4}))
+        assert sorted(bitset.popcount(c) for c in comps) == [2, 2]
+
+    def test_all_active_single_component(self):
+        g = cycle_graph(5)
+        comps = active_components(g.adjacency, 0b11111)
+        assert len(comps) == 1
+
+    def test_empty_mask_no_components(self):
+        g = path_graph(3)
+        assert active_components(g.adjacency, 0) == []
+
+    def test_largest_component(self):
+        g = path_graph(6)
+        mask = bitset.mask_from_ids({0, 2, 3, 4})  # {0} and {2,3,4}
+        assert largest_component(g.adjacency, mask) == bitset.mask_from_ids(
+            {2, 3, 4}
+        )
+        assert largest_component(g.adjacency, 0) == 0
+
+
+class TestDominationOver:
+    def test_restricted_domination(self):
+        g = path_graph(5)
+        # {1} dominates {0,1,2} but not node 4
+        assert is_dominating_over(g.adjacency, {1}, bitset.mask_from_ids({0, 1, 2}))
+        assert not is_dominating_over(g.adjacency, {1}, bitset.mask_from_ids({4}))
+
+    def test_off_hosts_impose_nothing(self):
+        g = from_edges(4, [(0, 1), (2, 3)])
+        required = bitset.mask_from_ids({0, 1})
+        assert is_dominating_over(g.adjacency, {0}, required)
+
+    def test_empty_required_always_satisfied(self):
+        g = path_graph(3)
+        assert is_dominating_over(g.adjacency, set(), 0)

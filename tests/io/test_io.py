@@ -1,0 +1,83 @@
+"""Serialization round-trip tests."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import run_figure10
+from repro.errors import TopologyError
+from repro.graphs.generators import paper_example_graph, random_connected_network
+from repro.io.topology_io import load_network, load_view, save_network, save_view
+from repro.io.traces import (
+    experiment_to_csv,
+    experiment_to_json,
+    trials_to_csv,
+    trials_to_json,
+)
+from repro.simulation.config import SimulationConfig
+from repro.simulation.runner import run_trials
+
+
+class TestTopologyRoundTrip:
+    def test_network_round_trip(self, tmp_path, rng):
+        net = random_connected_network(12, rng=rng)
+        path = tmp_path / "net.json"
+        save_network(net, path)
+        loaded = load_network(path)
+        assert np.allclose(loaded.positions, net.positions)
+        assert loaded.radius == net.radius
+        assert loaded.adjacency == net.adjacency
+
+    def test_view_round_trip(self, tmp_path):
+        view = paper_example_graph().graph
+        path = tmp_path / "graph.json"
+        save_view(view, path)
+        assert load_view(path) == view
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(TopologyError, match="expected format"):
+            load_network(path)
+        with pytest.raises(TopologyError, match="expected format"):
+            load_view(path)
+
+
+@pytest.fixture(scope="module")
+def some_trials():
+    cfg = SimulationConfig(n_hosts=8, scheme="id", drain_model="linear")
+    return run_trials(cfg, 3, root_seed=1, parallel=False)
+
+
+class TestTraces:
+    def test_trials_json(self, tmp_path, some_trials):
+        path = tmp_path / "trials.json"
+        trials_to_json(some_trials, path)
+        doc = json.loads(path.read_text())
+        assert len(doc) == 3
+        assert doc[0]["lifespan"] == some_trials[0].lifespan
+
+    def test_trials_csv(self, tmp_path, some_trials):
+        path = tmp_path / "trials.csv"
+        trials_to_csv(some_trials, path)
+        lines = path.read_text().strip().splitlines()
+        assert lines[0].startswith("lifespan,")
+        assert len(lines) == 4
+
+    def test_experiment_exports(self, tmp_path):
+        result = run_figure10(
+            n_values=[8], trials=2, schemes=["id", "nd"],
+            root_seed=3, parallel=False,
+        )
+        jpath = tmp_path / "exp.json"
+        cpath = tmp_path / "exp.csv"
+        experiment_to_json(result, jpath)
+        experiment_to_csv(result, cpath)
+        doc = json.loads(jpath.read_text())
+        assert doc["figure"] == "Figure 10"
+        assert set(doc["series"]) == {"id", "nd"}
+        rows = cpath.read_text().strip().splitlines()
+        assert len(rows) == 1 + 2  # header + one row per (N, scheme)

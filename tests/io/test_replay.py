@@ -1,0 +1,100 @@
+"""Record/replay trace tests."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.io.replay import (
+    SimulationTrace,
+    TraceFrame,
+    TraceRecorder,
+    replay_trace,
+)
+from repro.simulation.config import SimulationConfig
+from repro.simulation.lifespan import LifespanSimulator
+
+
+@pytest.fixture(scope="module")
+def recorded_run():
+    cfg = SimulationConfig(n_hosts=12, scheme="el1", drain_model="fixed")
+    sim = LifespanSimulator(cfg, rng=21)
+    recorder = TraceRecorder(scheme="el1", radius=cfg.radius, side=cfg.side)
+    result = sim.run(recorder=recorder)
+    return result, recorder.finish()
+
+
+class TestRecording:
+    def test_one_frame_per_interval(self, recorded_run):
+        result, trace = recorded_run
+        assert len(trace.frames) == result.lifespan
+        assert [f.interval for f in trace.frames] == list(
+            range(1, result.lifespan + 1)
+        )
+
+    def test_frames_capture_population_state(self, recorded_run):
+        _, trace = recorded_run
+        first = trace.frames[0]
+        assert len(first.positions) == 12
+        assert len(first.energy) == 12
+        assert all(e == 100.0 for e in first.energy)  # pre-drain snapshot
+        assert len(first.gateways) >= 1
+
+    def test_energy_declines_across_frames(self, recorded_run):
+        _, trace = recorded_run
+        totals = [sum(f.energy) for f in trace.frames]
+        assert all(b < a for a, b in zip(totals, totals[1:]))
+
+
+class TestReplay:
+    def test_recorded_run_verifies(self, recorded_run):
+        _, trace = recorded_run
+        assert replay_trace(trace) == []
+
+    def test_tampered_gateways_detected(self, recorded_run):
+        _, trace = recorded_run
+        f0 = trace.frames[0]
+        bad_gws = tuple(g for g in f0.gateways[1:])  # drop one gateway
+        tampered = dataclasses.replace(
+            trace,
+            frames=(dataclasses.replace(f0, gateways=bad_gws),)
+            + trace.frames[1:],
+        )
+        assert 1 in replay_trace(tampered)
+
+    def test_tampered_energy_detected_for_el_scheme(self, recorded_run):
+        _, trace = recorded_run
+        # flip the energies of a later frame where levels have diverged:
+        # the EL1 key order changes, so the recomputed CDS differs
+        mid = len(trace.frames) // 2
+        f = trace.frames[mid]
+        swapped = tuple(reversed(f.energy))
+        frames = list(trace.frames)
+        frames[mid] = dataclasses.replace(f, energy=swapped)
+        tampered = dataclasses.replace(trace, frames=tuple(frames))
+        assert replay_trace(tampered) != []
+
+
+class TestSerialization:
+    def test_round_trip(self, recorded_run, tmp_path):
+        _, trace = recorded_run
+        path = tmp_path / "run.trace.json"
+        trace.save(path)
+        loaded = SimulationTrace.load(path)
+        assert loaded == trace
+        assert replay_trace(loaded) == []
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": "nope"}')
+        with pytest.raises(SimulationError, match="expected format"):
+            SimulationTrace.load(path)
+
+    def test_empty_trace_round_trip(self, tmp_path):
+        trace = SimulationTrace(scheme="id", radius=25.0, side=100.0)
+        path = tmp_path / "empty.json"
+        trace.save(path)
+        assert SimulationTrace.load(path).frames == ()

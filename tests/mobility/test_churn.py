@@ -1,0 +1,59 @@
+"""Churn model tests (host switching on/off)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mobility.churn import ChurnModel
+
+
+class TestConfiguration:
+    @pytest.mark.parametrize("bad", [-0.1, 1.5])
+    def test_bad_probabilities_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            ChurnModel(off_probability=bad)
+        with pytest.raises(ConfigurationError):
+            ChurnModel(on_probability=bad)
+
+
+class TestStep:
+    def test_zero_probabilities_freeze_state(self, rng):
+        model = ChurnModel(0.0, 0.0)
+        active = np.array([True, False, True])
+        before = active.copy()
+        model.step(active, rng)
+        np.testing.assert_array_equal(active, before)
+
+    def test_certain_off_switches_everyone_off(self, rng):
+        model = ChurnModel(off_probability=1.0, on_probability=0.0)
+        active = np.ones(10, dtype=bool)
+        model.step(active, rng)
+        assert not active.any()
+
+    def test_certain_on_switches_everyone_on(self, rng):
+        model = ChurnModel(off_probability=0.0, on_probability=1.0)
+        active = np.zeros(10, dtype=bool)
+        model.step(active, rng)
+        assert active.all()
+
+    def test_dead_hosts_stay_off(self, rng):
+        model = ChurnModel(off_probability=0.0, on_probability=1.0)
+        active = np.zeros(4, dtype=bool)
+        eligible = np.array([True, False, True, False])
+        model.step(active, rng, eligible=eligible)
+        np.testing.assert_array_equal(active, eligible)
+
+    def test_rates_are_roughly_respected(self, rng):
+        model = ChurnModel(off_probability=0.2, on_probability=0.6)
+        active = np.ones(20_000, dtype=bool)
+        model.step(active, rng)
+        off_rate = 1.0 - active.mean()
+        assert 0.17 < off_rate < 0.23
+
+    def test_mutates_in_place_and_returns_same_array(self, rng):
+        model = ChurnModel(1.0, 0.0)
+        active = np.ones(3, dtype=bool)
+        out = model.step(active, rng)
+        assert out is active

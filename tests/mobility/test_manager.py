@@ -1,0 +1,74 @@
+"""MobilityManager tests: connectivity policies and bookkeeping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.geometry.space import Region2D
+from repro.graphs.adhoc import AdHocNetwork
+from repro.graphs.generators import random_connected_network
+from repro.mobility.manager import MobilityManager
+from repro.mobility.paper_walk import PaperWalk
+from repro.mobility.base import StationaryModel
+
+
+class TestConfiguration:
+    def test_bad_policy_rejected(self, small_network):
+        with pytest.raises(ConfigurationError):
+            MobilityManager(small_network, PaperWalk(), on_disconnect="panic")
+
+    def test_bad_retries_rejected(self, small_network):
+        with pytest.raises(ConfigurationError):
+            MobilityManager(small_network, PaperWalk(), max_retries=0)
+
+    def test_region_defaults_to_network_side(self, small_network):
+        mgr = MobilityManager(small_network, PaperWalk())
+        assert mgr.region.side == small_network.side
+
+
+class TestRetryPolicy:
+    def test_network_stays_connected_under_retry(self, rng):
+        net = random_connected_network(12, rng=rng)
+        mgr = MobilityManager(
+            net, PaperWalk(), on_disconnect="retry", rng=rng
+        )
+        for _ in range(30):
+            mgr.step()
+            assert net.is_connected()
+
+    def test_stationary_model_reports_no_change(self, rng):
+        net = random_connected_network(10, rng=rng)
+        mgr = MobilityManager(net, StationaryModel(), rng=rng)
+        assert mgr.step() is False
+
+    def test_impossible_moves_freeze_hosts(self, rng):
+        # two hosts barely in range; any move of >= min_step disconnects
+        pos = np.array([[0.0, 0.0], [24.9, 0.0]])
+        net = AdHocNetwork(pos, radius=25.0, side=100.0)
+        walk = PaperWalk(stability=0.0, min_step=30.0, max_step=40.0)
+        mgr = MobilityManager(
+            net, walk, Region2D(side=100.0), on_disconnect="retry",
+            max_retries=3, rng=rng,
+        )
+        changed = mgr.step()
+        assert changed is False
+        assert mgr.frozen_intervals == 1
+        assert net.is_connected()
+        np.testing.assert_array_equal(net.positions, pos)
+
+
+class TestAcceptPolicy:
+    def test_disconnection_allowed(self, rng):
+        pos = np.array([[0.0, 0.0], [24.9, 0.0]])
+        net = AdHocNetwork(pos, radius=25.0, side=1000.0)
+        walk = PaperWalk(stability=0.0, min_step=50.0, max_step=60.0)
+        mgr = MobilityManager(
+            net, walk, Region2D(side=1000.0), on_disconnect="accept", rng=rng
+        )
+        mgr.step()
+        assert mgr.frozen_intervals == 0
+        # with a 50-unit minimum step from a 24.9-unit gap the two hosts
+        # can remain connected only by coincidence; just assert no freeze
+        assert not np.array_equal(net.positions, pos)

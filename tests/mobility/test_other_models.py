@@ -1,0 +1,122 @@
+"""RandomWalk, RandomWaypoint, and StationaryModel tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.geometry.space import Region2D
+from repro.mobility.base import MobilityModel, StationaryModel
+from repro.mobility.paper_walk import PaperWalk
+from repro.mobility.random_walk import RandomWalk
+from repro.mobility.random_waypoint import RandomWaypoint
+
+
+class TestProtocolConformance:
+    @pytest.mark.parametrize(
+        "model",
+        [StationaryModel(), PaperWalk(), RandomWalk(), RandomWaypoint()],
+    )
+    def test_models_satisfy_protocol(self, model):
+        assert isinstance(model, MobilityModel)
+
+
+class TestStationary:
+    def test_never_moves(self, rng):
+        pos = rng.random((10, 2)) * 100
+        before = pos.copy()
+        StationaryModel().step(pos, Region2D(), rng)
+        np.testing.assert_array_equal(pos, before)
+
+
+class TestRandomWalk:
+    def test_step_lengths_bounded(self, rng):
+        w = RandomWalk(move_probability=1.0, min_step=2.0, max_step=3.0)
+        region = Region2D(side=1e9)
+        pos = np.full((300, 2), 5e8)
+        before = pos.copy()
+        w.step(pos, region, rng)
+        lengths = np.hypot(*(pos - before).T)
+        assert np.all((lengths >= 2.0 - 1e-9) & (lengths <= 3.0 + 1e-9))
+
+    def test_zero_probability_freezes(self, rng):
+        w = RandomWalk(move_probability=0.0)
+        pos = rng.random((10, 2)) * 100
+        before = pos.copy()
+        assert not w.step(pos, Region2D(), rng).any()
+        np.testing.assert_array_equal(pos, before)
+
+    def test_angles_are_continuous(self, rng):
+        w = RandomWalk(move_probability=1.0, min_step=1.0, max_step=1.0)
+        region = Region2D(side=1e9)
+        pos = np.full((500, 2), 5e8)
+        before = pos.copy()
+        w.step(pos, region, rng)
+        deltas = pos - before
+        angles = np.degrees(np.arctan2(deltas[:, 1], deltas[:, 0])) % 360
+        # an 8-direction walk would produce <= 8 distinct angles
+        assert len(np.unique(np.round(angles, 3))) > 50
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RandomWalk(move_probability=2.0)
+        with pytest.raises(ConfigurationError):
+            RandomWalk(min_step=4.0, max_step=1.0)
+
+
+class TestRandomWaypoint:
+    def test_hosts_progress_toward_destinations(self, rng):
+        w = RandomWaypoint(min_speed=1.0, max_speed=1.0, max_pause=0)
+        region = Region2D(side=100.0)
+        pos = region.sample(20, rng)
+        w.step(pos, region, rng)  # initializes destinations
+        dest = w._dest.copy()
+        before_dist = np.hypot(*(dest - pos).T)
+        w.step(pos, region, rng)
+        after_dist = np.hypot(*(w._dest - pos).T)
+        # most hosts moved closer to their (unchanged) destination
+        unchanged = np.all(w._dest == dest, axis=1)
+        assert np.all(after_dist[unchanged] <= before_dist[unchanged] + 1e-9)
+
+    def test_arrival_triggers_replan(self, rng):
+        w = RandomWaypoint(min_speed=50.0, max_speed=50.0, max_pause=0)
+        region = Region2D(side=10.0)  # speed >> region: arrive every step
+        pos = region.sample(5, rng)
+        w.step(pos, region, rng)
+        first_dest = w._dest.copy()
+        w.step(pos, region, rng)
+        assert np.any(w._dest != first_dest)
+
+    def test_pause_holds_position(self, rng):
+        w = RandomWaypoint(min_speed=100.0, max_speed=100.0, max_pause=5)
+        region = Region2D(side=10.0)
+        pos = region.sample(8, rng)
+        for _ in range(3):
+            w.step(pos, region, rng)
+        paused = w._pause > 0
+        if paused.any():
+            frozen = pos[paused].copy()
+            w.step(pos, region, rng)
+            np.testing.assert_array_equal(pos[paused], frozen)
+
+    def test_reset_forgets_state(self, rng):
+        w = RandomWaypoint()
+        pos = Region2D().sample(4, rng)
+        w.step(pos, Region2D(), rng)
+        assert w._dest is not None
+        w.reset()
+        assert w._dest is None
+
+    def test_population_resize_reinitializes(self, rng):
+        w = RandomWaypoint()
+        region = Region2D()
+        w.step(region.sample(4, rng), region, rng)
+        w.step(region.sample(9, rng), region, rng)  # no crash
+        assert len(w._dest) == 9
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RandomWaypoint(min_speed=0.0)
+        with pytest.raises(ConfigurationError):
+            RandomWaypoint(max_pause=-1)

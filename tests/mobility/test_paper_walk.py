@@ -1,0 +1,87 @@
+"""Paper mobility model tests (§4 parameters)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.geometry.space import Region2D
+from repro.mobility.paper_walk import PaperWalk
+
+
+class TestConfiguration:
+    def test_paper_defaults(self):
+        w = PaperWalk()
+        assert w.stability == 0.5
+        assert (w.min_step, w.max_step) == (1.0, 6.0)
+
+    @pytest.mark.parametrize("c", [-0.1, 1.1])
+    def test_bad_stability_rejected(self, c):
+        with pytest.raises(ConfigurationError):
+            PaperWalk(stability=c)
+
+    def test_bad_step_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PaperWalk(min_step=5.0, max_step=1.0)
+
+
+class TestStep:
+    def test_stability_one_freezes_everyone(self, rng):
+        w = PaperWalk(stability=1.0)
+        pos = rng.random((20, 2)) * 100
+        before = pos.copy()
+        moving = w.step(pos, Region2D(), rng)
+        assert not moving.any()
+        np.testing.assert_array_equal(pos, before)
+
+    def test_stability_zero_moves_everyone(self, rng):
+        w = PaperWalk(stability=0.0)
+        pos = rng.random((20, 2)) * 100
+        before = pos.copy()
+        moving = w.step(pos, Region2D(), rng)
+        assert moving.all()
+        assert np.any(pos != before)
+
+    def test_step_lengths_in_range(self, rng):
+        w = PaperWalk(stability=0.0)
+        region = Region2D(side=1e9)  # no boundary interference
+        pos = np.full((500, 2), 5e8)
+        before = pos.copy()
+        w.step(pos, region, rng)
+        lengths = np.hypot(*(pos - before).T)
+        assert np.all(lengths >= 1.0 - 1e-9)
+        assert np.all(lengths <= 6.0 + 1e-9)
+
+    def test_integer_steps_quantize_lengths(self, rng):
+        w = PaperWalk(stability=0.0, integer_steps=True)
+        region = Region2D(side=1e9)
+        pos = np.full((500, 2), 5e8)
+        before = pos.copy()
+        w.step(pos, region, rng)
+        lengths = np.hypot(*(pos - before).T)
+        np.testing.assert_allclose(lengths, np.round(lengths))
+
+    def test_moves_stay_in_region(self, rng):
+        w = PaperWalk(stability=0.0)
+        region = Region2D(side=10.0)
+        pos = rng.random((100, 2)) * 10
+        for _ in range(20):
+            w.step(pos, region, rng)
+        assert np.all((pos >= 0) & (pos <= 10))
+
+    def test_half_stability_moves_about_half(self, rng):
+        w = PaperWalk(stability=0.5)
+        pos = rng.random((4000, 2)) * 100
+        moving = w.step(pos, Region2D(), rng)
+        assert 0.45 < moving.mean() < 0.55
+
+    def test_eight_directions_all_occur(self, rng):
+        w = PaperWalk(stability=0.0, min_step=1.0, max_step=1.0)
+        region = Region2D(side=1e9)
+        pos = np.full((2000, 2), 5e8)
+        before = pos.copy()
+        w.step(pos, region, rng)
+        deltas = pos - before
+        angles = np.round(np.degrees(np.arctan2(deltas[:, 1], deltas[:, 0]))) % 360
+        assert set(angles) == {0.0, 45.0, 90.0, 135.0, 180.0, 225.0, 270.0, 315.0}

@@ -1,0 +1,51 @@
+"""Property-based tests for the bitset layer (hypothesis)."""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.graphs import bitset
+
+id_sets = st.frozensets(st.integers(min_value=0, max_value=200), max_size=40)
+
+
+class TestMaskSetIsomorphism:
+    @given(id_sets)
+    def test_round_trip(self, ids):
+        assert set(bitset.ids_from_mask(bitset.mask_from_ids(ids))) == ids
+
+    @given(id_sets, id_sets)
+    def test_union_matches_set_union(self, a, b):
+        m = bitset.mask_from_ids(a) | bitset.mask_from_ids(b)
+        assert set(bitset.ids_from_mask(m)) == a | b
+
+    @given(id_sets, id_sets)
+    def test_intersection_matches(self, a, b):
+        m = bitset.mask_from_ids(a) & bitset.mask_from_ids(b)
+        assert set(bitset.ids_from_mask(m)) == a & b
+
+    @given(id_sets, id_sets)
+    def test_subset_matches(self, a, b):
+        assert bitset.is_subset(
+            bitset.mask_from_ids(a), bitset.mask_from_ids(b)
+        ) == (a <= b)
+
+    @given(id_sets)
+    def test_popcount_is_cardinality(self, a):
+        assert bitset.popcount(bitset.mask_from_ids(a)) == len(a)
+
+    @given(id_sets, st.integers(min_value=0, max_value=200))
+    def test_without_matches_discard(self, a, x):
+        m = bitset.without(bitset.mask_from_ids(a), x)
+        assert set(bitset.ids_from_mask(m)) == a - {x}
+
+    @given(id_sets)
+    def test_iter_bits_sorted(self, a):
+        out = list(bitset.iter_bits(bitset.mask_from_ids(a)))
+        assert out == sorted(a)
+
+    @given(st.lists(id_sets, max_size=6))
+    def test_union_all(self, sets):
+        m = bitset.union_all(bitset.mask_from_ids(s) for s in sets)
+        want = set().union(*sets) if sets else set()
+        assert set(bitset.ids_from_mask(m)) == want

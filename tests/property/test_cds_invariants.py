@@ -1,0 +1,126 @@
+"""Property-based verification of the paper's central invariants.
+
+On arbitrary connected graphs and arbitrary energy assignments, for every
+scheme and both pipeline modes:
+
+* Property 1 — the gateway set dominates G;
+* Property 2 — the induced subgraph is connected;
+* Property 3 — shortest paths run through the *marked* set (pre-pruning);
+* pruning only ever shrinks the marked set;
+* the distributed protocol agrees with the centralized pipeline.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cds import compute_cds
+from repro.core.marking import marked_mask
+from repro.core.properties import (
+    is_dominating,
+    induced_connected,
+    shortest_paths_use_gateways,
+)
+from repro.graphs import bitset
+from repro.graphs.neighborhoods import NeighborhoodView, is_connected
+from repro.protocol.distributed_cds import distributed_cds
+
+
+@st.composite
+def connected_graphs(draw, min_nodes=2, max_nodes=18):
+    """A random connected graph: a random spanning tree + extra edges."""
+    n = draw(st.integers(min_nodes, max_nodes))
+    edges = set()
+    # random spanning tree via random attachment
+    for v in range(1, n):
+        u = draw(st.integers(0, v - 1))
+        edges.add((u, v))
+    extra = draw(
+        st.sets(
+            st.tuples(
+                st.integers(0, n - 1), st.integers(0, n - 1)
+            ).map(lambda t: (min(t), max(t))).filter(lambda t: t[0] != t[1]),
+            max_size=2 * n,
+        )
+    )
+    edges |= extra
+    adj = [0] * n
+    for u, v in edges:
+        adj[u] |= 1 << v
+        adj[v] |= 1 << u
+    return NeighborhoodView(adj)
+
+
+@st.composite
+def graph_with_energy(draw):
+    g = draw(connected_graphs())
+    energy = draw(
+        st.lists(
+            st.integers(1, 5).map(float), min_size=g.n, max_size=g.n
+        )
+    )
+    return g, energy
+
+
+def is_complete(g: NeighborhoodView) -> bool:
+    full = (1 << g.n) - 1
+    return all(g.adjacency[v] | (1 << v) == full for v in range(g.n))
+
+
+class TestMarkingInvariants:
+    @given(connected_graphs())
+    @settings(max_examples=150, deadline=None)
+    def test_marked_set_is_cds_unless_complete(self, g):
+        marked = marked_mask(g.adjacency)
+        if is_complete(g):
+            assert marked == 0
+        else:
+            assert is_dominating(g.adjacency, marked)
+            assert induced_connected(g.adjacency, marked)
+
+    @given(connected_graphs(max_nodes=12))
+    @settings(max_examples=60, deadline=None)
+    def test_property3_shortest_paths_through_gateways(self, g):
+        marked = marked_mask(g.adjacency)
+        if marked:
+            assert shortest_paths_use_gateways(g.adjacency, marked)
+
+
+class TestPrunedInvariants:
+    @given(graph_with_energy(), st.sampled_from(["id", "nd", "el1", "el2"]),
+           st.booleans())
+    @settings(max_examples=200, deadline=None)
+    def test_pruned_set_remains_cds(self, ge, scheme, fixed_point):
+        g, energy = ge
+        r = compute_cds(g, scheme, energy=energy, fixed_point=fixed_point)
+        if is_complete(g):
+            assert r.size == 0
+            return
+        assert is_dominating(g.adjacency, r.gateway_mask), scheme
+        assert induced_connected(g.adjacency, r.gateway_mask), scheme
+
+    @given(graph_with_energy(), st.sampled_from(["id", "nd", "el1", "el2"]))
+    @settings(max_examples=100, deadline=None)
+    def test_pruning_is_monotone_shrinking(self, ge, scheme):
+        g, energy = ge
+        marked = marked_mask(g.adjacency)
+        r = compute_cds(g, scheme, energy=energy)
+        assert bitset.is_subset(r.gateway_mask, marked)
+
+    @given(graph_with_energy())
+    @settings(max_examples=60, deadline=None)
+    def test_fixed_point_never_bigger_than_single_pass(self, ge):
+        g, energy = ge
+        single = compute_cds(g, "nd", energy=energy)
+        fp = compute_cds(g, "nd", energy=energy, fixed_point=True)
+        assert fp.size <= single.size
+
+
+class TestDistributedAgreement:
+    @given(graph_with_energy(), st.sampled_from(["id", "nd", "el1", "el2"]))
+    @settings(max_examples=80, deadline=None)
+    def test_protocol_equals_centralized(self, ge, scheme):
+        g, energy = ge
+        d = distributed_cds(g, scheme, energy=energy)
+        c = compute_cds(g, scheme, energy=energy)
+        assert d.gateways == c.gateways

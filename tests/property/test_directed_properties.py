@@ -1,0 +1,90 @@
+"""Property-based tests for the unidirectional-link extension."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.unidirectional import (
+    compute_directed_cds,
+    directed_marking,
+    is_dominating_and_absorbing,
+    strongly_connected_within,
+)
+from repro.graphs import bitset
+from repro.graphs.digraph import DirectedView, strongly_connected
+
+
+@st.composite
+def strongly_connected_digraphs(draw, min_nodes=2, max_nodes=16):
+    """A directed Hamiltonian cycle (strong connectivity by construction)
+    plus random extra arcs."""
+    n = draw(st.integers(min_nodes, max_nodes))
+    out = [0] * n
+    for v in range(n):
+        out[v] |= 1 << ((v + 1) % n)
+    extra = draw(
+        st.sets(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)).filter(
+                lambda t: t[0] != t[1]
+            ),
+            max_size=3 * n,
+        )
+    )
+    for u, v in extra:
+        out[u] |= 1 << v
+    return DirectedView(out)
+
+
+def _is_complete_digraph(view: DirectedView) -> bool:
+    full = (1 << view.n) - 1
+    return all(
+        view.out_adj[v] | (1 << v) == full for v in range(view.n)
+    )
+
+
+class TestDirectedMarkingProperties:
+    @given(strongly_connected_digraphs())
+    @settings(max_examples=150, deadline=None)
+    def test_inputs_are_strongly_connected(self, view):
+        assert strongly_connected(view)
+
+    @given(strongly_connected_digraphs())
+    @settings(max_examples=150, deadline=None)
+    def test_marked_set_dominates_absorbs_connects(self, view):
+        marked = directed_marking(view)
+        if marked == 0:
+            # no relays: every u -> v -> w shortcuts to u -> w, so a
+            # strongly connected digraph is transitively closed = complete
+            assert _is_complete_digraph(view)
+            return
+        assert is_dominating_and_absorbing(view, marked)
+        assert strongly_connected_within(view, marked)
+
+    @given(strongly_connected_digraphs(), st.sampled_from(["id", "nd"]),
+           st.booleans())
+    @settings(max_examples=150, deadline=None)
+    def test_pruned_set_keeps_invariants(self, view, scheme, use_rule_k):
+        out = compute_directed_cds(view, scheme, use_rule_k=use_rule_k)
+        if not out:
+            return
+        assert is_dominating_and_absorbing(view, out)
+        assert strongly_connected_within(view, bitset.mask_from_ids(out))
+
+    @given(strongly_connected_digraphs())
+    @settings(max_examples=100, deadline=None)
+    def test_rules_shrink_monotonically(self, view):
+        marked = directed_marking(view)
+        pruned = compute_directed_cds(view, "id")
+        assert bitset.mask_from_ids(pruned) & ~marked == 0
+
+    @given(strongly_connected_digraphs())
+    @settings(max_examples=80, deadline=None)
+    def test_symmetric_closure_matches_undirected_marking(self, view):
+        """Symmetrizing the digraph and running the undirected marking
+        equals running the directed marking on the symmetrized digraph."""
+        from repro.core.marking import marked_mask
+
+        sym = [o | i for o, i in zip(view.out_adj, view.in_adj)]
+        sym_view = DirectedView(sym)
+        # sym is its own transpose, so the directed marking's I(v) = O(v)
+        assert directed_marking(sym_view) == marked_mask(sym)

@@ -1,0 +1,108 @@
+"""Property-based tests for the extension modules (hypothesis)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cds import compute_cds
+from repro.core.components_cds import compute_cds_per_component
+from repro.core.properties import induced_connected
+from repro.core.rule_k import compute_cds_rule_k
+from repro.graphs import bitset
+from repro.graphs.neighborhoods import NeighborhoodView
+from repro.graphs.subgraphs import (
+    active_components,
+    is_dominating_over,
+    restrict_adjacency,
+)
+from repro.routing.broadcast import backbone_flood, flood
+
+from tests.property.test_cds_invariants import connected_graphs, graph_with_energy, is_complete
+
+
+class TestRuleKProperties:
+    @given(graph_with_energy(), st.sampled_from(["id", "nd", "el1", "el2"]))
+    @settings(max_examples=120, deadline=None)
+    def test_rule_k_preserves_cds(self, ge, scheme):
+        g, energy = ge
+        out = compute_cds_rule_k(g, scheme, energy=energy)
+        if is_complete(g):
+            return
+        mask = bitset.mask_from_ids(out)
+        full = (1 << g.n) - 1
+        assert is_dominating_over(g.adjacency, mask, full), scheme
+        assert induced_connected(g.adjacency, mask), scheme
+
+
+class TestSubgraphProperties:
+    @given(connected_graphs(), st.integers(min_value=0))
+    @settings(max_examples=100, deadline=None)
+    def test_restriction_is_symmetric_and_within_mask(self, g, raw_mask):
+        mask = raw_mask & ((1 << g.n) - 1)
+        sub = restrict_adjacency(g.adjacency, mask)
+        for u in range(g.n):
+            assert sub[u] & ~mask == 0
+            if not mask >> u & 1:
+                assert sub[u] == 0
+            for v in bitset.iter_bits(sub[u]):
+                assert sub[v] >> u & 1
+
+    @given(connected_graphs(), st.integers(min_value=0))
+    @settings(max_examples=100, deadline=None)
+    def test_components_partition_the_active_set(self, g, raw_mask):
+        mask = raw_mask & ((1 << g.n) - 1)
+        comps = active_components(g.adjacency, mask)
+        union = 0
+        for c in comps:
+            assert union & c == 0  # disjoint
+            union |= c
+        assert union == mask
+
+
+class TestPerComponentProperties:
+    @given(connected_graphs(max_nodes=14), st.integers(min_value=0))
+    @settings(max_examples=100, deadline=None)
+    def test_each_active_component_gets_a_valid_backbone(self, g, raw_mask):
+        mask = raw_mask & ((1 << g.n) - 1)
+        gw = compute_cds_per_component(g, "id", active_mask=mask)
+        sub = restrict_adjacency(g.adjacency, mask)
+        for comp in active_components(g.adjacency, mask):
+            comp_gw = gw & comp
+            size = bitset.popcount(comp)
+            if size <= 2:
+                assert comp_gw == 0
+                continue
+            # a complete component legitimately yields no gateways
+            complete = all(
+                (sub[v] | (1 << v)) & comp == comp
+                for v in bitset.iter_bits(comp)
+            )
+            if complete:
+                assert comp_gw == 0
+                continue
+            assert is_dominating_over(sub, comp_gw, comp)
+            assert induced_connected(sub, comp_gw)
+
+
+class TestFloodingProperties:
+    @given(connected_graphs(max_nodes=16), st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_blind_flood_reaches_all_with_n_transmissions(self, g, data):
+        src = data.draw(st.integers(0, g.n - 1))
+        out = flood(g.adjacency, src)
+        assert out.reached_all(g.n)
+        assert out.transmissions == g.n
+
+    @given(graph_with_energy(), st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_backbone_flood_reaches_all_over_any_cds(self, ge, data):
+        g, energy = ge
+        src = data.draw(st.integers(0, g.n - 1))
+        r = compute_cds(g, "nd", energy=energy)
+        out = backbone_flood(g.adjacency, src, r.gateway_mask)
+        if is_complete(g):
+            # empty backbone: one transmission covers the clique
+            assert out.reached_all(g.n)
+            return
+        assert out.reached_all(g.n)
+        assert out.transmissions <= r.size + 1

@@ -1,0 +1,109 @@
+"""Property-based tests over the paper's *geometric* workload.
+
+The other property suites use abstract random graphs; these generate the
+actual simulation objects — positioned hosts, unit-disk radios, the
+8-direction walk — and check the end-to-end invariants the simulator
+relies on every interval.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.cds import compute_cds
+from repro.core.properties import is_cds
+from repro.geometry.space import BoundaryPolicy, Region2D
+from repro.graphs.adhoc import AdHocNetwork
+from repro.graphs.neighborhoods import is_connected
+from repro.mobility.paper_walk import PaperWalk
+from repro.routing.dsr import DominatingSetRouter
+
+
+positions_arrays = hnp.arrays(
+    np.float64,
+    st.tuples(st.integers(2, 25), st.just(2)),
+    elements=st.floats(0.0, 100.0, allow_nan=False),
+)
+
+
+def _is_complete(adj) -> bool:
+    n = len(adj)
+    full = (1 << n) - 1
+    return all(adj[v] | (1 << v) == full for v in range(n))
+
+
+class TestGeometricCds:
+    @given(positions_arrays, st.floats(5.0, 80.0))
+    @settings(max_examples=120, deadline=None)
+    def test_cds_invariants_on_connected_udgs(self, pos, radius):
+        net = AdHocNetwork(pos, radius)
+        if not net.is_connected() or _is_complete(net.adjacency):
+            return
+        energy = np.linspace(1.0, 9.0, net.n)
+        for scheme in ("id", "el2"):
+            r = compute_cds(net, scheme, energy=energy)
+            assert is_cds(net.adjacency, r.gateway_mask), scheme
+
+    @given(positions_arrays, st.floats(5.0, 80.0), st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_every_pair_routable_over_nd_backbone(self, pos, radius, data):
+        net = AdHocNetwork(pos, radius)
+        if not net.is_connected() or net.n < 3:
+            return
+        r = compute_cds(net, "nd")
+        if r.size == 0:  # complete graph
+            return
+        router = DominatingSetRouter(net.adjacency, r.gateway_mask)
+        s = data.draw(st.integers(0, net.n - 1))
+        t = data.draw(st.integers(0, net.n - 1))
+        route = router.route(s, t)
+        assert route.nodes[0] == s and route.nodes[-1] == t
+        for a, b in route.hops:
+            assert net.has_edge(a, b)
+
+
+class TestMobilityInvariants:
+    @given(
+        positions_arrays,
+        st.floats(0.0, 1.0),
+        st.sampled_from(list(BoundaryPolicy)),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_walk_keeps_hosts_in_region(self, pos, stability, policy, seed):
+        region = Region2D(side=100.0, policy=policy)
+        walk = PaperWalk(stability=stability)
+        rng = np.random.default_rng(seed)
+        p = pos.copy()
+        for _ in range(5):
+            walk.step(p, region, rng)
+        assert np.all(region.contains(p))
+
+    @given(positions_arrays, st.integers(0, 2**31 - 1))
+    @settings(max_examples=80, deadline=None)
+    def test_step_lengths_bounded_without_boundary(self, pos, seed):
+        # huge region so the boundary never interferes
+        region = Region2D(side=1e9)
+        walk = PaperWalk(stability=0.0)
+        rng = np.random.default_rng(seed)
+        p = pos.copy() + 5e8
+        before = p.copy()
+        walk.step(p, region, rng)
+        lengths = np.hypot(*(p - before).T)
+        assert np.all(lengths >= 1.0 - 1e-9)
+        assert np.all(lengths <= 6.0 + 1e-9)
+
+    @given(positions_arrays, st.floats(5.0, 60.0), st.integers(0, 2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_snapshot_immune_to_later_moves(self, pos, radius, seed):
+        net = AdHocNetwork(pos, radius)
+        before_adj = list(net.adjacency)
+        view = net.snapshot()
+        rng = np.random.default_rng(seed)
+        PaperWalk(stability=0.0).step(net.positions, Region2D(), rng)
+        net.invalidate()
+        # the snapshot still describes the pre-move topology, whatever the
+        # live network now says
+        assert list(view.adjacency) == before_adj

@@ -1,0 +1,83 @@
+"""Property-based tests for the routing layer (hypothesis)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cds import compute_cds
+from repro.routing.dsr import DominatingSetRouter
+from repro.routing.shortest_path import bfs_distances, bfs_path
+from repro.routing.tables import build_routing_tables
+from repro.graphs import bitset
+
+from tests.property.test_cds_invariants import graph_with_energy, is_complete
+
+
+class TestThreeStepRouting:
+    @given(graph_with_energy(), st.data())
+    @settings(max_examples=120, deadline=None)
+    def test_routes_are_valid_walks_near_shortest(self, ge, data):
+        g, energy = ge
+        if is_complete(g):
+            return
+        r = compute_cds(g, "nd", energy=energy)
+        router = DominatingSetRouter(g.adjacency, r.gateway_mask)
+        src = data.draw(st.integers(0, g.n - 1))
+        dst = data.draw(st.integers(0, g.n - 1))
+        route = router.route(src, dst)
+        # valid walk along edges, correct endpoints
+        assert route.nodes[0] == src and route.nodes[-1] == dst
+        for a, b in route.hops:
+            assert g.adjacency[a] >> b & 1
+        # intermediates are gateways
+        assert all(r.gateway_mask >> v & 1 for v in route.intermediates)
+        # near-shortest: the 3-step process adds at most 2 hops
+        true = bfs_distances(g.adjacency, src)[dst]
+        assert true <= route.length <= true + 2
+
+    @given(graph_with_energy())
+    @settings(max_examples=80, deadline=None)
+    def test_tables_cover_all_non_gateways(self, ge):
+        g, energy = ge
+        if is_complete(g):
+            return
+        r = compute_cds(g, "id", energy=energy)
+        tables = build_routing_tables(g.adjacency, r.gateways)
+        non_gw = set(range(g.n)) - set(r.gateways)
+        covered = set()
+        for t in tables.values():
+            covered |= t.members
+        assert covered == non_gw
+
+    @given(graph_with_energy())
+    @settings(max_examples=60, deadline=None)
+    def test_next_hops_form_shortest_paths(self, ge):
+        g, energy = ge
+        if is_complete(g):
+            return
+        r = compute_cds(g, "id", energy=energy)
+        tables = build_routing_tables(g.adjacency, r.gateways)
+        for src_gw, t in tables.items():
+            for dst_gw, d in t.distance_to.items():
+                # walking next hops reaches the destination in d steps
+                cur, steps = src_gw, 0
+                while cur != dst_gw and steps <= d:
+                    cur = tables[cur].next_hop_to[dst_gw] if cur != dst_gw else cur
+                    steps += 1
+                assert cur == dst_gw and steps == d
+
+
+class TestBfsProperties:
+    @given(graph_with_energy(), st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_bfs_path_length_equals_distance(self, ge, data):
+        g, _ = ge
+        src = data.draw(st.integers(0, g.n - 1))
+        dst = data.draw(st.integers(0, g.n - 1))
+        dist = bfs_distances(g.adjacency, src)[dst]
+        path = bfs_path(g.adjacency, src, dst)
+        assert len(path) - 1 == dist
+        # consecutive nodes adjacent, no repeats
+        assert len(set(path)) == len(path)
+        for a, b in zip(path, path[1:]):
+            assert g.adjacency[a] >> b & 1

@@ -1,0 +1,133 @@
+"""Asynchronous protocol engine tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.properties import is_cds
+from repro.errors import ConfigurationError
+from repro.graphs import bitset
+from repro.graphs.generators import (
+    from_edges,
+    paper_example_graph,
+    path_graph,
+    random_gnp_connected,
+)
+from repro.protocol.async_sim import run_async_cds
+from repro.protocol.distributed_cds import distributed_cds
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("scheme", ["id", "nd", "el1", "el2"])
+    def test_paper_example_matches_synchronous(self, paper_example, scheme):
+        a = run_async_cds(
+            paper_example.graph, scheme, energy=paper_example.energy, rng=1
+        )
+        d = distributed_cds(
+            paper_example.graph, scheme, energy=paper_example.energy
+        )
+        assert a.gateways == d.gateways
+
+    @pytest.mark.parametrize("scheme", ["id", "nd", "el1", "el2"])
+    def test_random_graphs_random_latencies(self, scheme):
+        rng = np.random.default_rng(hash(scheme) % 2**32)
+        for _ in range(20):
+            n = int(rng.integers(4, 22))
+            g = random_gnp_connected(n, float(rng.uniform(0.15, 0.6)), rng=rng)
+            energy = rng.integers(1, 5, n).astype(float)
+            a = run_async_cds(g, scheme, energy=energy, rng=rng)
+            d = distributed_cds(g, scheme, energy=energy)
+            assert a.gateways == d.gateways
+            if a.gateways:
+                assert is_cds(g.adjacency, bitset.mask_from_ids(a.gateways))
+
+    def test_result_is_latency_schedule_independent(self, paper_example):
+        outs = {
+            run_async_cds(
+                paper_example.graph, "nd", rng=seed,
+                min_latency=0.1, max_latency=5.0,
+            ).gateways
+            for seed in range(5)
+        }
+        assert len(outs) == 1  # same set under five different schedules
+
+
+class TestMetrics:
+    def test_makespan_positive_and_bounded(self, paper_example):
+        out = run_async_cds(
+            paper_example.graph, "id", rng=3,
+            min_latency=1.0, max_latency=1.0,
+        )
+        # fixed unit latency: makespan = number of sequential stages
+        assert out.makespan >= 4.0  # at least nbrsets/marking/rule1/m:0...
+        assert out.makespan <= 60.0
+
+    def test_message_count_scales_with_stages(self):
+        g = path_graph(6)
+        out = run_async_cds(g, "id", rng=0)
+        # 6 hosts x (nbrsets + marking + rule1 + >=1 m/c wave + done)
+        assert out.messages_sent >= 6 * 5
+
+    def test_deterministic_for_fixed_seed(self, paper_example):
+        a = run_async_cds(paper_example.graph, "el1",
+                          energy=paper_example.energy, rng=11)
+        b = run_async_cds(paper_example.graph, "el1",
+                          energy=paper_example.energy, rng=11)
+        assert (a.gateways, a.makespan, a.messages_sent) == (
+            b.gateways, b.makespan, b.messages_sent
+        )
+
+    def test_isolated_hosts_handled(self):
+        g = from_edges(4, [(0, 1), (1, 2)])  # host 3 isolated
+        out = run_async_cds(g, "id", rng=0)
+        assert 3 not in out.gateways
+        assert out.gateways == {1}
+
+
+class TestValidation:
+    def test_bad_latency_range_rejected(self, paper_example):
+        with pytest.raises(ConfigurationError):
+            run_async_cds(paper_example.graph, "id", min_latency=0.0)
+        with pytest.raises(ConfigurationError):
+            run_async_cds(
+                paper_example.graph, "id", min_latency=3.0, max_latency=1.0
+            )
+
+    def test_el_scheme_needs_energy(self, paper_example):
+        with pytest.raises(ConfigurationError, match="energy"):
+            run_async_cds(paper_example.graph, "el1")
+
+
+class TestLossyChannels:
+    def test_outcome_unchanged_under_loss(self, paper_example):
+        clean = run_async_cds(paper_example.graph, "nd", rng=5)
+        lossy = run_async_cds(
+            paper_example.graph, "nd", rng=5, loss_probability=0.3
+        )
+        assert clean.gateways == lossy.gateways
+
+    def test_loss_inflates_time_and_traffic(self, paper_example):
+        import numpy as np
+
+        clean_ms, lossy_ms = [], []
+        clean_tx, lossy_tx = [], []
+        for seed in range(5):
+            c = run_async_cds(paper_example.graph, "id", rng=seed)
+            l = run_async_cds(
+                paper_example.graph, "id", rng=seed,
+                loss_probability=0.4, retx_timeout=3.0,
+            )
+            assert c.gateways == l.gateways
+            clean_ms.append(c.makespan)
+            lossy_ms.append(l.makespan)
+            clean_tx.append(c.messages_sent)
+            lossy_tx.append(l.messages_sent)
+        assert np.mean(lossy_ms) > np.mean(clean_ms)
+        assert np.mean(lossy_tx) > np.mean(clean_tx)
+
+    def test_bad_loss_parameters_rejected(self, paper_example):
+        with pytest.raises(ConfigurationError):
+            run_async_cds(paper_example.graph, "id", loss_probability=1.0)
+        with pytest.raises(ConfigurationError):
+            run_async_cds(paper_example.graph, "id", retx_timeout=0.0)

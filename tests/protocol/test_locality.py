@@ -1,0 +1,93 @@
+"""Locality tests: localized marker updates equal full recomputation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.marking import marked_mask
+from repro.graphs import bitset
+from repro.graphs.generators import random_connected_network
+from repro.geometry.space import Region2D
+from repro.mobility.manager import MobilityManager
+from repro.mobility.paper_walk import PaperWalk
+from repro.protocol.locality import (
+    affected_by_change,
+    changed_endpoints,
+    localized_recompute,
+)
+
+
+class TestChangedEndpoints:
+    def test_no_change_detected(self, small_network):
+        adj = list(small_network.adjacency)
+        assert changed_endpoints(adj, adj) == []
+
+    def test_size_change_rejected(self, small_network):
+        adj = list(small_network.adjacency)
+        with pytest.raises(ValueError):
+            changed_endpoints(adj, adj[:-1])
+
+    def test_single_move_touches_both_endpoints(self, rng):
+        net = random_connected_network(10, rng=rng)
+        before = list(net.adjacency)
+        # find an adjacent pair and drop the edge by teleporting one host
+        u = next(v for v in range(10) if net.degree(v) >= 2)
+        w = net.neighbors(u)[0]
+        net.move_host(w, (net.positions[w] + 200.0))
+        changed = changed_endpoints(before, list(net.adjacency))
+        assert w in changed and u in changed
+
+
+class TestAffectedBall:
+    def test_zero_hops_is_identity(self, small_network):
+        adj = list(small_network.adjacency)
+        ball = affected_by_change(adj, [3], hops=0)
+        assert bitset.ids_from_mask(ball) == [3]
+
+    def test_one_hop_includes_neighbors(self, small_network):
+        adj = list(small_network.adjacency)
+        ball = affected_by_change(adj, [0], hops=1)
+        expect = {0} | set(bitset.ids_from_mask(adj[0]))
+        assert set(bitset.ids_from_mask(ball)) == expect
+
+    def test_balls_grow_monotonically(self, small_network):
+        adj = list(small_network.adjacency)
+        b1 = affected_by_change(adj, [0], hops=1)
+        b2 = affected_by_change(adj, [0], hops=2)
+        assert bitset.is_subset(b1, b2)
+
+
+class TestLocalizedRecompute:
+    def _roam_once(self, rng, n=20):
+        net = random_connected_network(n, rng=rng)
+        old_adj = list(net.adjacency)
+        old_marked = marked_mask(old_adj)
+        mgr = MobilityManager(
+            net, PaperWalk(), Region2D(side=net.side), rng=rng
+        )
+        mgr.step()
+        return old_adj, old_marked, list(net.adjacency)
+
+    def test_matches_full_recomputation(self, rng):
+        for _ in range(15):
+            old_adj, old_marked, new_adj = self._roam_once(rng)
+            local, _ = localized_recompute(old_adj, new_adj, old_marked)
+            assert local == marked_mask(new_adj)
+
+    def test_no_change_recomputes_nothing(self, small_network):
+        adj = list(small_network.adjacency)
+        marked = marked_mask(adj)
+        out, n_recomputed = localized_recompute(adj, adj, marked)
+        assert out == marked
+        assert n_recomputed == 0
+
+    def test_recomputation_is_actually_local(self, rng):
+        # with the paper's mobility, the ball is usually a strict subset
+        strict = 0
+        for _ in range(10):
+            old_adj, old_marked, new_adj = self._roam_once(rng, n=30)
+            _, n_recomputed = localized_recompute(old_adj, new_adj, old_marked)
+            if n_recomputed < 30:
+                strict += 1
+        assert strict >= 1  # locality saves work at least sometimes

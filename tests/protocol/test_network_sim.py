@@ -1,0 +1,76 @@
+"""Synchronous network engine and message tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.graphs.generators import path_graph
+from repro.protocol.messages import CandidacyMsg, MarkerMsg, NeighborSetMsg
+from repro.protocol.network_sim import SyncNetwork
+
+
+class TestMessages:
+    def test_neighbor_set_size_grows_with_degree(self):
+        small = NeighborSetMsg(sender=0, neighbors=frozenset({1}))
+        big = NeighborSetMsg(sender=0, neighbors=frozenset({1, 2, 3}))
+        assert big.wire_size > small.wire_size
+
+    def test_marker_and_candidacy_fixed_size(self):
+        assert MarkerMsg(sender=0, marked=True).wire_size == MarkerMsg(
+            sender=5, marked=False, stage="rule1"
+        ).wire_size
+        assert CandidacyMsg(sender=1, candidate=True).wire_size > 0
+
+
+class TestDelivery:
+    def test_broadcast_reaches_exactly_neighbors(self):
+        g = path_graph(4)
+        net = SyncNetwork(list(g.adjacency))
+        net.broadcast(1, MarkerMsg(sender=1, marked=True))
+        inboxes = net.deliver_round()
+        assert [len(b) for b in inboxes] == [1, 0, 1, 0]
+        assert inboxes[0][0].sender == 1
+
+    def test_double_broadcast_same_round_rejected(self):
+        g = path_graph(3)
+        net = SyncNetwork(list(g.adjacency))
+        net.broadcast(0, MarkerMsg(sender=0, marked=True))
+        with pytest.raises(ProtocolError, match="already broadcast"):
+            net.broadcast(0, MarkerMsg(sender=0, marked=False))
+
+    def test_sender_field_must_match(self):
+        g = path_graph(3)
+        net = SyncNetwork(list(g.adjacency))
+        with pytest.raises(ProtocolError, match="sender"):
+            net.broadcast(0, MarkerMsg(sender=1, marked=True))
+
+    def test_outbox_clears_between_rounds(self):
+        g = path_graph(3)
+        net = SyncNetwork(list(g.adjacency))
+        net.broadcast(0, MarkerMsg(sender=0, marked=True))
+        net.deliver_round()
+        second = net.deliver_round()
+        assert all(len(b) == 0 for b in second)
+
+    def test_inbox_accessor_matches_last_round(self):
+        g = path_graph(3)
+        net = SyncNetwork(list(g.adjacency))
+        net.broadcast(2, MarkerMsg(sender=2, marked=True))
+        net.deliver_round()
+        assert len(net.inbox(1)) == 1
+        assert net.inbox(0) == []
+
+
+class TestTrafficStats:
+    def test_counters_accumulate(self):
+        g = path_graph(3)
+        net = SyncNetwork(list(g.adjacency))
+        msg = MarkerMsg(sender=1, marked=True)
+        net.broadcast(1, msg)
+        net.deliver_round()
+        assert net.stats.rounds == 1
+        assert net.stats.broadcasts == 1
+        assert net.stats.deliveries == 2  # node 1 has two neighbors
+        assert net.stats.bytes_on_air == msg.wire_size
+        assert net.stats.bytes_delivered == 2 * msg.wire_size

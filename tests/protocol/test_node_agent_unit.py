@@ -1,0 +1,141 @@
+"""Direct unit tests of the NodeAgent state machine.
+
+The protocol integration tests prove end-to-end equivalence; these pin
+the per-agent behaviours (message construction, table building, error
+handling) at the unit level.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.priority import scheme_by_name
+from repro.errors import ProtocolError
+from repro.protocol.messages import MarkerMsg, NeighborSetMsg
+from repro.protocol.node_agent import NodeAgent
+
+
+def agent(node=0, neighbors=(1, 2), scheme="id", energy=5.0):
+    return NodeAgent(node, frozenset(neighbors), scheme_by_name(scheme), energy)
+
+
+def nbr_msg(sender, neighbors, energy=1.0):
+    return NeighborSetMsg(sender=sender, neighbors=frozenset(neighbors), energy=energy)
+
+
+class TestNeighborSetExchange:
+    def test_outgoing_message_carries_own_state(self):
+        a = agent(3, (1, 7), energy=9.0)
+        msg = a.make_neighbor_set_msg()
+        assert msg.sender == 3
+        assert msg.neighbors == {1, 7}
+        assert msg.energy == 9.0
+
+    def test_tables_built_from_inbox(self):
+        a = agent(0, (1, 2))
+        a.receive_neighbor_sets([
+            nbr_msg(1, {0, 2}, 4.0), nbr_msg(2, {0, 1}, 6.0)
+        ])
+        assert a.nbr_sets[1] == {0, 2}
+        assert a.nbr_energy[2] == 6.0
+
+    def test_non_neighbor_sender_rejected(self):
+        a = agent(0, (1,))
+        with pytest.raises(ProtocolError, match="non-neighbor"):
+            a.receive_neighbor_sets([nbr_msg(5, {0})])
+
+    def test_missing_neighbor_detected(self):
+        a = agent(0, (1, 2))
+        with pytest.raises(ProtocolError, match="missing"):
+            a.receive_neighbor_sets([nbr_msg(1, {0, 2})])
+
+
+class TestMarkingDecision:
+    def test_unconnected_neighbors_mark(self):
+        a = agent(0, (1, 2))
+        a.receive_neighbor_sets([nbr_msg(1, {0}), nbr_msg(2, {0})])
+        msg = a.decide_marker()
+        assert a.marked is True
+        assert msg.marked and msg.stage == "marking"
+
+    def test_clique_neighborhood_does_not_mark(self):
+        a = agent(0, (1, 2))
+        a.receive_neighbor_sets([nbr_msg(1, {0, 2}), nbr_msg(2, {0, 1})])
+        a.decide_marker()
+        assert a.marked is False
+
+    def test_rule1_requires_marking_first(self):
+        a = agent()
+        with pytest.raises(ProtocolError, match="before marking"):
+            a.decide_rule1()
+
+    def test_rule2_requires_rule1_first(self):
+        a = agent()
+        with pytest.raises(ProtocolError, match="before rule1"):
+            a.begin_rule2()
+
+
+class TestRule1Decision:
+    def _covered_agent(self):
+        # agent 0 with N(0) = {1, 2}; neighbor 1 covers N[0] and is marked
+        a = agent(0, (1, 2))
+        a.receive_neighbor_sets([
+            nbr_msg(1, {0, 2, 3}), nbr_msg(2, {0, 1}),
+        ])
+        a.decide_marker()  # 0 marked? 1-2 adjacent -> not marked actually
+        return a
+
+    def test_unmarked_agent_stays_unmarked_through_rule1(self):
+        a = self._covered_agent()
+        assert a.marked is False
+        msg = a.decide_rule1()
+        assert msg.marked is False and msg.stage == "rule1"
+
+    def test_marked_agent_defers_to_covering_higher_id(self):
+        # agent 0 marked via the unconnected pair (2, 3); neighbor 1 is
+        # adjacent to all of N[0] = {0,1,2,3}, so Rule 1 unmarks 0
+        a = agent(0, (1, 2, 3))
+        a.receive_neighbor_sets([
+            nbr_msg(1, {0, 2, 3}),
+            nbr_msg(2, {0, 1}),
+            nbr_msg(3, {0, 1}),
+        ])
+        a.decide_marker()
+        assert a.marked is True
+        a.receive_markers([MarkerMsg(sender=1, marked=True)])
+        msg = a.decide_rule1()
+        assert a.marked_post_rule1 is False
+        assert msg.marked is False
+
+    def test_unmarked_coverer_cannot_unmark(self):
+        a = agent(0, (1, 2, 3))
+        a.receive_neighbor_sets([
+            nbr_msg(1, {0, 2, 3}),
+            nbr_msg(2, {0, 1}),
+            nbr_msg(3, {0, 1}),
+        ])
+        a.decide_marker()
+        a.receive_markers([MarkerMsg(sender=1, marked=False)])
+        a.decide_rule1()
+        assert a.marked_post_rule1 is True
+
+
+class TestRule2Tables:
+    def test_candidacy_reflects_current_view(self, paper_example):
+        from repro.protocol.distributed_cds import distributed_cds
+
+        out = distributed_cds(paper_example.graph, "nd")
+        # every agent's final candidacy must be False (quiescence)
+        for a in out.agents:
+            if a.neighbors:
+                assert a.rule2_fires() is False
+
+    def test_finalize_reports_rule2_state(self):
+        a = agent(0, (1, 2))
+        a.receive_neighbor_sets([nbr_msg(1, {0}), nbr_msg(2, {0})])
+        a.decide_marker()
+        a.receive_markers([])
+        a.decide_rule1()
+        a.begin_rule2()
+        assert a.finalize() is True  # marked, nothing removed it
+        assert a.final_marked is True

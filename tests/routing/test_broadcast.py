@@ -1,0 +1,95 @@
+"""Flooding / backbone-flooding tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.cds import compute_cds
+from repro.errors import RoutingError
+from repro.graphs import bitset
+from repro.graphs.generators import (
+    clique,
+    cycle_graph,
+    from_edges,
+    path_graph,
+    random_connected_network,
+)
+from repro.routing.broadcast import backbone_flood, compare_flooding, flood
+
+
+class TestBlindFlood:
+    def test_reaches_everyone_on_connected_graph(self):
+        g = cycle_graph(7)
+        result = flood(g.adjacency, 0)
+        assert result.reached_all(7)
+        assert result.transmissions == 7  # everyone relays once
+
+    def test_reaches_only_own_component(self):
+        g = from_edges(5, [(0, 1), (2, 3), (3, 4)])
+        result = flood(g.adjacency, 2)
+        assert set(bitset.ids_from_mask(result.reached_mask)) == {2, 3, 4}
+
+    def test_single_host(self):
+        result = flood([0], 0)
+        assert result.reached_all(1)
+        assert result.transmissions == 1
+        assert result.receptions == 0
+
+    def test_source_out_of_range(self):
+        with pytest.raises(RoutingError):
+            flood(path_graph(3).adjacency, 5)
+
+    def test_rounds_equal_eccentricity_plus_one(self):
+        g = path_graph(5)
+        result = flood(g.adjacency, 0)
+        # hosts at distance d transmit in round d+1; last transmitter is
+        # the far end
+        assert result.rounds == 5
+
+
+class TestBackboneFlood:
+    def test_cds_backbone_reaches_everyone(self, small_network):
+        r = compute_cds(small_network, "nd")
+        out = backbone_flood(small_network.adjacency, 0, r.gateway_mask)
+        assert out.reached_all(small_network.n)
+
+    def test_non_gateway_source_still_transmits(self):
+        g = path_graph(4)
+        # backbone {1,2}; source 0 is a leaf
+        out = backbone_flood(g.adjacency, 0, bitset.mask_from_ids({1, 2}))
+        assert out.reached_all(4)
+        assert out.transmissions == 3  # 0, 1, 2 transmit; 3 only listens
+
+    def test_broken_backbone_detected(self):
+        g = path_graph(5)
+        with pytest.raises(RoutingError, match="not a CDS"):
+            compare_flooding(g.adjacency, 0, bitset.mask_from_ids({1}))
+
+    def test_fewer_transmissions_than_blind(self, small_network):
+        r = compute_cds(small_network, "nd")
+        cmp = compare_flooding(small_network.adjacency, 3, r.gateway_mask)
+        assert cmp.backbone.transmissions < cmp.blind.transmissions
+        assert cmp.transmission_saving > 0.0
+
+    def test_savings_track_backbone_ratio(self, rng):
+        for _ in range(5):
+            net = random_connected_network(40, rng=rng)
+            r = compute_cds(net, "nd")
+            cmp = compare_flooding(net.adjacency, 0, r.gateway_mask)
+            # backbone txs = gateways (+ source if non-gateway) at most
+            assert cmp.backbone.transmissions <= r.size + 1
+
+    def test_latency_cost_is_bounded(self, small_network):
+        r = compute_cds(small_network, "id")
+        cmp = compare_flooding(small_network.adjacency, 0, r.gateway_mask)
+        # backbone detours can add rounds; blind flooding can also *end*
+        # later (leaf hosts still retransmit after everyone has heard), so
+        # the difference may be slightly negative — just bounded
+        assert -small_network.n <= cmp.extra_rounds <= small_network.n
+
+    def test_clique_needs_single_transmission(self):
+        g = clique(6)
+        out = backbone_flood(g.adjacency, 2, 0)  # empty backbone
+        assert out.reached_all(6)
+        assert out.transmissions == 1

@@ -1,0 +1,125 @@
+"""Directed backbone routing tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.unidirectional import compute_directed_cds
+from repro.errors import RoutingError
+from repro.graphs import bitset
+from repro.graphs.digraph import (
+    from_arcs,
+    random_strongly_connected_digraph,
+)
+from repro.routing.directed_routing import DirectedBackboneRouter
+
+
+def ring_with_hub():
+    """Directed 5-ring 0->1->2->3->4->0 with mutual arcs to hub 5."""
+    ring = [(i, (i + 1) % 5) for i in range(5)]
+    hub = [(i, 5) for i in range(5)] + [(5, i) for i in range(5)]
+    return from_arcs(6, ring + hub)
+
+
+class TestBasics:
+    def test_direct_arc_bypasses_backbone(self):
+        v = ring_with_hub()
+        router = DirectedBackboneRouter(v, bitset.mask_from_ids({5}))
+        r = router.route(0, 1)
+        assert r.nodes == (0, 1)
+
+    def test_one_way_pair_routes_differently_each_direction(self):
+        v = ring_with_hub()
+        router = DirectedBackboneRouter(v, bitset.mask_from_ids({5}))
+        fwd = router.route(0, 1)      # direct ring arc
+        back = router.route(1, 0)     # must detour via the hub
+        assert fwd.length == 1
+        assert back.length == 2
+        assert back.nodes == (1, 5, 0)
+
+    def test_self_route(self):
+        v = ring_with_hub()
+        router = DirectedBackboneRouter(v, bitset.mask_from_ids({5}))
+        assert router.route(3, 3).length == 0
+
+    def test_gateway_endpoints_skip_steps(self):
+        v = ring_with_hub()
+        router = DirectedBackboneRouter(v, bitset.mask_from_ids({5}))
+        # hub is adjacent to everything: routes from it are direct
+        assert router.route(5, 2).nodes == (5, 2)
+        # non-adjacent ring pair goes up through the hub and down
+        r = router.route(0, 3)
+        assert r.nodes == (0, 5, 3)
+        assert r.source_gateway == r.destination_gateway == 5
+
+    def test_missing_egress_gateway_raises(self):
+        # 0 -> 1 -> 2 -> 0 plus pendant 3 with only an incoming arc
+        v = from_arcs(4, [(0, 1), (1, 2), (2, 0), (0, 3)])
+        router = DirectedBackboneRouter(v, bitset.mask_from_ids({0, 1, 2}))
+        with pytest.raises(RoutingError, match="absorbing"):
+            router.route(3, 1)
+
+    def test_missing_ingress_gateway_raises(self):
+        # pendant 3 with only an outgoing arc: nobody can deliver to it
+        v = from_arcs(4, [(0, 1), (1, 2), (2, 0), (3, 0)])
+        router = DirectedBackboneRouter(v, bitset.mask_from_ids({0, 1, 2}))
+        with pytest.raises(RoutingError, match="dominating"):
+            router.route(1, 3)
+
+    def test_out_of_range_endpoint(self):
+        v = ring_with_hub()
+        router = DirectedBackboneRouter(v, 0b100000)
+        with pytest.raises(RoutingError):
+            router.route(0, 9)
+
+
+class TestOverComputedBackbones:
+    def test_all_pairs_routable_on_random_digraphs(self):
+        rng = np.random.default_rng(42)
+        for _ in range(8):
+            n = int(rng.integers(10, 25))
+            view, _, _ = random_strongly_connected_digraph(n, rng=rng)
+            gws = compute_directed_cds(view, "nd", use_rule_k=True)
+            if not gws:
+                continue
+            router = DirectedBackboneRouter(
+                view, bitset.mask_from_ids(gws)
+            )
+            for _ in range(20):
+                s, t = rng.choice(n, size=2, replace=False)
+                route = router.route(int(s), int(t))
+                # every hop follows an arc
+                for a, b in zip(route.nodes, route.nodes[1:]):
+                    assert view.has_arc(a, b)
+                # intermediates stay on the backbone
+                assert all(router.is_gateway(v) for v in route.intermediates)
+
+    def test_routes_near_shortest(self):
+        rng = np.random.default_rng(7)
+        view, _, _ = random_strongly_connected_digraph(20, rng=rng)
+        gws = compute_directed_cds(view, "id")
+        router = DirectedBackboneRouter(view, bitset.mask_from_ids(gws))
+        from repro.routing.directed_routing import _directed_bfs
+
+        full = (1 << 20) - 1
+        for s in range(0, 20, 4):
+            dist = _directed_bfs(view.out_adj, s, full, 20)
+            for t in range(20):
+                if t == s:
+                    continue
+                got = router.route(s, t).length
+                assert dist[t] <= got <= dist[t] + 2
+
+
+class TestGatewayAccessors:
+    def test_egress_and_ingress_differ_on_one_way_links(self):
+        # 0 -> 5 only; 5 -> 1 only; mutual 0 <-> 1
+        v = from_arcs(6, [(0, 5), (5, 1), (0, 1), (1, 0), (5, 0), (2, 5),
+                          (5, 2), (3, 5), (5, 3), (4, 5), (5, 4)])
+        router = DirectedBackboneRouter(v, bitset.mask_from_ids({5}))
+        assert router.egress_gateways(0) == [5]
+        assert router.ingress_gateways(0) == [5]
+        # host 1 can hear 5 but cannot transmit to it
+        assert router.ingress_gateways(1) == [5]
+        assert router.egress_gateways(1) == []

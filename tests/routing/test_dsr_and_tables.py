@@ -1,0 +1,179 @@
+"""Dominating-set routing: the 3-step process and the Figure-2 tables."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.cds import compute_cds
+from repro.errors import RoutingError
+from repro.graphs import bitset
+from repro.graphs.generators import from_edges, path_graph
+from repro.routing.dsr import DominatingSetRouter
+from repro.routing.forwarding import ForwardingEngine
+from repro.routing.shortest_path import bfs_distances
+from repro.routing.tables import build_routing_tables
+
+
+@pytest.fixture()
+def routed_paper_example(paper_example):
+    result = compute_cds(paper_example.graph, "id")
+    router = DominatingSetRouter(paper_example.graph.adjacency, result.gateway_mask)
+    return paper_example, result, router
+
+
+class TestThreeStepProcess:
+    def test_source_gateway_then_backbone_then_destination(self, routed_paper_example):
+        ex, result, router = routed_paper_example
+        route = router.route(ex.id_of_label(1), ex.id_of_label(27))
+        labels = [v + 1 for v in route.nodes]
+        assert labels[0] == 1 and labels[-1] == 27
+        # every intermediate node is a gateway (step 2 stays on the backbone)
+        assert all(router.is_gateway(v) for v in route.intermediates)
+        assert route.source_gateway in result.gateways
+        assert route.destination_gateway in result.gateways
+
+    def test_gateway_source_skips_step_one(self, routed_paper_example):
+        ex, result, router = routed_paper_example
+        src = ex.id_of_label(4)  # a gateway
+        route = router.route(src, ex.id_of_label(27))
+        assert route.nodes[0] == src
+        assert route.source_gateway == src
+
+    def test_adjacent_hosts_bypass_backbone(self, routed_paper_example):
+        ex, _, router = routed_paper_example
+        route = router.route(ex.id_of_label(5), ex.id_of_label(2))
+        assert route.length == 1
+        assert route.source_gateway is None
+
+    def test_self_route_is_trivial(self, routed_paper_example):
+        ex, _, router = routed_paper_example
+        route = router.route(3, 3)
+        assert route.nodes == (3,) and route.length == 0
+
+    def test_route_length_close_to_shortest(self, routed_paper_example):
+        """Backbone routes of a CDS are near-shortest for all pairs."""
+        ex, result, router = routed_paper_example
+        adj = ex.graph.adjacency
+        n = ex.graph.n
+        for src in range(0, n, 3):
+            true = bfs_distances(adj, src)
+            for dst in range(n):
+                if dst == src:
+                    continue
+                got = router.route(src, dst).length
+                assert true[dst] <= got <= true[dst] + 2
+
+    def test_missing_gateway_adjacency_raises(self):
+        g = path_graph(4)
+        # gateway set {2} does not dominate node 0
+        router = DominatingSetRouter(g.adjacency, bitset.mask_from_ids({2}))
+        with pytest.raises(RoutingError, match="no adjacent gateway"):
+            router.route(0, 3)
+
+    def test_endpoint_out_of_range_raises(self, routed_paper_example):
+        _, _, router = routed_paper_example
+        with pytest.raises(RoutingError):
+            router.route(0, 999)
+
+
+class TestRoutingTables:
+    def test_membership_lists_partition_non_gateways(self, routed_paper_example):
+        ex, result, _ = routed_paper_example
+        tables = build_routing_tables(ex.graph.adjacency, result.gateways)
+        non_gateways = set(range(ex.graph.n)) - set(result.gateways)
+        covered = set()
+        for t in tables.values():
+            assert t.members <= non_gateways
+            covered |= t.members
+        assert covered == non_gateways  # dominating: everyone has a gateway
+
+    def test_a_host_may_belong_to_several_domains(self, routed_paper_example):
+        # the paper's example: host 3 belongs to gateways 4 and 8
+        ex, result, _ = routed_paper_example
+        tables = build_routing_tables(ex.graph.adjacency, result.gateways)
+        counts = {}
+        for t in tables.values():
+            for m in t.members:
+                counts[m] = counts.get(m, 0) + 1
+        assert max(counts.values()) >= 2
+
+    def test_every_table_has_entry_per_other_gateway(self, routed_paper_example):
+        ex, result, _ = routed_paper_example
+        tables = build_routing_tables(ex.graph.adjacency, result.gateways)
+        for g, t in tables.items():
+            assert set(t.membership_of) == set(result.gateways) - {g}
+            assert t.entry_count() == len(result.gateways)
+
+    def test_distances_and_next_hops_consistent(self, routed_paper_example):
+        ex, result, _ = routed_paper_example
+        tables = build_routing_tables(ex.graph.adjacency, result.gateways)
+        for g, t in tables.items():
+            for h, d in t.distance_to.items():
+                assert d >= 1
+                nxt = t.next_hop_to[h]
+                assert nxt in result.gateways
+                # stepping to the next hop reduces the distance by one
+                assert tables[nxt].distance_to.get(h, 0) == d - 1
+
+    def test_empty_gateway_set_rejected(self):
+        g = path_graph(3)
+        with pytest.raises(RoutingError, match="empty gateway set"):
+            build_routing_tables(g.adjacency, set())
+
+    def test_gateway_out_of_range_rejected(self):
+        g = path_graph(3)
+        with pytest.raises(RoutingError):
+            build_routing_tables(g.adjacency, {7})
+
+
+class TestForwarding:
+    def test_counters_add_up(self, routed_paper_example):
+        ex, _, router = routed_paper_example
+        eng = ForwardingEngine(router)
+        eng.send(0, 26)
+        eng.send(26, 0)
+        assert eng.packets == 2
+        assert eng.originated.sum() == 2
+        assert eng.delivered.sum() == 2
+        assert eng.total_hops == eng.forwarded.sum() + 2  # hops = fwd + last
+
+    def test_gateways_carry_all_bypass_traffic(self, routed_paper_example):
+        ex, _, router = routed_paper_example
+        eng = ForwardingEngine(router)
+        eng.send_random_pairs(150, np.random.default_rng(1))
+        assert eng.gateway_share_of_forwarding() == 1.0
+
+    def test_mean_route_length(self, routed_paper_example):
+        _, _, router = routed_paper_example
+        eng = ForwardingEngine(router)
+        assert eng.mean_route_length() == 0.0
+        eng.send(0, 26)
+        assert eng.mean_route_length() == eng.total_hops
+
+    def test_single_host_network_rejected(self):
+        router = DominatingSetRouter([0], 0)
+        eng = ForwardingEngine(router)
+        with pytest.raises(RoutingError):
+            eng.send_random_pairs(1, np.random.default_rng(0))
+
+
+class TestAccessorAPIs:
+    def test_adjacent_gateways(self, routed_paper_example):
+        ex, result, router = routed_paper_example
+        host5 = ex.id_of_label(5)  # neighbors 2 and 9 (labels)
+        gws = {v + 1 for v in router.adjacent_gateways(host5)}
+        assert gws == {g for g in (2, 9) if (g - 1) in result.gateways}
+
+    def test_gateways_serving(self, routed_paper_example):
+        ex, result, _ = routed_paper_example
+        tables = build_routing_tables(ex.graph.adjacency, result.gateways)
+        some_gw = sorted(result.gateways)[0]
+        t = tables[some_gw]
+        for member in t.members:
+            assert some_gw in t.gateways_serving(member)
+
+    def test_is_gateway_matches_mask(self, routed_paper_example):
+        ex, result, router = routed_paper_example
+        for v in range(ex.graph.n):
+            assert router.is_gateway(v) == (v in result.gateways)

@@ -1,0 +1,99 @@
+"""Routing-table maintenance tests."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.cds import compute_cds
+from repro.geometry.space import Region2D
+from repro.graphs.generators import from_edges, random_connected_network
+from repro.mobility.manager import MobilityManager
+from repro.mobility.paper_walk import PaperWalk
+from repro.routing.maintenance import TableMaintainer
+from repro.routing.tables import build_routing_tables
+
+
+def backbone_graph():
+    """0-1-2 backbone with leaves 3 (on 0) and 4 (on 2)."""
+    return from_edges(5, [(0, 1), (1, 2), (0, 3), (2, 4)])
+
+
+class TestClassification:
+    def test_first_update_is_backbone(self):
+        g = backbone_graph()
+        m = TableMaintainer()
+        assert m.update(g.adjacency, {0, 1, 2}) == "backbone"
+        assert m.stats.backbone == 1
+
+    def test_identical_snapshot_is_unchanged(self):
+        g = backbone_graph()
+        m = TableMaintainer()
+        m.update(g.adjacency, {0, 1, 2})
+        assert m.update(g.adjacency, {0, 1, 2}) == "unchanged"
+        assert m.stats.unchanged == 1
+
+    def test_leaf_moving_between_domains_is_membership_only(self):
+        g1 = backbone_graph()
+        # leaf 4 detaches from gateway 2 and attaches to gateway 0
+        g2 = from_edges(5, [(0, 1), (1, 2), (0, 3), (0, 4)])
+        m = TableMaintainer()
+        m.update(g1.adjacency, {0, 1, 2})
+        old_tables = m.tables
+        assert m.update(g2.adjacency, {0, 1, 2}) == "membership-only"
+        # distances were reused, membership refreshed
+        assert m.tables[0].distance_to == old_tables[0].distance_to
+        assert 4 in m.tables[0].members
+        assert 4 not in m.tables[2].members
+
+    def test_gateway_set_change_is_backbone(self):
+        g = backbone_graph()
+        m = TableMaintainer()
+        m.update(g.adjacency, {0, 1, 2})
+        assert m.update(g.adjacency, {1, 2, 4}) == "backbone"
+
+    def test_induced_edge_change_is_backbone(self):
+        g1 = backbone_graph()
+        # add a direct 0-2 link: gateway set unchanged, backbone edge added
+        g2 = from_edges(5, [(0, 1), (1, 2), (0, 2), (0, 3), (2, 4)])
+        m = TableMaintainer()
+        m.update(g1.adjacency, {0, 1, 2})
+        assert m.update(g2.adjacency, {0, 1, 2}) == "backbone"
+
+    def test_tables_always_match_fresh_build(self):
+        g1 = backbone_graph()
+        g2 = from_edges(5, [(0, 1), (1, 2), (0, 3), (0, 4)])
+        m = TableMaintainer()
+        for g in (g1, g2, g1):
+            m.update(g.adjacency, {0, 1, 2})
+            fresh = build_routing_tables(list(g.adjacency), {0, 1, 2})
+            for gw in fresh:
+                assert m.tables[gw].members == fresh[gw].members
+                assert m.tables[gw].distance_to == fresh[gw].distance_to
+
+
+class TestUnderMobility:
+    def test_stats_accumulate_over_a_run(self, rng):
+        net = random_connected_network(20, rng=rng)
+        mgr = MobilityManager(
+            net, PaperWalk(stability=0.9), Region2D(side=net.side), rng=rng
+        )
+        m = TableMaintainer()
+        for _ in range(25):
+            r = compute_cds(net, "id")
+            m.update(net.adjacency, r.gateways)
+            mgr.step()
+        assert m.stats.total == 25
+        assert m.stats.backbone >= 1
+        # consistency at the end of the run
+        r = compute_cds(net, "id")
+        m.update(net.adjacency, r.gateways)
+        fresh = build_routing_tables(list(net.adjacency), r.gateways)
+        assert set(m.tables) == set(fresh)
+
+    def test_recalculation_rate_bounds(self):
+        m = TableMaintainer()
+        assert m.stats.recalculation_rate() == 0.0
+        g = backbone_graph()
+        m.update(g.adjacency, {0, 1, 2})
+        m.update(g.adjacency, {0, 1, 2})
+        assert m.stats.recalculation_rate() == 0.5

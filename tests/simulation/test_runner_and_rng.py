@@ -1,0 +1,63 @@
+"""Trial runner and seed-stream tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simulation.config import SimulationConfig
+from repro.simulation.rng import (
+    generator_for_trial,
+    spawn_generators,
+    spawn_seeds,
+)
+from repro.simulation.runner import TrialRunner, run_trials
+
+
+class TestRngStreams:
+    def test_spawn_counts(self):
+        assert len(spawn_seeds(1, 5)) == 5
+        assert len(spawn_generators(1, 3)) == 3
+
+    def test_children_are_independent(self):
+        a, b = spawn_generators(42, 2)
+        assert not np.array_equal(a.random(8), b.random(8))
+
+    def test_trial_stream_matches_spawned_child(self):
+        direct = generator_for_trial(42, 3)
+        spawned = spawn_generators(42, 5)[3]
+        assert np.array_equal(direct.random(8), spawned.random(8))
+
+    def test_same_trial_same_stream(self):
+        assert np.array_equal(
+            generator_for_trial(7, 0).random(4),
+            generator_for_trial(7, 0).random(4),
+        )
+
+
+CFG = SimulationConfig(n_hosts=8, scheme="id", drain_model="linear")
+
+
+class TestRunner:
+    def test_serial_and_parallel_agree(self):
+        serial = run_trials(CFG, 4, root_seed=9, parallel=False)
+        parallel = run_trials(CFG, 4, root_seed=9, parallel=True, processes=2)
+        assert [t.lifespan for t in serial] == [t.lifespan for t in parallel]
+
+    def test_trial_count_respected(self):
+        assert len(run_trials(CFG, 5, root_seed=1, parallel=False)) == 5
+
+    def test_different_roots_differ(self):
+        a = run_trials(CFG, 6, root_seed=1, parallel=False)
+        b = run_trials(CFG, 6, root_seed=2, parallel=False)
+        assert [t.lifespan for t in a] != [t.lifespan for t in b]
+
+    def test_runner_object_reusable(self):
+        runner = TrialRunner(root_seed=3, processes=1)
+        first = runner.run(CFG, 3)
+        second = runner.run(CFG, 3)
+        assert [t.lifespan for t in first] == [t.lifespan for t in second]
+
+    def test_single_trial_short_circuits_pool(self):
+        out = run_trials(CFG, 1, root_seed=4, parallel=True)
+        assert len(out) == 1

@@ -1,0 +1,103 @@
+"""CLI tests (driving main() directly; output via capsys)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graphs.generators import random_connected_network
+from repro.io.topology_io import save_network
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cds", "--scheme", "bogus"])
+
+    def test_figure_number_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "9"])
+
+
+class TestCommands:
+    def test_example_prints_all_schemes(self, capsys):
+        assert main(["example"]) == 0
+        out = capsys.readouterr().out
+        for label in ("NR", "ID", "ND", "EL1", "EL2"):
+            assert label in out
+        assert "[2, 4, 11, 15, 20, 22]" in out  # the ND result
+
+    def test_cds_renders_map(self, capsys):
+        assert main(["cds", "--hosts", "15", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "gateways" in out
+        assert "#" in out and "o" in out
+
+    def test_cds_from_saved_topology(self, capsys, tmp_path, rng):
+        net = random_connected_network(10, rng=rng)
+        path = tmp_path / "net.json"
+        save_network(net, path)
+        assert main(["cds", "--topology", str(path)]) == 0
+        assert "10 hosts" in capsys.readouterr().out
+
+    def test_lifespan_single_scheme(self, capsys):
+        assert main([
+            "lifespan", "--hosts", "10", "--trials", "2", "--scheme", "el1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "EL1" in out and "lifespan" in out
+
+    def test_lifespan_all_schemes(self, capsys):
+        assert main([
+            "lifespan", "--hosts", "8", "--trials", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "NR" in out and "EL2" in out
+
+    def test_figure_10_small(self, capsys):
+        assert main([
+            "figure", "10", "--trials", "2", "--sweep", "8,12",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 10" in out and "legend" in out
+
+    def test_figure_12_readings(self, capsys):
+        assert main([
+            "figure", "12", "--trials", "2", "--sweep", "8",
+            "--reading", "literal",
+        ]) == 0
+        assert "literal" in capsys.readouterr().out
+        assert main([
+            "figure", "12", "--trials", "2", "--sweep", "8",
+        ]) == 0
+        assert "per-gateway" in capsys.readouterr().out
+
+    def test_directed_command(self, capsys):
+        assert main(["directed", "--hosts", "12", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "directed backbone" in out
+        assert "dominating and absorbing: True" in out
+
+    def test_report_command(self, capsys, tmp_path):
+        (tmp_path / "figure10.txt").write_text("DATA\n")
+        assert main(["report", "--results", str(tmp_path)]) == 0
+        out_path = tmp_path / "REPORT.md"
+        assert out_path.exists()
+        assert "DATA" in out_path.read_text()
+
+    def test_sweep_command(self, capsys):
+        assert main([
+            "sweep", "radius", "20,30", "--hosts", "10", "--trials", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "radius" in out and "EL1" in out
+
+    def test_sweep_n_hosts_casts_to_int(self, capsys):
+        assert main([
+            "sweep", "n_hosts", "8,12", "--trials", "2",
+        ]) == 0
+        assert "n_hosts" in capsys.readouterr().out

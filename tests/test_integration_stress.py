@@ -1,0 +1,152 @@
+"""Long-running cross-module integration tests.
+
+Each test drives a multi-interval simulation while checking the system's
+global invariants at every step — the kind of failure (a stale cache, a
+drain applied twice, a CDS briefly invalid after a move) that unit tests
+of isolated modules cannot see.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.cds import compute_cds
+from repro.core.marking import marked_mask
+from repro.core.properties import is_cds
+from repro.core.priority import scheme_by_name
+from repro.energy.accounting import EnergyAccountant
+from repro.energy.battery import BatteryBank
+from repro.energy.models import drain_model_by_name
+from repro.geometry.space import Region2D
+from repro.graphs import bitset
+from repro.graphs.generators import random_connected_network
+from repro.mobility.manager import MobilityManager
+from repro.mobility.paper_walk import PaperWalk
+from repro.protocol.distributed_cds import distributed_cds
+from repro.protocol.locality import localized_recompute
+from repro.routing.dsr import DominatingSetRouter
+from repro.routing.maintenance import TableMaintainer
+from repro.routing.broadcast import backbone_flood
+from repro.simulation.config import SimulationConfig
+from repro.simulation.interval import run_interval
+
+
+class TestFullLoopInvariants:
+    @pytest.mark.parametrize("scheme", ["id", "nd", "el1", "el2"])
+    def test_cds_valid_every_interval_until_death(self, scheme):
+        cfg = SimulationConfig(n_hosts=25, scheme=scheme, drain_model="fixed")
+        rng = np.random.default_rng(404)
+        net = random_connected_network(cfg.n_hosts, rng=rng)
+        bank = BatteryBank(cfg.n_hosts, initial=cfg.initial_energy)
+        acct = EnergyAccountant(bank, drain_model_by_name(cfg.drain_model))
+        mob = MobilityManager(
+            net, PaperWalk(), Region2D(side=net.side), rng=rng
+        )
+        sch = scheme_by_name(scheme)
+        prev_total = bank.total()
+        for i in range(1, 200):
+            out = run_interval(
+                net, sch, acct, mob, interval_index=i, verify=True
+            )
+            # energy is strictly decreasing in total
+            assert bank.total() < prev_total
+            prev_total = bank.total()
+            # the CDS reported is valid for the snapshot it was computed on
+            assert out.cds.size >= 1
+            if out.someone_died:
+                break
+        else:
+            pytest.fail("nobody died in 200 intervals at d=2")
+
+    def test_interval_metrics_are_internally_consistent(self):
+        cfg = SimulationConfig(n_hosts=20, scheme="nd", drain_model="fixed")
+        rng = np.random.default_rng(17)
+        net = random_connected_network(cfg.n_hosts, rng=rng)
+        bank = BatteryBank(cfg.n_hosts)
+        acct = EnergyAccountant(bank, drain_model_by_name("fixed"))
+        mob = MobilityManager(net, PaperWalk(), Region2D(side=net.side), rng=rng)
+        sch = scheme_by_name("nd")
+        for i in range(1, 30):
+            out = run_interval(net, sch, acct, mob, interval_index=i)
+            s = out.cds.stats
+            assert s.initial_marked - s.removed_rule1 - s.removed_rule2 == out.cds.size
+            assert out.metrics.cds_size == out.cds.size
+            if out.someone_died:
+                break
+
+
+class TestCrossLayerAgreement:
+    def test_protocol_routing_broadcast_agree_over_a_mobile_run(self):
+        """Every interval: distributed == centralized, routes stay on the
+        backbone, and a backbone flood reaches every host."""
+        rng = np.random.default_rng(99)
+        net = random_connected_network(18, rng=rng)
+        mob = MobilityManager(net, PaperWalk(), Region2D(side=net.side), rng=rng)
+        energy = rng.uniform(10, 100, 18)
+        for _ in range(15):
+            snap = net.snapshot()
+            central = compute_cds(snap, "el2", energy=energy)
+            dist = distributed_cds(snap, "el2", energy=energy)
+            assert dist.gateways == central.gateways
+            assert is_cds(snap.adjacency, central.gateway_mask)
+
+            router = DominatingSetRouter(snap.adjacency, central.gateway_mask)
+            s, t = rng.choice(18, size=2, replace=False)
+            route = router.route(int(s), int(t))
+            assert all(router.is_gateway(v) for v in route.intermediates)
+
+            flood = backbone_flood(snap.adjacency, int(s), central.gateway_mask)
+            assert flood.reached_all(18)
+
+            energy -= rng.uniform(0.0, 2.0, 18)  # arbitrary drain history
+            mob.step()
+
+    def test_localized_marking_tracks_mobility_for_100_intervals(self):
+        rng = np.random.default_rng(123)
+        net = random_connected_network(30, rng=rng)
+        mob = MobilityManager(net, PaperWalk(), Region2D(side=net.side), rng=rng)
+        old_adj = list(net.adjacency)
+        marked = marked_mask(old_adj)
+        for _ in range(100):
+            mob.step()
+            new_adj = list(net.adjacency)
+            marked, _ = localized_recompute(old_adj, new_adj, marked)
+            assert marked == marked_mask(new_adj)
+            old_adj = new_adj
+
+    def test_table_maintainer_never_diverges_from_fresh_build(self):
+        from repro.routing.tables import build_routing_tables
+
+        rng = np.random.default_rng(77)
+        net = random_connected_network(15, rng=rng)
+        mob = MobilityManager(
+            net, PaperWalk(stability=0.8), Region2D(side=net.side), rng=rng
+        )
+        maintainer = TableMaintainer()
+        for _ in range(40):
+            r = compute_cds(net, "id")
+            maintainer.update(net.adjacency, r.gateways)
+            fresh = build_routing_tables(list(net.adjacency), r.gateways)
+            assert set(maintainer.tables) == set(fresh)
+            for g in fresh:
+                assert maintainer.tables[g].members == fresh[g].members
+                assert maintainer.tables[g].distance_to == fresh[g].distance_to
+            mob.step()
+
+
+class TestEnergyConservation:
+    def test_ledger_matches_battery_delta(self):
+        cfg = SimulationConfig(n_hosts=15, scheme="id", drain_model="linear")
+        rng = np.random.default_rng(5)
+        net = random_connected_network(cfg.n_hosts, rng=rng)
+        bank = BatteryBank(cfg.n_hosts)
+        acct = EnergyAccountant(bank, drain_model_by_name("linear"))
+        start = bank.total()
+        sch = scheme_by_name("id")
+        for i in range(1, 12):
+            out = run_interval(net, sch, acct, None, interval_index=i)
+            if out.someone_died:
+                break
+        spent = acct.total_gateway_drain + acct.total_non_gateway_drain
+        assert start - bank.total() == pytest.approx(spent)

@@ -1,0 +1,140 @@
+"""Unit tests for small shared utilities (types, errors, metrics)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import errors
+from repro.types import as_generator, node_labels
+from repro.simulation.metrics import IntervalMetrics, TrialMetrics
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        for name in errors.__all__:
+            exc = getattr(errors, name)
+            assert issubclass(exc, errors.ReproError)
+
+    def test_value_error_compatibility(self):
+        # config/topology/energy errors are ValueErrors so generic
+        # validation code can catch them uniformly
+        for exc in (
+            errors.ConfigurationError,
+            errors.TopologyError,
+            errors.DisconnectedGraphError,
+            errors.EnergyError,
+        ):
+            assert issubclass(exc, ValueError)
+
+    def test_runtime_error_compatibility(self):
+        for exc in (
+            errors.ProtocolError,
+            errors.RoutingError,
+            errors.SimulationError,
+        ):
+            assert issubclass(exc, RuntimeError)
+
+    def test_invariant_violation_is_assertion(self):
+        assert issubclass(errors.InvariantViolation, AssertionError)
+
+    def test_disconnected_is_topology_error(self):
+        assert issubclass(errors.DisconnectedGraphError, errors.TopologyError)
+
+
+class TestRngCoercion:
+    def test_int_seed_gives_reproducible_stream(self):
+        a = as_generator(7).random(4)
+        b = as_generator(7).random(4)
+        assert np.array_equal(a, b)
+
+    def test_generator_passes_through_unchanged(self):
+        gen = np.random.default_rng(1)
+        assert as_generator(gen) is gen
+
+    def test_none_gives_fresh_stream(self):
+        a = as_generator(None)
+        b = as_generator(None)
+        assert isinstance(a, np.random.Generator)
+        assert a is not b
+
+
+class TestNodeLabels:
+    def test_identity_without_mapping(self):
+        assert node_labels(None, [0, 2]) == [0, 2]
+
+    def test_mapping_applied_with_fallback(self):
+        assert node_labels({0: "a"}, [0, 1]) == ["a", 1]
+
+
+class TestTrialMetricsSummarize:
+    def _interval(self, i, size):
+        return IntervalMetrics(
+            interval=i, cds_size=size, gateway_drain=1.0,
+            min_energy_after=50.0, topology_changed=True,
+            removed_rule1=0, removed_rule2=0,
+        )
+
+    def test_summary_fields(self):
+        records = [self._interval(1, 4), self._interval(2, 6)]
+        m = TrialMetrics.summarize(
+            records,
+            first_dead_host=3,
+            total_gateway_drain=10.0,
+            total_non_gateway_drain=20.0,
+            frozen_intervals=1,
+            final_levels=np.array([1.0, 3.0]),
+            keep_intervals=True,
+        )
+        assert m.lifespan == 2
+        assert m.mean_cds_size == 5.0
+        assert m.first_dead_host == 3
+        assert m.energy_std_at_death == pytest.approx(1.0)
+        assert len(m.intervals) == 2
+
+    def test_intervals_dropped_when_not_kept(self):
+        m = TrialMetrics.summarize(
+            [self._interval(1, 4)],
+            first_dead_host=None,
+            total_gateway_drain=0.0,
+            total_non_gateway_drain=0.0,
+            frozen_intervals=0,
+            final_levels=np.array([1.0]),
+            keep_intervals=False,
+        )
+        assert m.intervals == ()
+
+    def test_empty_records(self):
+        m = TrialMetrics.summarize(
+            [],
+            first_dead_host=None,
+            total_gateway_drain=0.0,
+            total_non_gateway_drain=0.0,
+            frozen_intervals=0,
+            final_levels=np.array([]),
+            keep_intervals=False,
+        )
+        assert m.lifespan == 0
+        assert m.mean_cds_size == 0.0
+
+
+class TestReductionGuards:
+    def test_max_rounds_caps_fixed_point(self):
+        from repro.core.priority import scheme_by_name
+        from repro.core.reduction import prune
+        from repro.core.marking import marked_mask
+        from repro.graphs.generators import path_graph
+
+        g = path_graph(12)
+        marked = marked_mask(g.adjacency)
+        out, stats = prune(
+            g.adjacency, marked, scheme_by_name("id"),
+            fixed_point=True, max_rounds=1,
+        )
+        assert stats.rounds == 1
+
+    def test_prune_stats_final_size_property(self):
+        from repro.core.reduction import PruneStats
+
+        s = PruneStats(initial_marked=10, removed_rule1=3, removed_rule2=2, rounds=1)
+        assert s.final_size == 5

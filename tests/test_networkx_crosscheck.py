@@ -1,0 +1,106 @@
+"""Cross-validation against networkx reference implementations.
+
+Our graph machinery is hand-rolled on bitmasks for speed; these tests
+check it against networkx's battle-tested algorithms on random inputs —
+an independent oracle the rest of the suite does not have.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+nx = pytest.importorskip("networkx")
+
+from repro.core.properties import is_dominating
+from repro.graphs import bitset
+from repro.graphs.generators import random_gnp_connected
+from repro.graphs.neighborhoods import components, is_connected
+from repro.routing.shortest_path import bfs_distances, bfs_path
+
+
+def _to_nx(adj):
+    g = nx.Graph()
+    g.add_nodes_from(range(len(adj)))
+    for u, m in enumerate(adj):
+        for v in bitset.iter_bits(m):
+            if u < v:
+                g.add_edge(u, v)
+    return g
+
+
+@pytest.fixture(scope="module")
+def graph_pool():
+    rng = np.random.default_rng(777)
+    pool = []
+    for _ in range(12):
+        n = int(rng.integers(5, 30))
+        p = float(rng.uniform(0.08, 0.5))
+        # allow disconnected graphs too: build raw G(n, p)
+        upper = rng.random((n, n)) < p
+        within = np.triu(upper, k=1)
+        within = within | within.T
+        adj = [0] * n
+        for u in range(n):
+            for v in range(n):
+                if within[u, v]:
+                    adj[u] |= 1 << v
+        pool.append(adj)
+    return pool
+
+
+class TestConnectivity:
+    def test_is_connected_matches(self, graph_pool):
+        for adj in graph_pool:
+            assert is_connected(adj) == nx.is_connected(_to_nx(adj))
+
+    def test_components_match(self, graph_pool):
+        for adj in graph_pool:
+            ours = sorted(
+                tuple(sorted(bitset.ids_from_mask(c))) for c in components(adj)
+            )
+            theirs = sorted(
+                tuple(sorted(c)) for c in nx.connected_components(_to_nx(adj))
+            )
+            assert ours == theirs
+
+
+class TestDistances:
+    def test_bfs_distances_match(self, graph_pool):
+        for adj in graph_pool:
+            g = _to_nx(adj)
+            for src in range(0, len(adj), 3):
+                theirs = nx.single_source_shortest_path_length(g, src)
+                ours = bfs_distances(adj, src)
+                for v in range(len(adj)):
+                    assert ours[v] == theirs.get(v, -1)
+
+    def test_bfs_path_lengths_match(self, graph_pool):
+        rng = np.random.default_rng(3)
+        for adj in graph_pool:
+            g = _to_nx(adj)
+            n = len(adj)
+            for _ in range(5):
+                s, t = rng.integers(0, n, 2)
+                s, t = int(s), int(t)
+                if nx.has_path(g, s, t):
+                    ours = bfs_path(adj, s, t)
+                    assert len(ours) - 1 == nx.shortest_path_length(g, s, t)
+
+
+class TestDomination:
+    def test_nx_dominating_set_passes_our_checker(self, graph_pool):
+        for adj in graph_pool:
+            ds = nx.dominating_set(_to_nx(adj))
+            assert is_dominating(adj, set(ds))
+
+    def test_our_cds_passes_nx_dominating_check(self):
+        from repro.core.cds import compute_cds
+
+        rng = np.random.default_rng(5)
+        for _ in range(8):
+            gview = random_gnp_connected(18, 0.3, rng=rng)
+            r = compute_cds(gview, "nd")
+            g = _to_nx(list(gview.adjacency))
+            assert nx.is_dominating_set(g, set(r.gateways))
+            assert nx.is_connected(g.subgraph(r.gateways))
