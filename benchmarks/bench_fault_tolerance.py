@@ -1,0 +1,147 @@
+"""Fault-tolerance sweep: loss rate × crash count × priority scheme.
+
+Quantifies how the distributed protocol degrades on a faulty radio (see
+``repro.faults``): convergence rate of the degrade policy, retransmission
+overhead beyond the fault-free schedule, and how often the localized
+2-hop repair pass fires.  Also pins the robustness acceptance bar: with
+20% frame loss and one *gateway* crash, the degrade policy must converge
+— quiesce without raising AND pass the surviving-component domination +
+connectivity checks — on at least 95% of random 50-host topologies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.core.cds import compute_cds
+from repro.faults import FaultPlan
+from repro.graphs.generators import random_connected_network
+from repro.protocol.fault_tolerant import run_fault_tolerant_cds
+from repro.simulation.metrics import FaultSummary
+
+from conftest import bench_seed
+
+SCHEMES = ("id", "nd", "el1", "el2")
+LOSSES = (0.0, 0.1, 0.2, 0.3)
+CRASHES = (0, 1, 2)
+RUNS_PER_CELL = 8
+N_HOSTS = 50
+
+
+@pytest.fixture(scope="module")
+def topologies():
+    seed = bench_seed()
+    nets = [
+        random_connected_network(N_HOSTS, rng=seed + i)
+        for i in range(RUNS_PER_CELL)
+    ]
+    energy = np.linspace(1, 100, N_HOSTS)
+    return nets, energy
+
+
+def _cell(nets, energy, scheme, loss, crashes, fault_seed) -> FaultSummary:
+    outcomes = []
+    for i, net in enumerate(nets):
+        plan = FaultPlan.random(
+            net.n,
+            seed=fault_seed + 1000 * i,
+            loss=loss,
+            n_crashes=crashes,
+        )
+        outcomes.append(
+            run_fault_tolerant_cds(net, scheme, energy=energy, plan=plan)
+        )
+    return FaultSummary.from_outcomes(outcomes)
+
+
+def test_fault_sweep(topologies, results_dir, capsys, benchmark):
+    nets, energy = topologies
+    fault_seed = bench_seed() * 31 + 17
+    rows = []
+    for scheme in SCHEMES:
+        for loss in LOSSES:
+            for crashes in CRASHES:
+                s = _cell(nets, energy, scheme, loss, crashes, fault_seed)
+                rows.append(
+                    [
+                        scheme.upper(),
+                        loss,
+                        crashes,
+                        f"{s.convergence_rate:.2f}",
+                        f"{s.mean_extra_rounds:.1f}",
+                        f"{s.mean_retransmissions:.0f}",
+                        f"{s.mean_dropped:.0f}",
+                        f"{s.mean_coverage_gap:.2f}",
+                        f"{s.repair_rate:.2f}",
+                        f"{s.mean_cds_size:.1f}",
+                    ]
+                )
+                # fault-free cells must always converge exactly
+                if loss == 0.0 and crashes == 0:
+                    assert s.convergence_rate == 1.0
+                    assert s.mean_retransmissions == 0.0
+    table = render_table(
+        ["scheme", "loss", "crashes", "conv", "extra rds", "retx",
+         "dropped", "gap", "repair", "|G'|"],
+        rows,
+        title=(
+            f"Fault tolerance: N={N_HOSTS}, {RUNS_PER_CELL} runs/cell, "
+            f"degrade policy, 6 retries"
+        ),
+    )
+    with capsys.disabled():
+        print(f"\n{table}")
+    (results_dir / "fault_tolerance.txt").write_text(table + "\n")
+
+    net = nets[0]
+    plan = FaultPlan.random(net.n, seed=fault_seed, loss=0.2, n_crashes=1)
+    benchmark(
+        lambda: run_fault_tolerant_cds(net, "nd", energy=energy, plan=plan)
+    )
+
+
+@pytest.mark.slow
+def test_gateway_crash_acceptance(results_dir, capsys):
+    """The robustness bar: p=0.2 loss + one gateway crash, >= 95% converge.
+
+    100 random connected 50-host topologies; in each, the crash victim is
+    drawn from the *centralized* CDS gateways so the crash always tears
+    the backbone, and crashes mid-protocol (stage uniform in [1, 8)).
+    """
+    seed = bench_seed() * 101 + 3
+    runs = 100
+    outcomes = []
+    for i in range(runs):
+        net = random_connected_network(N_HOSTS, rng=seed + i)
+        energy = np.linspace(1, 100, N_HOSTS)
+        central = compute_cds(net, "nd", energy=energy)
+        gws = sorted(central.gateways)
+        victim = gws[(seed + i) % len(gws)]
+        stage = 1 + (seed + 7 * i) % 7
+        plan = FaultPlan(seed=seed + i, loss=0.2, crashes={victim: stage})
+        outcomes.append(
+            run_fault_tolerant_cds(net, "nd", energy=energy, plan=plan)
+        )
+    s = FaultSummary.from_outcomes(outcomes)
+    table = render_table(
+        ["metric", "value"],
+        [
+            ["runs", s.runs],
+            ["converged", s.converged],
+            ["convergence rate", f"{s.convergence_rate:.2f}"],
+            ["mean extra rounds", f"{s.mean_extra_rounds:.1f}"],
+            ["mean retransmissions", f"{s.mean_retransmissions:.0f}"],
+            ["repair rate", f"{s.repair_rate:.2f}"],
+            ["mean |G'|", f"{s.mean_cds_size:.1f}"],
+        ],
+        title=(
+            f"Acceptance: N={N_HOSTS}, ND, loss p=0.2, one gateway crash, "
+            f"{runs} topologies"
+        ),
+    )
+    with capsys.disabled():
+        print(f"\n{table}")
+    (results_dir / "fault_acceptance.txt").write_text(table + "\n")
+    assert s.convergence_rate >= 0.95

@@ -6,7 +6,9 @@ Commands
               print the gateways + an ASCII map;
 ``lifespan``  run lifespan trials for one or all schemes;
 ``figure``    regenerate one of the paper's figures (10, 11, 12, 13);
-``example``   print the §3.3 worked example results for every scheme.
+``example``   print the §3.3 worked example results for every scheme;
+``faults``    run the fault-injected distributed protocol and report
+              convergence + retransmission overhead.
 
 Everything the CLI does goes through the same public API the examples
 use; it exists so the reproduction can be driven without writing Python.
@@ -71,6 +73,27 @@ def build_parser() -> argparse.ArgumentParser:
     f.add_argument("--seed", type=int, default=2001)
 
     sub.add_parser("example", help="the paper's §3.3 worked example")
+
+    ft = sub.add_parser(
+        "faults", help="fault-injected distributed CDS (loss, crashes, repair)"
+    )
+    ft.add_argument("--hosts", type=int, default=50)
+    ft.add_argument("--scheme", default="nd", choices=list(PAPER_SERIES_ORDER))
+    ft.add_argument("--loss", type=float, default=0.2, help="per-frame loss p")
+    ft.add_argument(
+        "--burst", action="store_true",
+        help="Gilbert-Elliott burst loss instead of Bernoulli",
+    )
+    ft.add_argument("--crashes", type=int, default=1, help="nodes that crash")
+    ft.add_argument("--delay", type=float, default=0.0, help="P(frame slips a round)")
+    ft.add_argument("--runs", type=int, default=20)
+    ft.add_argument("--policy", default="degrade", choices=["strict", "degrade"])
+    ft.add_argument("--max-retries", type=int, default=6)
+    ft.add_argument(
+        "--fault-seed", type=int, default=None,
+        help="seed for the fault plan (default: derived from --seed)",
+    )
+    ft.add_argument("--seed", type=int, default=2001, help="topology seed")
 
     d = sub.add_parser(
         "directed", help="CDS on a heterogeneous-range (unidirectional) network"
@@ -183,6 +206,62 @@ def _cmd_example(args) -> int:
     return 0
 
 
+def _cmd_faults(args) -> int:
+    from repro.faults import FaultPlan, GilbertElliott
+    from repro.protocol.fault_tolerant import run_fault_tolerant_cds
+    from repro.simulation.metrics import FaultSummary
+
+    fault_seed = args.fault_seed if args.fault_seed is not None else args.seed + 7919
+    burst = GilbertElliott() if args.burst else None
+    outcomes = []
+    for i in range(args.runs):
+        net = random_connected_network(args.hosts, rng=args.seed + i)
+        energy = np.full(net.n, 100.0)
+        plan = FaultPlan.random(
+            net.n,
+            seed=fault_seed + i,
+            loss=args.loss,
+            burst=burst,
+            n_crashes=args.crashes,
+            delay=args.delay,
+        )
+        outcomes.append(
+            run_fault_tolerant_cds(
+                net,
+                args.scheme,
+                energy=energy,
+                plan=plan,
+                policy=args.policy,
+                max_retries=args.max_retries,
+            )
+        )
+    s = FaultSummary.from_outcomes(outcomes)
+    loss_desc = "GE burst" if args.burst else f"p={args.loss}"
+    print(
+        render_table(
+            ["metric", "value"],
+            [
+                ["runs", s.runs],
+                ["completed", s.completed],
+                ["converged", s.converged],
+                ["convergence rate", f"{s.convergence_rate:.2f}"],
+                ["mean extra rounds", f"{s.mean_extra_rounds:.2f}"],
+                ["mean retransmissions", f"{s.mean_retransmissions:.1f}"],
+                ["mean dropped frames", f"{s.mean_dropped:.1f}"],
+                ["mean coverage gap", f"{s.mean_coverage_gap:.2f}"],
+                ["repair rate", f"{s.repair_rate:.2f}"],
+                ["mean |G'|", f"{s.mean_cds_size:.1f}"],
+            ],
+            title=(
+                f"Faults: N={args.hosts}, {args.scheme.upper()}, loss {loss_desc}, "
+                f"{args.crashes} crash(es), policy {args.policy}, "
+                f"fault-seed {fault_seed}"
+            ),
+        )
+    )
+    return 0
+
+
 def _cmd_directed(args) -> int:
     from repro.core.unidirectional import (
         compute_directed_cds,
@@ -238,6 +317,7 @@ def main(argv: list[str] | None = None) -> int:
         "lifespan": _cmd_lifespan,
         "figure": _cmd_figure,
         "example": _cmd_example,
+        "faults": _cmd_faults,
         "directed": _cmd_directed,
         "report": _cmd_report,
         "sweep": _cmd_sweep,

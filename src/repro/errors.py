@@ -14,6 +14,9 @@ __all__ = [
     "DisconnectedGraphError",
     "InvariantViolation",
     "ProtocolError",
+    "ChannelError",
+    "NodeCrashError",
+    "DuplicateBroadcastError",
     "RoutingError",
     "EnergyError",
     "SimulationError",
@@ -52,6 +55,32 @@ class InvariantViolation(ReproError, AssertionError):
 
 class ProtocolError(ReproError, RuntimeError):
     """The distributed message-passing protocol entered an invalid state."""
+
+
+class ChannelError(ProtocolError):
+    """A radio channel failed: expected frames never arrived.
+
+    Raised under the ``strict`` failure policy when a host is still missing
+    a neighbor's frame after the bounded retransmission budget.  Under the
+    ``degrade`` policy the silent neighbor is treated as departed instead.
+    """
+
+
+class NodeCrashError(ProtocolError):
+    """A host crashed mid-protocol and a strict-policy peer noticed.
+
+    Distinguished from :class:`ChannelError` (frames lost but the sender is
+    alive) so callers can tell "retune the radio" from "the node is gone".
+    """
+
+
+class DuplicateBroadcastError(ProtocolError):
+    """A host attempted two broadcasts in the same synchronous round.
+
+    Radio semantics allow one frame per host per round; a second
+    ``broadcast`` call in the same round is a protocol-driver bug.  The
+    message names the offending round and sender.
+    """
 
 
 class RoutingError(ReproError, RuntimeError):

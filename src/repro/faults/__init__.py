@@ -1,0 +1,38 @@
+"""Fault injection for the distributed CDS protocol.
+
+The paper's locality claims only matter if the protocol survives an
+unreliable radio layer.  This package supplies:
+
+* :mod:`repro.faults.plan` — seeded, replayable fault descriptions
+  (Bernoulli / Gilbert–Elliott loss, node crashes, latency spikes),
+* :mod:`repro.faults.outcome` — per-run outcome records and the
+  surviving-component domination/connectivity oracle,
+* :mod:`repro.faults.repair` — localized 2-hop CDS repair around crashed
+  gateways, with a per-component full-recompute escalation.
+
+The engines consuming these live in :mod:`repro.protocol`
+(:func:`repro.protocol.fault_tolerant.run_fault_tolerant_cds` and the
+``fault_plan`` argument of :func:`repro.protocol.async_sim.run_async_cds`).
+"""
+
+from repro.faults.plan import FaultPlan, FaultRealization, GilbertElliott
+from repro.faults.outcome import (
+    FaultOutcome,
+    SurvivalCheck,
+    evaluate_surviving,
+    surviving_adjacency,
+)
+from repro.faults.repair import full_recompute, localized_repair, repair_ball
+
+__all__ = [
+    "FaultPlan",
+    "FaultRealization",
+    "GilbertElliott",
+    "FaultOutcome",
+    "SurvivalCheck",
+    "evaluate_surviving",
+    "surviving_adjacency",
+    "localized_repair",
+    "full_recompute",
+    "repair_ball",
+]

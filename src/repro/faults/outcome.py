@@ -1,0 +1,156 @@
+"""Fault-run outcomes and surviving-component verification.
+
+:func:`evaluate_surviving` is the oracle the fault-tolerant engines and the
+test suite share: given the pre-crash adjacency, the crashed set, and a
+gateway set, it checks the paper's Properties 1–2 **per connected
+component of the surviving graph** and quantifies any residual coverage
+gap.  Components of one or two hosts need no backbone (direct
+communication), and clique components are the marking process's documented
+empty-set exception, so both count as satisfied.
+
+:class:`FaultOutcome` is the record a fault-tolerant protocol execution
+returns; ``converged`` is the headline bit the robustness bench sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.graphs import bitset
+from repro.graphs.neighborhoods import connected_within
+
+__all__ = ["SurvivalCheck", "FaultOutcome", "evaluate_surviving", "surviving_adjacency"]
+
+
+def surviving_adjacency(adj: Sequence[int], crashed_mask: int) -> list[int]:
+    """Adjacency with crashed hosts removed (rows zeroed, bits cleared)."""
+    alive = ~crashed_mask
+    return [
+        adj[v] & alive if not crashed_mask >> v & 1 else 0
+        for v in range(len(adj))
+    ]
+
+
+def _alive_components(sub: Sequence[int], alive_mask: int) -> list[int]:
+    """Connected components of the surviving graph, as member masks."""
+    remaining = alive_mask
+    out: list[int] = []
+    while remaining:
+        start = remaining & -remaining
+        reached = start
+        frontier = start
+        while frontier:
+            nxt = 0
+            for v in bitset.iter_bits(frontier):
+                nxt |= sub[v]
+            nxt &= remaining & ~reached
+            reached |= nxt
+            frontier = nxt
+        out.append(reached)
+        remaining &= ~reached
+    return out
+
+
+def _is_clique(sub: Sequence[int], comp: int) -> bool:
+    return all(
+        (sub[v] & comp) | (1 << v) == comp for v in bitset.iter_bits(comp)
+    )
+
+
+@dataclass(frozen=True)
+class SurvivalCheck:
+    """Verdict of :func:`evaluate_surviving`."""
+
+    dominates: bool
+    backbone_connected: bool
+    coverage_gap: int
+    n_components: int
+
+    @property
+    def ok(self) -> bool:
+        return self.dominates and self.backbone_connected
+
+
+def evaluate_surviving(
+    adj: Sequence[int], crashed_mask: int, gateways_mask: int
+) -> SurvivalCheck:
+    """Check domination + backbone connectivity on the surviving graph.
+
+    Per component: every surviving host must be a gateway or adjacent to
+    one (Property 1), and the component's gateways must induce a connected
+    subgraph (Property 2).  ``coverage_gap`` counts undominated survivors
+    across all components.  Trivial components (size <= 2) and clique
+    components with no gateway are exempt, mirroring the centralized
+    pipeline's documented exceptions.
+    """
+    n = len(adj)
+    alive_mask = ((1 << n) - 1) & ~crashed_mask
+    sub = surviving_adjacency(adj, crashed_mask)
+    gw = gateways_mask & alive_mask
+    gap = 0
+    connected_ok = True
+    comps = _alive_components(sub, alive_mask)
+    for comp in comps:
+        if bitset.popcount(comp) <= 2:
+            continue
+        cg = gw & comp
+        if cg == 0 and _is_clique(sub, comp):
+            continue
+        covered = cg
+        for v in bitset.iter_bits(cg):
+            covered |= sub[v]
+        gap += bitset.popcount(comp & ~covered)
+        if cg and not connected_within(sub, cg):
+            connected_ok = False
+    return SurvivalCheck(
+        dominates=gap == 0,
+        backbone_connected=connected_ok,
+        coverage_gap=gap,
+        n_components=len(comps),
+    )
+
+
+@dataclass(frozen=True)
+class FaultOutcome:
+    """Result of one fault-injected protocol execution.
+
+    ``completed`` means the protocol ran to quiescence without raising;
+    ``converged`` additionally requires the gateway set to pass the
+    surviving-component domination + connectivity checks.  The overhead
+    counters separate the price of fault tolerance (retransmission rounds
+    and frames) from the fault-free baseline.
+    """
+
+    gateways: frozenset[int]
+    crashed: frozenset[int]
+    #: live hosts some peer wrongly declared departed (loss unluckier
+    #: than the retry budget)
+    suspected: frozenset[int]
+    completed: bool
+    check: SurvivalCheck
+    rounds: int
+    baseline_rounds: int
+    broadcasts: int
+    retransmissions: int
+    dropped: int
+    repair_applied: bool = False
+    repair_ball: int = 0
+    used_full_recompute: bool = False
+
+    @property
+    def converged(self) -> bool:
+        return self.completed and self.check.ok
+
+    @property
+    def extra_rounds(self) -> int:
+        """Rounds spent on retransmission beyond the fault-free schedule."""
+        return max(0, self.rounds - self.baseline_rounds)
+
+    @property
+    def coverage_gap(self) -> int:
+        return self.check.coverage_gap
+
+    @property
+    def size(self) -> int:
+        return len(self.gateways)

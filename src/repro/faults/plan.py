@@ -1,0 +1,231 @@
+"""Seeded, replayable fault plans for the protocol engines.
+
+A :class:`FaultPlan` is a *description* of how the radio layer misbehaves:
+per-link Bernoulli loss, bursty Gilbert–Elliott loss, node crashes pinned
+to a protocol stage, and latency spikes / one-round delivery delays.  A
+plan is pure data; :meth:`FaultPlan.realize` yields a
+:class:`FaultRealization` that answers concrete per-frame questions.
+
+Every decision is derived by hashing ``(seed, coordinates)`` with a
+splitmix64-style mixer, so the realization is **stateless in the
+coordinates**: the same plan replayed against the same engine produces
+bit-identical drop/delay/crash decisions regardless of query order (the
+regression suite asserts this).  The only stateful part is the
+Gilbert–Elliott channel chain, which is itself a deterministic function of
+``(seed, link, round)`` — the realization memoizes the chain per link and
+recomputes from round 0 if queried out of order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["GilbertElliott", "FaultPlan", "FaultRealization"]
+
+_M64 = (1 << 64) - 1
+
+
+def _mix(*vals: int) -> int:
+    """Order-sensitive splitmix64 hash of integer coordinates."""
+    x = 0x9E3779B97F4A7C15
+    for v in vals:
+        x = (x + (v & _M64) + 0x9E3779B97F4A7C15) & _M64
+        x ^= x >> 30
+        x = (x * 0xBF58476D1CE4E5B9) & _M64
+        x ^= x >> 27
+        x = (x * 0x94D049BB133111EB) & _M64
+        x ^= x >> 31
+    return x
+
+
+def _u01(*vals: int) -> float:
+    """Uniform draw in [0, 1) from hashed coordinates."""
+    return _mix(*vals) / 2.0**64
+
+
+# coordinate tags keep the draw families independent
+_TAG_LOSS, _TAG_DELAY, _TAG_GE, _TAG_ASYNC, _TAG_SPIKE, _TAG_CRASH = range(6)
+
+
+@dataclass(frozen=True)
+class GilbertElliott:
+    """Two-state burst-loss channel (good/bad Markov chain, per link).
+
+    ``p_bad`` is P(good→bad) and ``p_good`` is P(bad→good) per round;
+    ``loss_good``/``loss_bad`` are the per-frame loss probabilities in each
+    state.  Defaults model rare but severe fades.
+    """
+
+    p_bad: float = 0.05
+    p_good: float = 0.3
+    loss_good: float = 0.0
+    loss_bad: float = 0.8
+
+    def __post_init__(self) -> None:
+        for name in ("p_bad", "p_good", "loss_good", "loss_bad"):
+            v = getattr(self, name)
+            if not 0.0 <= v <= 1.0:
+                raise ConfigurationError(
+                    f"GilbertElliott.{name} must be in [0, 1], got {v}"
+                )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Deterministic description of radio-layer faults.
+
+    ``loss`` is independent per-frame Bernoulli loss; ``burst`` switches to
+    a Gilbert–Elliott chain instead.  ``crashes`` maps node id → protocol
+    stage index (see :func:`repro.protocol.async_sim._stage_index`): the
+    node transmits every stage before that index, then goes permanently
+    silent.  ``delay`` is the probability a frame slips one round (sync) or
+    has its latency multiplied by ``delay_factor`` (async).
+    """
+
+    seed: int = 0
+    loss: float = 0.0
+    burst: GilbertElliott | None = None
+    crashes: Mapping[int, int] = field(default_factory=dict)
+    delay: float = 0.0
+    delay_factor: float = 4.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss < 1.0:
+            raise ConfigurationError(f"loss must be in [0, 1), got {self.loss}")
+        if not 0.0 <= self.delay < 1.0:
+            raise ConfigurationError(f"delay must be in [0, 1), got {self.delay}")
+        if self.delay_factor < 1.0:
+            raise ConfigurationError(
+                f"delay_factor must be >= 1, got {self.delay_factor}"
+            )
+        for node, stage in self.crashes.items():
+            if node < 0 or stage < 0:
+                raise ConfigurationError(
+                    f"crash entry {node}->{stage} must be non-negative"
+                )
+
+    @property
+    def is_null(self) -> bool:
+        """True when the plan injects nothing at all."""
+        return (
+            self.loss == 0.0
+            and self.burst is None
+            and not self.crashes
+            and self.delay == 0.0
+        )
+
+    def realize(self) -> "FaultRealization":
+        return FaultRealization(self)
+
+    @staticmethod
+    def random(
+        n_nodes: int,
+        *,
+        seed: int,
+        loss: float = 0.0,
+        burst: GilbertElliott | None = None,
+        n_crashes: int = 0,
+        max_stage: int = 8,
+        delay: float = 0.0,
+    ) -> "FaultPlan":
+        """Draw crash victims/stages deterministically from ``seed``.
+
+        Convenience for sweeps: ``n_crashes`` distinct nodes crash at
+        stages uniform in ``[1, max_stage)`` (stage 0 would mean the node
+        never existed; excluding it keeps the topology's connectivity
+        premise meaningful).
+        """
+        if not 0 <= n_crashes <= n_nodes:
+            raise ConfigurationError(
+                f"cannot crash {n_crashes} of {n_nodes} nodes"
+            )
+        gen = np.random.default_rng(seed)
+        victims = gen.choice(n_nodes, size=n_crashes, replace=False)
+        stages = gen.integers(1, max(2, max_stage), size=n_crashes)
+        crashes = {int(v): int(s) for v, s in zip(victims, stages)}
+        return FaultPlan(
+            seed=seed, loss=loss, burst=burst, crashes=crashes, delay=delay
+        )
+
+
+class FaultRealization:
+    """Concrete per-frame fault decisions for one protocol execution."""
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        #: (sender, receiver) -> (last round advanced to, state is bad)
+        self._ge_state: dict[tuple[int, int], tuple[int, bool]] = {}
+        #: per-link monotone counters for the async attempt chain
+        self._async_round: dict[tuple[int, int], int] = {}
+
+    # -- crashes -------------------------------------------------------------
+
+    def crash_stage(self, node: int) -> int | None:
+        """Stage index from which ``node`` is silent, or None."""
+        return self.plan.crashes.get(node)
+
+    # -- Gilbert-Elliott chain ----------------------------------------------
+
+    def _ge_loss_prob(self, round_idx: int, sender: int, receiver: int) -> float:
+        ge = self.plan.burst
+        assert ge is not None
+        link = (sender, receiver)
+        last, bad = self._ge_state.get(link, (-1, False))
+        if round_idx < last:  # out-of-order query: replay from the start
+            last, bad = -1, False
+        seed = self.plan.seed
+        for k in range(last + 1, round_idx + 1):
+            u = _u01(seed, _TAG_GE, sender, receiver, k)
+            bad = (u < ge.p_bad) if not bad else not (u < ge.p_good)
+        self._ge_state[link] = (round_idx, bad)
+        return ge.loss_bad if bad else ge.loss_good
+
+    # -- synchronous engine hooks -------------------------------------------
+
+    def link_event(self, round_idx: int, sender: int, receiver: int) -> str:
+        """Fate of one frame on one directed link: 'ok' | 'drop' | 'delay'."""
+        plan = self.plan
+        if plan.burst is not None:
+            p = self._ge_loss_prob(round_idx, sender, receiver)
+        else:
+            p = plan.loss
+        if p > 0.0 and _u01(plan.seed, _TAG_LOSS, round_idx, sender, receiver) < p:
+            return "drop"
+        if plan.delay > 0.0 and (
+            _u01(plan.seed, _TAG_DELAY, round_idx, sender, receiver) < plan.delay
+        ):
+            return "delay"
+        return "ok"
+
+    # -- asynchronous engine hooks ------------------------------------------
+
+    def async_attempt(
+        self, sender: int, receiver: int, attempt: int
+    ) -> tuple[bool, bool]:
+        """(lost, latency_spike) for one async transmission attempt.
+
+        The Gilbert–Elliott chain, when configured, advances once per
+        attempt on the link (each attempt is one channel use); queries
+        happen in deterministic event order, so replay is exact.
+        """
+        plan = self.plan
+        link = (sender, receiver)
+        token = self._async_round.get(link, 0)
+        self._async_round[link] = token + 1
+        if plan.burst is not None:
+            p = self._ge_loss_prob(token, sender, receiver)
+        else:
+            p = plan.loss
+        lost = p > 0.0 and (
+            _u01(plan.seed, _TAG_ASYNC, sender, receiver, token, attempt) < p
+        )
+        spike = plan.delay > 0.0 and (
+            _u01(plan.seed, _TAG_SPIKE, sender, receiver, token, attempt)
+            < plan.delay
+        )
+        return lost, spike

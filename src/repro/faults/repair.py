@@ -1,0 +1,118 @@
+"""Localized CDS repair after node crashes.
+
+The paper's locality argument (end of §2.2, executable in
+:mod:`repro.protocol.locality`) says a host's gateway status depends only
+on its distance-2 neighborhood.  A crash is a topology delta — the crashed
+host's edges disappear — so only the 2-hop ball around it can change
+status.  :func:`localized_repair` re-runs the marking predicate for the
+ball on the surviving topology, then applies one Rule-1 + Rule-2 pass
+restricted to the ball (statuses outside are frozen at their pre-crash
+values, exactly what those hosts would keep broadcasting).
+
+Freezing the outside can only *keep* gateways the full recomputation would
+drop, so repair errs toward coverage; the caller verifies the result with
+:func:`repro.faults.outcome.evaluate_surviving` and may escalate to
+:func:`full_recompute` (per surviving component) when the local pass is
+insufficient — e.g. when loss-induced view divergence already damaged the
+set before the crash.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.marking import node_is_marked
+from repro.core.priority import PriorityScheme, scheme_by_name
+from repro.core.reduction import prune
+from repro.core.rules import RuleEngine
+from repro.graphs import bitset
+
+from repro.faults.outcome import surviving_adjacency
+
+__all__ = ["repair_ball", "localized_repair", "full_recompute"]
+
+
+def repair_ball(adj: Sequence[int], crashed_mask: int, hops: int = 2) -> int:
+    """Surviving hosts within ``hops`` of a crashed host.
+
+    Grown on the *pre-crash* adjacency so hosts whose 2-hop paths ran
+    through the crashed node are included, then the crashed hosts
+    themselves are removed.
+    """
+    ball = crashed_mask
+    for _ in range(hops):
+        grow = ball
+        for v in bitset.iter_bits(ball):
+            grow |= adj[v]
+        ball = grow
+    return ball & ~crashed_mask
+
+
+def localized_repair(
+    adj: Sequence[int],
+    crashed_mask: int,
+    gateways_mask: int,
+    scheme: str | PriorityScheme,
+    energy: Sequence[float] | None = None,
+    *,
+    hops: int = 2,
+) -> tuple[int, int]:
+    """Re-decide the 2-hop ball around crashed hosts; freeze the rest.
+
+    Returns ``(new_gateway_mask, ball_mask)``.  The ball re-runs the
+    marking predicate on the surviving topology and then one Rule-1 +
+    Rule-2 pass in which only ball members may unmark; hosts outside the
+    ball keep their prior status.
+    """
+    sch = scheme_by_name(scheme) if isinstance(scheme, str) else scheme
+    n = len(adj)
+    alive = ((1 << n) - 1) & ~crashed_mask
+    sub = surviving_adjacency(adj, crashed_mask)
+    ball = repair_ball(adj, crashed_mask, hops)
+    status = gateways_mask & alive
+    for v in bitset.iter_bits(ball):
+        if node_is_marked(sub, v):
+            status |= 1 << v
+        else:
+            status &= ~(1 << v)
+    if not sch.uses_rules:
+        return status, ball
+    engine = RuleEngine(sub, sch, energy)
+    after1 = engine.rule1_pass(status)
+    status = (after1 & ball) | (status & ~ball)
+    after2 = engine.rule2_pass(status)
+    status = (after2 & ball) | (status & ~ball)
+    return status, ball
+
+
+def full_recompute(
+    adj: Sequence[int],
+    crashed_mask: int,
+    scheme: str | PriorityScheme,
+    energy: Sequence[float] | None = None,
+) -> int:
+    """Recompute the CDS from scratch, per surviving component.
+
+    The escalation path when localized repair cannot restore the
+    invariants: run the full marking + pruning pipeline independently on
+    each connected component of the surviving graph (the pipeline assumes
+    a connected input) and union the results.
+    """
+    from repro.faults.outcome import _alive_components
+
+    sch = scheme_by_name(scheme) if isinstance(scheme, str) else scheme
+    n = len(adj)
+    alive = ((1 << n) - 1) & ~crashed_mask
+    sub = surviving_adjacency(adj, crashed_mask)
+    out = 0
+    for comp in _alive_components(sub, alive):
+        if bitset.popcount(comp) <= 2:
+            continue
+        comp_adj = [sub[v] & comp if comp >> v & 1 else 0 for v in range(n)]
+        marked = 0
+        for v in bitset.iter_bits(comp):
+            if node_is_marked(comp_adj, v):
+                marked |= 1 << v
+        pruned, _ = prune(comp_adj, marked, sch, energy)
+        out |= pruned
+    return out

@@ -12,19 +12,25 @@ direct neighbors.  This package makes that explicit:
   (neighbor-set exchange → marking → Rule 1 → Rule 2), proven equivalent
   to the centralized pipeline by the test suite,
 * :mod:`repro.protocol.locality` — Wu–Li's locality result: after a
-  topology change only hosts near the change re-decide.
+  topology change only hosts near the change re-decide,
+* :mod:`repro.protocol.fault_tolerant` — the same state machines over a
+  faulty radio (see :mod:`repro.faults`): bounded retransmission, a
+  strict/degrade failure policy, and localized post-crash repair.
 """
 
 from repro.protocol.messages import MarkerMsg, Message, NeighborSetMsg
 from repro.protocol.network_sim import SyncNetwork, TrafficStats
-from repro.protocol.node_agent import NodeAgent
+from repro.protocol.node_agent import FailurePolicy, NodeAgent
 from repro.protocol.distributed_cds import DistributedCDS, distributed_cds
 from repro.protocol.locality import affected_by_change, localized_recompute
 from repro.protocol.async_sim import AsyncOutcome, run_async_cds
+from repro.protocol.fault_tolerant import run_fault_tolerant_cds
 
 __all__ = [
     "AsyncOutcome",
     "run_async_cds",
+    "run_fault_tolerant_cds",
+    "FailurePolicy",
     "MarkerMsg",
     "Message",
     "NeighborSetMsg",

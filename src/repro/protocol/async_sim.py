@@ -38,10 +38,16 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.priority import PriorityScheme, scheme_by_name
-from repro.errors import ConfigurationError, ProtocolError
+from repro.errors import (
+    ChannelError,
+    ConfigurationError,
+    NodeCrashError,
+    ProtocolError,
+)
+from repro.faults.plan import FaultPlan
 from repro.graphs import bitset
 from repro.protocol.messages import MarkerMsg, Message
-from repro.protocol.node_agent import NodeAgent
+from repro.protocol.node_agent import FailurePolicy, NodeAgent
 from repro.types import SupportsNeighborhoods
 
 __all__ = ["AsyncOutcome", "run_async_cds"]
@@ -55,6 +61,12 @@ class AsyncOutcome:
     makespan: float
     messages_sent: int
     rule2_waves: int
+    #: hosts that crashed mid-protocol (fault plans only)
+    crashed: frozenset[int] = frozenset()
+    #: live hosts a peer declared departed after the retry budget
+    suspected: frozenset[int] = frozenset()
+    #: transmission attempts the channel lost (fault plans only)
+    dropped_frames: int = 0
 
     @property
     def size(self) -> int:
@@ -114,6 +126,7 @@ class _AsyncHost:
         #: the Rule-2 tables exist
         self.frozen_markers: dict[int, bool] = {}
         self.is_done = False
+        self.crashed = False
         #: the only stage this host may consume next (strict order)
         self.next_stage = "nbrsets"
 
@@ -139,6 +152,9 @@ def run_async_cds(
     max_latency: float = 2.0,
     loss_probability: float = 0.0,
     retx_timeout: float = 3.0,
+    fault_plan: FaultPlan | None = None,
+    max_retries: int = 6,
+    failure_policy: FailurePolicy | str = FailurePolicy.DEGRADE,
 ) -> AsyncOutcome:
     """Execute the CDS protocol under random per-delivery latencies.
 
@@ -150,6 +166,19 @@ def run_async_cds(
     ``k-1`` extra frames.  The *outcome* is loss-independent (the barrier
     discipline just waits); only time and traffic grow — which is exactly
     what the protocol-overhead bench measures.
+
+    ``fault_plan`` switches the channel to the fault-injection model:
+    per-attempt losses come from the plan (Bernoulli or Gilbert–Elliott),
+    retries are **bounded** by ``max_retries`` (a frame can be lost for
+    good), latency spikes multiply a delivery's latency, and hosts crash
+    silent at their planned stage.  A host blocked forever on a silent
+    correspondent resolves the wait through ``failure_policy``: ``strict``
+    raises :class:`~repro.errors.NodeCrashError` /
+    :class:`~repro.errors.ChannelError`; ``degrade`` drops the silent
+    neighbor from the local view (charging one detection timeout of
+    ``(max_retries + 1) * retx_timeout`` to the makespan) and continues on
+    the survivors.  With a null plan the execution is identical to not
+    passing one.
 
     Returns the gateway set plus the makespan (time the last host left
     the protocol), the number of frames transmitted (including
@@ -168,8 +197,12 @@ def run_async_cds(
         raise ConfigurationError(
             f"retx_timeout must be positive, got {retx_timeout}"
         )
+    if max_retries < 0:
+        raise ConfigurationError(f"max_retries must be >= 0, got {max_retries}")
     gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
     sch = scheme_by_name(scheme) if isinstance(scheme, str) else scheme
+    pol = FailurePolicy.resolve(failure_policy)
+    realization = fault_plan.realize() if fault_plan is not None else None
     adj = list(graph.adjacency)
     n = len(adj)
     if sch.needs_energy and energy is None:
@@ -183,6 +216,7 @@ def run_async_cds(
                 frozenset(bitset.ids_from_mask(adj[v])),
                 sch,
                 energy=levels[v],
+                policy=pol,
             )
         )
         for v in range(n)
@@ -191,8 +225,18 @@ def run_async_cds(
     heap: list[_Event] = []
     seq = itertools.count()
     sent = 0
+    dropped_frames = 0
     makespan = 0.0
     max_wave = 0
+    crashed: set[int] = set()
+    suspected: set[int] = set()
+
+    def crash(v: int) -> None:
+        h = hosts[v]
+        h.is_done = True
+        h.crashed = True
+        h.agent.final_marked = False
+        crashed.add(v)
 
     def broadcast(
         sender: int,
@@ -202,10 +246,49 @@ def run_async_cds(
         *,
         done_last_sent: int | None = None,
     ) -> None:
-        nonlocal sent
+        nonlocal sent, dropped_frames
+        if realization is not None:
+            cs = realization.crash_stage(sender)
+            if cs is not None:
+                # "done" carries no stage of its own: it follows the last
+                # stage the host transmitted
+                idx = (
+                    done_last_sent + 1 if stage == "done" else _stage_index(stage)
+                )
+                if idx >= cs:
+                    crash(sender)
+                    return
         sent += 1
         for r in bitset.ids_from_mask(adj[sender]):
             latency = float(gen.uniform(min_latency, max_latency))
+            if realization is not None:
+                # bounded ARQ against the scripted channel: a frame that
+                # loses all its attempts is gone for good
+                delay_acc = 0.0
+                for attempt in range(max_retries + 1):
+                    lost, spike = realization.async_attempt(sender, r, attempt)
+                    lat = latency if attempt == 0 else float(
+                        gen.uniform(min_latency, max_latency)
+                    )
+                    if spike:
+                        lat *= fault_plan.delay_factor
+                    if not lost:
+                        heapq.heappush(
+                            heap,
+                            _Event(
+                                at + delay_acc + lat,
+                                next(seq),
+                                r,
+                                stage,
+                                msg,
+                                done_last_sent,
+                            ),
+                        )
+                        break
+                    dropped_frames += 1
+                    sent += 1
+                    delay_acc += retx_timeout
+                continue
             if loss_probability > 0.0:
                 # geometric number of attempts; each failure adds one
                 # retransmission timeout and one extra frame on the air
@@ -311,31 +394,113 @@ def run_async_cds(
             a.decide_rule2_subround()
             finish(v, at, last_sent=_stage_index(h.next_stage))
 
-    while heap:
-        ev = heapq.heappop(heap)
-        h = hosts[ev.receiver]
-        if h.is_done:
-            continue
-        if ev.done_last_sent is not None:
+    last_time = 0.0
+
+    def pump() -> None:
+        nonlocal last_time
+        while heap:
+            ev = heapq.heappop(heap)
+            last_time = max(last_time, ev.time)
+            h = hosts[ev.receiver]
+            if h.is_done:
+                continue
             sender = ev.message.sender
-            h.done_neighbors[sender] = ev.done_last_sent
-            assert isinstance(ev.message, MarkerMsg)
-            h.frozen_markers[sender] = ev.message.marked
-            if h.agent.marked_post_rule1 is not None:
-                h.agent.nbr_rule2_marked[sender] = ev.message.marked
-                h.agent.nbr_candidate[sender] = False
-        else:
-            h.stage_inbox.setdefault(ev.stage, []).append(ev.message)
-        drain(ev.receiver, ev.time)
+            if realization is not None and sender not in h.agent.neighbors:
+                continue  # frame from a correspondent this host already dropped
+            if ev.done_last_sent is not None:
+                h.done_neighbors[sender] = ev.done_last_sent
+                assert isinstance(ev.message, MarkerMsg)
+                h.frozen_markers[sender] = ev.message.marked
+                # apply eagerly once the Rule-2 tables exist; before that
+                # the rule1-consumption step applies frozen_markers lazily
+                if hasattr(h.agent, "nbr_rule2_marked"):
+                    h.agent.nbr_rule2_marked[sender] = ev.message.marked
+                    h.agent.nbr_candidate[sender] = False
+            else:
+                h.stage_inbox.setdefault(ev.stage, []).append(ev.message)
+            drain(ev.receiver, ev.time)
+
+    pump()
+
+    # With bounded retries and crashes, a host can block forever on a
+    # correspondent that will never speak again (crashed, or every attempt
+    # lost).  Resolve quiescent deadlocks the way a real node would — by
+    # timing the silence out: each sweep charges one detection window and
+    # applies the failure policy to the hosts still waiting.
+    while realization is not None:
+        blocked = [v for v, h in enumerate(hosts) if not h.is_done]
+        if not blocked:
+            break
+        t_detect = last_time + (max_retries + 1) * retx_timeout
+        if pol is FailurePolicy.STRICT:
+            # diagnose the root cause across ALL blocked hosts: a crash
+            # victim's silence cascades, so a host can block on live peers
+            # that are themselves blocked on the crashed node
+            for v in blocked:
+                h = hosts[v]
+                stg = h.next_stage
+                got = {m.sender for m in h.stage_inbox.get(stg, [])}
+                dead = sorted(
+                    u for u in h.agent.neighbors if u in crashed and u not in got
+                )
+                if dead:
+                    raise NodeCrashError(
+                        f"host {v} lost neighbor(s) {dead} to a crash while "
+                        f"waiting on stage {stg}"
+                    )
+            v = blocked[0]
+            h = hosts[v]
+            raise ChannelError(
+                f"host {v} is missing stage {h.next_stage} frames "
+                f"after {max_retries} retries"
+            )
+        progress = False
+        for v in blocked:
+            h = hosts[v]
+            a = h.agent
+            if h.is_done:
+                continue
+            stg = h.next_stage
+            idx = _stage_index(stg)
+            got = {m.sender for m in h.stage_inbox.get(stg, [])}
+            waiting = [
+                u
+                for u in sorted(a.neighbors)
+                if u not in got
+                and not (u in h.done_neighbors and h.done_neighbors[u] < idx)
+            ]
+            if not waiting:
+                drain(v, t_detect)
+                progress = progress or h.is_done
+                continue
+            for u in waiting:
+                a.drop_neighbor(u)
+                h.done_neighbors.pop(u, None)
+                h.frozen_markers.pop(u, None)
+                for box in h.stage_inbox.values():
+                    box[:] = [m for m in box if m.sender != u]
+                if u not in crashed:
+                    suspected.add(u)
+                progress = True
+            drain(v, t_detect)
+        last_time = t_detect
+        pump()
+        if not progress:  # pragma: no cover - safety net
+            raise ProtocolError("fault resolution made no progress")
 
     for h in hosts:
         if h.agent.final_marked is None:  # pragma: no cover - safety net
             h.agent.finalize()
 
-    gateways = frozenset(v for v, h in enumerate(hosts) if h.agent.final_marked)
+    gateways = frozenset(
+        v for v, h in enumerate(hosts) if h.agent.final_marked and not h.crashed
+    )
     return AsyncOutcome(
         gateways=gateways,
         makespan=makespan,
         messages_sent=sent,
         rule2_waves=max_wave,
+        crashed=frozenset(crashed),
+        suspected=frozenset(suspected),
+        dropped_frames=dropped_frames,
     )

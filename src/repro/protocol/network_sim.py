@@ -7,20 +7,31 @@ computation).  The engine never leaks non-local information — an agent
 only sees frames from adjacent hosts, which is what makes the protocol's
 equivalence with the centralized algorithm a meaningful result.
 
-Traffic accounting (message and byte counts) feeds the protocol-overhead
-bench, quantifying the paper's "information collection is expensive"
-motivation.
+The radio layer is pluggable: a ``link_filter`` callback (see
+:class:`repro.faults.plan.FaultRealization.link_event`) rules on every
+directed frame delivery — ``"ok"`` delivers this round, ``"drop"`` loses
+the frame, ``"delay"`` slips it one round.  Without a filter the channel
+is perfect and behaves exactly as before.
+
+Traffic accounting (message, byte, drop, and retransmission counts) feeds
+the protocol-overhead and fault-tolerance benches, quantifying both the
+paper's "information collection is expensive" motivation and the price of
+surviving a lossy channel.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import Callable
 
-from repro.errors import ProtocolError
+from repro.errors import DuplicateBroadcastError, ProtocolError
 from repro.graphs import bitset
 from repro.protocol.messages import Message
 
-__all__ = ["SyncNetwork", "TrafficStats"]
+__all__ = ["SyncNetwork", "TrafficStats", "LinkFilter"]
+
+#: (round_index, sender, receiver) -> "ok" | "drop" | "delay"
+LinkFilter = Callable[[int, int, int], str]
 
 
 @dataclass
@@ -32,6 +43,12 @@ class TrafficStats:
     deliveries: int = 0
     bytes_on_air: int = 0
     bytes_delivered: int = 0
+    #: frames lost by the channel (per directed link)
+    dropped: int = 0
+    #: frames the channel slipped by one round (per directed link)
+    delayed: int = 0
+    #: broadcasts that were retransmissions of an earlier frame
+    retransmissions: int = 0
 
     def record_broadcast(self, msg: Message, n_receivers: int) -> None:
         self.broadcasts += 1
@@ -44,43 +61,87 @@ class SyncNetwork:
     """Delivers broadcasts along the adjacency, one synchronous round at a
     time."""
 
-    def __init__(self, adjacency: list[int]):
+    def __init__(self, adjacency: list[int], *, link_filter: LinkFilter | None = None):
         self.adjacency = list(adjacency)
         self.n = len(self.adjacency)
         self.stats = TrafficStats()
+        self.link_filter = link_filter
+        #: index of the round currently being assembled (0-based)
+        self.round_index = 0
         self._outbox: list[Message | None] = [None] * self.n
         self._inboxes: list[list[Message]] = [[] for _ in range(self.n)]
+        self._delayed: list[tuple[int, Message]] = []
 
-    def broadcast(self, sender: int, msg: Message) -> None:
+    def broadcast(
+        self, sender: int, msg: Message, *, retransmission: bool = False
+    ) -> None:
         """Queue one broadcast for delivery at the next round boundary.
 
         One broadcast per host per round (radio semantics); a second call
-        in the same round is a protocol bug.
+        in the same round is a protocol bug and raises
+        :class:`~repro.errors.DuplicateBroadcastError`.  ``retransmission``
+        marks repeat frames so :class:`TrafficStats` can separate ARQ
+        overhead from first transmissions.
         """
         if msg.sender != sender:
             raise ProtocolError(
                 f"message sender field {msg.sender} != broadcasting host {sender}"
             )
         if self._outbox[sender] is not None:
-            raise ProtocolError(f"host {sender} already broadcast this round")
+            raise DuplicateBroadcastError(
+                f"host {sender} already broadcast in round {self.round_index} "
+                f"(queued {type(self._outbox[sender]).__name__}, "
+                f"rejected {type(msg).__name__})"
+            )
+        if retransmission:
+            self.stats.retransmissions += 1
         self._outbox[sender] = msg
+
+    @property
+    def has_delayed(self) -> bool:
+        """True when delayed frames are still queued for the next round."""
+        return bool(self._delayed)
 
     def deliver_round(self) -> list[list[Message]]:
         """Flush all queued broadcasts to their senders' neighbors.
 
-        Returns the per-host inbox for the round just completed.
+        Returns the per-host inbox for the round just completed.  Frames
+        the filter delays land at the *next* boundary (a delayed frame is
+        not re-filtered: one slip per frame).
         """
         self.stats.rounds += 1
         inboxes: list[list[Message]] = [[] for _ in range(self.n)]
+        for r, msg in self._delayed:
+            inboxes[r].append(msg)
+            self.stats.deliveries += 1
+            self.stats.bytes_delivered += msg.wire_size
+        self._delayed = []
         for sender, msg in enumerate(self._outbox):
             if msg is None:
                 continue
             receivers = bitset.ids_from_mask(self.adjacency[sender])
-            self.stats.record_broadcast(msg, len(receivers))
+            delivered = 0
             for r in receivers:
-                inboxes[r].append(msg)
+                verdict = (
+                    self.link_filter(self.round_index, sender, r)
+                    if self.link_filter is not None
+                    else "ok"
+                )
+                if verdict == "drop":
+                    self.stats.dropped += 1
+                elif verdict == "delay":
+                    self.stats.delayed += 1
+                    self._delayed.append((r, msg))
+                else:
+                    inboxes[r].append(msg)
+                    delivered += 1
+            self.stats.broadcasts += 1
+            self.stats.deliveries += delivered
+            self.stats.bytes_on_air += msg.wire_size
+            self.stats.bytes_delivered += msg.wire_size * delivered
         self._outbox = [None] * self.n
         self._inboxes = inboxes
+        self.round_index += 1
         return inboxes
 
     def inbox(self, v: int) -> list[Message]:

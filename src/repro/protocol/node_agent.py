@@ -16,11 +16,40 @@ that the paper's algorithm truly needs only local information.
 
 from __future__ import annotations
 
+from enum import Enum
+
 from repro.core.priority import PriorityScheme
-from repro.errors import ProtocolError
+from repro.errors import ChannelError, ConfigurationError, ProtocolError
 from repro.protocol.messages import CandidacyMsg, MarkerMsg, Message, NeighborSetMsg
 
-__all__ = ["NodeAgent"]
+__all__ = ["NodeAgent", "FailurePolicy"]
+
+
+class FailurePolicy(str, Enum):
+    """What an agent does about a neighbor that stays silent.
+
+    ``STRICT`` preserves the original happy-path contract: a missing
+    neighbor frame raises :class:`~repro.errors.ChannelError`.  ``DEGRADE``
+    treats the silent neighbor as departed — it is dropped from the local
+    view and every later decision is taken from the surviving neighborhood
+    (the fault-tolerant engines pair this with bounded retransmission and
+    post-hoc verification / localized repair).
+    """
+
+    STRICT = "strict"
+    DEGRADE = "degrade"
+
+    @staticmethod
+    def resolve(value: "FailurePolicy | str") -> "FailurePolicy":
+        if isinstance(value, FailurePolicy):
+            return value
+        try:
+            return FailurePolicy(value)
+        except ValueError:
+            raise ConfigurationError(
+                f"unknown failure policy {value!r}; "
+                f"expected one of {[p.value for p in FailurePolicy]}"
+            ) from None
 
 
 class NodeAgent:
@@ -32,10 +61,12 @@ class NodeAgent:
         neighbors: frozenset[int],
         scheme: PriorityScheme,
         energy: float = 0.0,
+        policy: FailurePolicy | str = FailurePolicy.STRICT,
     ):
         self.node = node
         self.neighbors = neighbors
         self.scheme = scheme
+        self.policy = FailurePolicy.resolve(policy)
         self.energy = float(energy)
         #: neighbor id -> that neighbor's open neighbor set.
         self.nbr_sets: dict[int, frozenset[int]] = {}
@@ -67,9 +98,31 @@ class NodeAgent:
             self.nbr_energy[msg.sender] = msg.energy
         missing = self.neighbors - self.nbr_sets.keys()
         if missing:
-            raise ProtocolError(
-                f"host {self.node} missing neighbor sets from {sorted(missing)}"
-            )
+            if self.policy is FailurePolicy.STRICT:
+                raise ChannelError(
+                    f"host {self.node} missing neighbor sets from {sorted(missing)}"
+                )
+            for u in sorted(missing):
+                self.drop_neighbor(u)
+
+    def drop_neighbor(self, u: int) -> None:
+        """Remove a departed neighbor from the local view (degrade path).
+
+        Every table forgets ``u``; later decisions run on the surviving
+        neighborhood.  Distance-2 staleness (``u`` still listed inside
+        *other* neighbors' sets) is deliberate — a real host cannot patch
+        frames it already received; the localized repair pass is what
+        reconciles the 2-hop ball afterwards.
+        """
+        self.neighbors = self.neighbors - {u}
+        self.nbr_sets.pop(u, None)
+        self.nbr_energy.pop(u, None)
+        self.nbr_marked.pop(u, None)
+        self.nbr_marked_post_rule1.pop(u, None)
+        for attr in ("nbr_rule2_marked", "nbr_candidate"):
+            table = getattr(self, attr, None)
+            if table is not None:
+                table.pop(u, None)
 
     # -- round 2: marking ----------------------------------------------------
 

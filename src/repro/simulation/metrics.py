@@ -2,18 +2,23 @@
 
 ``IntervalMetrics`` is the per-interval row (the paper records gateway
 counts per interval for Figure 10 and counts intervals for Figures 11-13);
-``TrialMetrics`` aggregates one lifespan run.  Both are plain frozen
-dataclasses so they serialize trivially (:mod:`repro.io.traces`) and
-cross process boundaries cheaply.
+``TrialMetrics`` aggregates one lifespan run.  ``FaultSummary`` aggregates
+fault-injected protocol executions for the robustness bench.  All are
+plain frozen dataclasses so they serialize trivially
+(:mod:`repro.io.traces`) and cross process boundaries cheaply.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
-__all__ = ["IntervalMetrics", "TrialMetrics"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.outcome import FaultOutcome
+
+__all__ = ["IntervalMetrics", "TrialMetrics", "FaultSummary"]
 
 
 @dataclass(frozen=True)
@@ -85,4 +90,49 @@ class TrialMetrics:
             gateway_duty_jain=duty_jain,
             gateway_duty=duty,
             intervals=tuple(records) if keep_intervals else (),
+        )
+
+
+@dataclass(frozen=True)
+class FaultSummary:
+    """Aggregate of many fault-injected protocol runs (one sweep cell).
+
+    ``convergence_rate`` is the headline robustness figure: the fraction
+    of runs whose final gateway set passed the surviving-component
+    domination + connectivity checks.  The overhead means quantify what
+    fault tolerance cost on the air beyond the fault-free schedule.
+    """
+
+    runs: int
+    completed: int
+    converged: int
+    convergence_rate: float
+    mean_extra_rounds: float
+    mean_retransmissions: float
+    mean_dropped: float
+    mean_coverage_gap: float
+    #: fraction of runs that invoked the localized 2-hop repair pass
+    repair_rate: float
+    #: fraction of runs that escalated to a per-component full recompute
+    full_recompute_rate: float
+    mean_cds_size: float
+
+    @staticmethod
+    def from_outcomes(outcomes: "Sequence[FaultOutcome]") -> "FaultSummary":
+        n = len(outcomes)
+        if n == 0:
+            return FaultSummary(0, 0, 0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        mean = lambda xs: float(np.mean(list(xs)))  # noqa: E731
+        return FaultSummary(
+            runs=n,
+            completed=sum(o.completed for o in outcomes),
+            converged=sum(o.converged for o in outcomes),
+            convergence_rate=sum(o.converged for o in outcomes) / n,
+            mean_extra_rounds=mean(o.extra_rounds for o in outcomes),
+            mean_retransmissions=mean(o.retransmissions for o in outcomes),
+            mean_dropped=mean(o.dropped for o in outcomes),
+            mean_coverage_gap=mean(o.coverage_gap for o in outcomes),
+            repair_rate=sum(o.repair_applied for o in outcomes) / n,
+            full_recompute_rate=sum(o.used_full_recompute for o in outcomes) / n,
+            mean_cds_size=mean(o.size for o in outcomes),
         )

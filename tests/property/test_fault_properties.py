@@ -1,0 +1,121 @@
+"""Property-based verification of the fault-tolerance contract.
+
+The degrade-policy guarantee, stated as properties over arbitrary
+connected graphs and arbitrary seeded fault plans (loss p <= 0.3, at
+most two crashes):
+
+* the engine **never raises** — it always returns a
+  :class:`~repro.faults.outcome.FaultOutcome`;
+* a converged outcome really satisfies domination + backbone
+  connectivity on every surviving component (re-checked here against the
+  oracle, not trusted from the engine);
+* a non-converged outcome is honest: it reports a positive coverage gap,
+  a broken backbone, or an incomplete run — never a silent success;
+* fault realizations replay bit-identically from their seed.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.faults import FaultPlan, evaluate_surviving
+from repro.graphs import bitset
+from repro.graphs.neighborhoods import NeighborhoodView
+from repro.protocol.fault_tolerant import run_fault_tolerant_cds
+
+
+@st.composite
+def connected_graphs(draw, min_nodes=4, max_nodes=16):
+    """A random connected graph: a random spanning tree + extra edges."""
+    n = draw(st.integers(min_nodes, max_nodes))
+    edges = set()
+    for v in range(1, n):
+        u = draw(st.integers(0, v - 1))
+        edges.add((u, v))
+    extra = draw(
+        st.sets(
+            st.tuples(
+                st.integers(0, n - 1), st.integers(0, n - 1)
+            ).map(lambda t: (min(t), max(t))).filter(lambda t: t[0] != t[1]),
+            max_size=2 * n,
+        )
+    )
+    edges |= extra
+    adj = [0] * n
+    for u, v in edges:
+        adj[u] |= 1 << v
+        adj[v] |= 1 << u
+    return NeighborhoodView(adj)
+
+
+@st.composite
+def fault_scenarios(draw):
+    g = draw(connected_graphs())
+    energy = draw(
+        st.lists(st.integers(1, 5).map(float), min_size=g.n, max_size=g.n)
+    )
+    seed = draw(st.integers(0, 2**32 - 1))
+    loss = draw(st.sampled_from([0.0, 0.1, 0.2, 0.3]))
+    n_crashes = draw(st.integers(0, 2))
+    victims = draw(
+        st.sets(st.integers(0, g.n - 1), min_size=n_crashes, max_size=n_crashes)
+    )
+    stages = draw(
+        st.lists(st.integers(1, 7), min_size=n_crashes, max_size=n_crashes)
+    )
+    plan = FaultPlan(
+        seed=seed, loss=loss, crashes=dict(zip(sorted(victims), stages))
+    )
+    scheme = draw(st.sampled_from(["id", "nd", "el1", "el2"]))
+    return g, energy, plan, scheme
+
+
+@settings(max_examples=60, deadline=None)
+@given(fault_scenarios())
+def test_degrade_never_raises_and_reports_honestly(scenario):
+    g, energy, plan, scheme = scenario
+    # the whole point: this call must not raise, whatever the plan says
+    out = run_fault_tolerant_cds(
+        g, scheme, energy=energy, plan=plan, policy="degrade"
+    )
+    adj = list(g.adjacency)
+    crashed_mask = bitset.mask_from_ids(out.crashed)
+    gw_mask = bitset.mask_from_ids(out.gateways)
+    # crashed hosts can never end up in the gateway set
+    assert not (gw_mask & crashed_mask)
+    # re-derive the verdict from the oracle; the outcome must agree
+    check = evaluate_surviving(adj, crashed_mask, gw_mask)
+    assert out.check == check
+    if out.converged:
+        assert check.dominates and check.backbone_connected
+        assert out.coverage_gap == 0
+    else:
+        # honest failure: a gap, a broken backbone, or an incomplete run
+        assert (
+            out.coverage_gap > 0
+            or not check.backbone_connected
+            or not out.completed
+        )
+    # only scheduled victims ever crash (a crash stage past the protocol's
+    # quiescence point simply never fires)
+    assert out.crashed <= frozenset(plan.crashes)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    loss=st.floats(0.05, 0.5),
+    delay=st.floats(0.0, 0.3),
+)
+def test_fault_plan_replays_bit_identically(seed, loss, delay):
+    plan = FaultPlan(seed=seed, loss=loss, delay=delay)
+    a, b = plan.realize(), plan.realize()
+    queries = [
+        (r, s, d) for r in range(4) for s in range(4) for d in range(4) if s != d
+    ]
+    assert [a.link_event(*q) for q in queries] == [
+        b.link_event(*q) for q in queries
+    ]
+    for s, r in [(0, 1), (1, 2), (2, 0)]:
+        for k in range(3):
+            assert a.async_attempt(s, r, k) == b.async_attempt(s, r, k)

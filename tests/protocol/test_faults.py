@@ -1,0 +1,374 @@
+"""Fault-injection layer + fault-tolerant protocol execution.
+
+Covers the :mod:`repro.faults` subsystem and its integration into both
+protocol engines: seeded replay, typed channel/crash errors under the
+strict policy, traffic accounting of drops and retransmissions, degrade
+semantics, localized repair, and the zero-fault equivalence guard (a
+null plan must change *nothing* relative to the happy-path engines and
+the centralized pipeline).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.cds import compute_cds
+from repro.core.priority import PAPER_SERIES_ORDER
+from repro.errors import (
+    ChannelError,
+    ConfigurationError,
+    DuplicateBroadcastError,
+    NodeCrashError,
+    ProtocolError,
+)
+from repro.faults import (
+    FaultOutcome,
+    FaultPlan,
+    GilbertElliott,
+    evaluate_surviving,
+    full_recompute,
+    localized_repair,
+    repair_ball,
+    surviving_adjacency,
+)
+from repro.graphs import bitset
+from repro.graphs.generators import random_connected_network
+from repro.protocol.async_sim import run_async_cds
+from repro.protocol.fault_tolerant import run_fault_tolerant_cds
+from repro.protocol.messages import MarkerMsg
+from repro.protocol.network_sim import SyncNetwork
+from repro.protocol.node_agent import FailurePolicy
+
+
+@pytest.fixture(scope="module")
+def net50():
+    return random_connected_network(50, rng=4242)
+
+
+@pytest.fixture(scope="module")
+def energy50():
+    return np.linspace(1, 100, 50)
+
+
+# -- fault plan ---------------------------------------------------------------
+
+
+class TestFaultPlan:
+    def test_null_plan(self):
+        assert FaultPlan().is_null
+        assert not FaultPlan(loss=0.1).is_null
+        assert not FaultPlan(crashes={3: 1}).is_null
+        assert not FaultPlan(delay=0.2).is_null
+        assert not FaultPlan(burst=GilbertElliott()).is_null
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(loss=1.0)
+        with pytest.raises(ConfigurationError):
+            FaultPlan(delay=-0.1)
+        with pytest.raises(ConfigurationError):
+            FaultPlan(crashes={-1: 2})
+        with pytest.raises(ConfigurationError):
+            FaultPlan(delay_factor=0.5)
+        with pytest.raises(ConfigurationError):
+            GilbertElliott(p_bad=1.5)
+
+    def test_replay_is_bit_identical(self):
+        """Same seed => same decisions, independent of query order."""
+        plan = FaultPlan(seed=99, loss=0.3, delay=0.1)
+        a, b = plan.realize(), plan.realize()
+        queries = [(r, s, d) for r in range(6) for s in range(5) for d in range(5) if s != d]
+        fwd = [a.link_event(*q) for q in queries]
+        rev = [b.link_event(*q) for q in reversed(queries)]
+        assert fwd == list(reversed(rev))
+
+    def test_replay_differs_across_seeds(self):
+        q = [(r, s, d) for r in range(8) for s in range(6) for d in range(6) if s != d]
+        a = [FaultPlan(seed=1, loss=0.5).realize().link_event(*x) for x in q]
+        b = [FaultPlan(seed=2, loss=0.5).realize().link_event(*x) for x in q]
+        assert a != b
+
+    def test_async_replay(self):
+        plan = FaultPlan(seed=5, loss=0.4, delay=0.2)
+        a, b = plan.realize(), plan.realize()
+        for s, r, k in [(0, 1, 0), (0, 1, 1), (1, 0, 0), (2, 3, 0), (0, 1, 0)]:
+            assert a.async_attempt(s, r, k) == b.async_attempt(s, r, k)
+
+    def test_loss_rate_is_roughly_honoured(self):
+        real = FaultPlan(seed=0, loss=0.2).realize()
+        events = [
+            real.link_event(r, s, d)
+            for r in range(40) for s in range(10) for d in range(10) if s != d
+        ]
+        rate = events.count("drop") / len(events)
+        assert 0.15 < rate < 0.25
+
+    def test_gilbert_elliott_bursts(self):
+        """With loss_good=0 every drop happens inside a bad-state burst."""
+        ge = GilbertElliott(p_bad=0.2, p_good=0.5, loss_good=0.0, loss_bad=1.0)
+        real = FaultPlan(seed=3, burst=ge).realize()
+        events = [real.link_event(r, 0, 1) for r in range(200)]
+        assert "drop" in events and "ok" in events
+        # out-of-order query replays the chain identically
+        real2 = FaultPlan(seed=3, burst=ge).realize()
+        assert real2.link_event(150, 0, 1) == events[150]
+        assert real2.link_event(10, 0, 1) == events[10]
+
+    def test_random_plan_draws_distinct_victims(self):
+        plan = FaultPlan.random(20, seed=11, loss=0.1, n_crashes=3)
+        assert len(plan.crashes) == 3
+        assert all(1 <= s < 8 for s in plan.crashes.values())
+        assert plan == FaultPlan.random(20, seed=11, loss=0.1, n_crashes=3)
+        with pytest.raises(ConfigurationError):
+            FaultPlan.random(2, seed=0, n_crashes=3)
+
+    def test_crash_stage_lookup(self):
+        real = FaultPlan(crashes={4: 2}).realize()
+        assert real.crash_stage(4) == 2
+        assert real.crash_stage(5) is None
+
+
+# -- network sim: drops, delays, duplicate broadcast --------------------------
+
+
+class TestSyncNetworkFaults:
+    def test_duplicate_broadcast_is_typed_with_round_and_sender(self):
+        net = SyncNetwork([0b10, 0b01])
+        net.broadcast(0, MarkerMsg(sender=0, marked=True))
+        with pytest.raises(DuplicateBroadcastError) as ei:
+            net.broadcast(0, MarkerMsg(sender=0, marked=False))
+        assert isinstance(ei.value, ProtocolError)  # existing handlers still catch
+        assert "host 0" in str(ei.value)
+        assert "round 0" in str(ei.value)
+
+    def test_drop_and_retransmission_accounting(self):
+        drop_all = lambda r, s, d: "drop"  # noqa: E731
+        net = SyncNetwork([0b10, 0b01], link_filter=drop_all)
+        net.broadcast(0, MarkerMsg(sender=0, marked=True))
+        assert net.deliver_round() == [[], []]
+        net.broadcast(0, MarkerMsg(sender=0, marked=True), retransmission=True)
+        net.deliver_round()
+        assert net.stats.dropped == 2
+        assert net.stats.retransmissions == 1
+        assert net.stats.broadcasts == 2
+
+    def test_delay_slips_exactly_one_round(self):
+        fate = iter(["delay"])
+        net = SyncNetwork(
+            [0b10, 0b01], link_filter=lambda r, s, d: next(fate, "ok")
+        )
+        msg = MarkerMsg(sender=0, marked=True)
+        net.broadcast(0, msg)
+        assert net.deliver_round() == [[], []]
+        assert net.has_delayed
+        inboxes = net.deliver_round()
+        assert inboxes[1] == [msg]
+        assert net.stats.delayed == 1
+
+
+# -- strict policy raises typed errors ----------------------------------------
+
+
+class TestStrictPolicy:
+    def test_sync_crash_raises_node_crash_error(self, net50, energy50):
+        plan = FaultPlan(seed=1, crashes={7: 1})
+        with pytest.raises(NodeCrashError):
+            run_fault_tolerant_cds(
+                net50, "nd", energy=energy50, plan=plan, policy="strict"
+            )
+
+    def test_sync_heavy_loss_raises_channel_error(self, net50, energy50):
+        plan = FaultPlan(seed=1, loss=0.9)
+        with pytest.raises(ChannelError):
+            run_fault_tolerant_cds(
+                net50, "nd", energy=energy50, plan=plan,
+                policy="strict", max_retries=1,
+            )
+
+    def test_async_crash_raises_node_crash_error(self, net50, energy50):
+        plan = FaultPlan(seed=1, crashes={7: 1})
+        with pytest.raises(NodeCrashError):
+            run_async_cds(
+                net50, "nd", energy=energy50, rng=0,
+                fault_plan=plan, failure_policy="strict",
+            )
+
+    def test_async_heavy_loss_raises_channel_error(self, net50, energy50):
+        plan = FaultPlan(seed=1, loss=0.9)
+        with pytest.raises(ChannelError):
+            run_async_cds(
+                net50, "nd", energy=energy50, rng=0,
+                fault_plan=plan, failure_policy="strict", max_retries=1,
+            )
+
+    def test_policy_resolve_rejects_unknown(self):
+        with pytest.raises(ConfigurationError):
+            FailurePolicy.resolve("lenient")
+
+
+# -- zero-fault equivalence guard ---------------------------------------------
+
+
+class TestZeroFaultEquivalence:
+    """A null plan must be invisible: both engines reproduce the
+    centralized result exactly, for every scheme."""
+
+    @pytest.mark.parametrize("scheme", PAPER_SERIES_ORDER)
+    def test_sync_engine_matches_centralized(self, net50, energy50, scheme):
+        central = compute_cds(net50, scheme, energy=energy50)
+        out = run_fault_tolerant_cds(
+            net50, scheme, energy=energy50, plan=FaultPlan()
+        )
+        assert out.gateways == central.gateways
+        assert out.converged and out.completed
+        assert not out.crashed and not out.suspected
+        assert out.retransmissions == 0 and out.dropped == 0
+        assert not out.repair_applied
+
+    @pytest.mark.parametrize("scheme", PAPER_SERIES_ORDER)
+    def test_async_engine_matches_centralized(self, net50, energy50, scheme):
+        central = compute_cds(net50, scheme, energy=energy50)
+        out = run_async_cds(
+            net50, scheme, energy=energy50, rng=9, fault_plan=FaultPlan()
+        )
+        assert out.gateways == central.gateways
+        assert out.dropped_frames == 0
+        assert not out.crashed and not out.suspected
+
+    def test_async_null_plan_matches_no_plan_exactly(self, net50, energy50):
+        a = run_async_cds(net50, "el2", energy=energy50, rng=31)
+        b = run_async_cds(
+            net50, "el2", energy=energy50, rng=31, fault_plan=FaultPlan()
+        )
+        assert a.gateways == b.gateways
+        assert a.makespan == b.makespan
+        assert a.messages_sent == b.messages_sent
+
+
+# -- degrade policy -----------------------------------------------------------
+
+
+class TestDegradePolicy:
+    def test_sync_run_replays_identically(self, net50, energy50):
+        plan = FaultPlan(seed=77, loss=0.2, crashes={5: 3})
+        a = run_fault_tolerant_cds(net50, "nd", energy=energy50, plan=plan)
+        b = run_fault_tolerant_cds(net50, "nd", energy=energy50, plan=plan)
+        assert a == b
+
+    def test_sync_gateway_crash_converges(self, net50, energy50):
+        central = compute_cds(net50, "nd", energy=energy50)
+        victim = sorted(central.gateways)[0]
+        plan = FaultPlan(seed=13, loss=0.2, crashes={victim: 2})
+        out = run_fault_tolerant_cds(net50, "nd", energy=energy50, plan=plan)
+        assert out.converged
+        assert victim in out.crashed
+        assert victim not in out.gateways
+        assert out.retransmissions > 0
+
+    def test_async_degrade_crash_excludes_victim(self, net50, energy50):
+        plan = FaultPlan(seed=21, loss=0.1, crashes={3: 2})
+        out = run_async_cds(
+            net50, "nd", energy=energy50, rng=4, fault_plan=plan
+        )
+        assert 3 in out.crashed
+        assert 3 not in out.gateways
+        mask = bitset.mask_from_ids(out.gateways)
+        assert evaluate_surviving(
+            list(net50.adjacency), 1 << 3, mask
+        ).coverage_gap == 0
+
+    def test_burst_loss_converges(self, net50, energy50):
+        plan = FaultPlan(seed=8, burst=GilbertElliott())
+        out = run_fault_tolerant_cds(net50, "nd", energy=energy50, plan=plan)
+        assert out.converged
+
+    def test_delay_only_plan_converges_without_drops(self, net50, energy50):
+        plan = FaultPlan(seed=4, delay=0.3)
+        out = run_fault_tolerant_cds(net50, "nd", energy=energy50, plan=plan)
+        assert out.converged
+        assert out.dropped == 0
+
+    def test_outcome_extra_rounds(self, net50, energy50):
+        out = run_fault_tolerant_cds(
+            net50, "nd", energy=energy50, plan=FaultPlan(seed=2, loss=0.2)
+        )
+        assert out.extra_rounds == out.rounds - out.baseline_rounds
+        assert out.extra_rounds > 0
+
+
+# -- repair -------------------------------------------------------------------
+
+
+class TestRepair:
+    def test_repair_ball_is_two_hops_on_precrash_adjacency(self):
+        # path 0-1-2-3-4-5: crash 2 -> ball reaches {0,1,3,4} minus crashed
+        adj = [0b10, 0b101, 0b1010, 0b10100, 0b101000, 0b10000]
+        ball = repair_ball(adj, 1 << 2, hops=2)
+        assert ball == bitset.mask_from_ids([0, 1, 3, 4])
+
+    def test_localized_repair_restores_domination(self, net50, energy50):
+        central = compute_cds(net50, "nd", energy=energy50)
+        victim = sorted(central.gateways)[1]
+        adj = list(net50.adjacency)
+        crashed = 1 << victim
+        broken = central.gateway_mask & ~crashed
+        fixed, ball = localized_repair(adj, crashed, broken, "nd", energy50)
+        assert ball != 0
+        check = evaluate_surviving(adj, crashed, fixed)
+        assert check.ok
+        # statuses outside the ball are untouched
+        assert fixed & ~ball == broken & ~ball
+
+    def test_full_recompute_covers_split_components(self):
+        # two clusters joined through cut vertex 2; crashing 2 splits them
+        adj = [0] * 7
+        edges = [(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (3, 5), (4, 5), (2, 6), (6, 3)]
+        for u, v in edges:
+            adj[u] |= 1 << v
+            adj[v] |= 1 << u
+        gw = full_recompute(adj, 1 << 2, "id", [0.0] * 7)
+        assert evaluate_surviving(adj, 1 << 2, gw).ok
+
+    def test_surviving_adjacency_zeroes_crashed(self):
+        adj = [0b110, 0b101, 0b011]
+        sub = surviving_adjacency(adj, 1 << 1)
+        assert sub[1] == 0
+        assert not sub[0] >> 1 & 1 and not sub[2] >> 1 & 1
+
+
+# -- outcome oracle -----------------------------------------------------------
+
+
+class TestEvaluateSurviving:
+    def test_trivial_components_exempt(self):
+        # crash splits off a single isolated survivor: still ok
+        adj = [0b10, 0b101, 0b010]
+        check = evaluate_surviving(adj, 1 << 1, 0)
+        assert check.ok and check.n_components == 2
+
+    def test_gap_counted(self):
+        # star on 5, no gateways at all, not a clique -> everyone uncovered
+        adj = [0b11110, 0b1, 0b1, 0b1, 0b1]
+        check = evaluate_surviving(adj, 0, 0)
+        assert not check.dominates
+        assert check.coverage_gap == 5
+
+    def test_disconnected_backbone_flagged(self):
+        # path 0-1-2-3-4, gateways {0, 4} dominate nothing in the middle
+        adj = [0] * 5
+        for u, v in [(0, 1), (1, 2), (2, 3), (3, 4)]:
+            adj[u] |= 1 << v
+            adj[v] |= 1 << u
+        check = evaluate_surviving(adj, 0, 0b10001)
+        assert not check.backbone_connected
+
+    def test_outcome_converged_requires_both(self):
+        ok = evaluate_surviving([0b110, 0b101, 0b011], 0, 0b001)
+        base = dict(
+            gateways=frozenset([0]), crashed=frozenset(), suspected=frozenset(),
+            completed=True, check=ok, rounds=5, baseline_rounds=5,
+            broadcasts=10, retransmissions=0, dropped=0,
+        )
+        assert FaultOutcome(**base).converged
+        assert not FaultOutcome(**{**base, "completed": False}).converged
