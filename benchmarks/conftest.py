@@ -12,16 +12,26 @@ Environment knobs (all optional):
 * ``REPRO_BENCH_SWEEP``   — comma-separated N values (default 10,25,50,75,100),
 * ``REPRO_BENCH_SEED``    — root seed (default 2001),
 * ``REPRO_BENCH_SERIAL``  — set to 1 to disable the process pool.
+
+At session end every timed benchmark is consolidated into one
+machine-readable ``benchmarks/results/BENCH_pipeline.json`` (name, group,
+params, timing stats, plus platform + knob metadata).  That file is the
+perf trajectory optimisation PRs are judged against: regenerate it before
+and after a change and diff the per-kernel means.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import platform
+import time
 from pathlib import Path
 
 import pytest
 
 RESULTS_DIR = Path(__file__).parent / "results"
+PIPELINE_JSON = "BENCH_pipeline.json"
 
 
 def bench_trials() -> int:
@@ -60,3 +70,51 @@ def emit(capsys, result, results_dir: Path, stem: str) -> None:
     (results_dir / f"{stem}.txt").write_text(report + "\n")
     experiment_to_json(result, results_dir / f"{stem}.json")
     experiment_to_csv(result, results_dir / f"{stem}.csv")
+
+
+def _bench_entry(meta) -> dict | None:
+    """One pytest-benchmark Metadata → a flat, JSON-safe record."""
+    try:
+        d = meta.as_dict(include_data=False, flat=True, stats=True)
+    except Exception:
+        return None
+    keep_stats = (
+        "min", "max", "mean", "stddev", "median", "iqr", "rounds",
+        "iterations", "ops",
+    )
+    return {
+        "name": d.get("name"),
+        "fullname": d.get("fullname"),
+        "group": d.get("group"),
+        "params": d.get("params"),
+        "stats": {k: d[k] for k in keep_stats if k in d},
+    }
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Consolidate this run's timed benchmarks into BENCH_pipeline.json."""
+    bs = getattr(session.config, "_benchmarksession", None)
+    benches = getattr(bs, "benchmarks", None) if bs is not None else None
+    if not benches:
+        return
+    entries = [e for e in (_bench_entry(m) for m in benches) if e is not None]
+    if not entries:
+        return
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = {
+        "schema": "repro-bench-pipeline/1",
+        "created_unix": time.time(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "knobs": {
+            "trials": bench_trials(),
+            "sweep": list(bench_sweep()),
+            "seed": bench_seed(),
+            "parallel": bench_parallel(),
+        },
+        "exit_status": int(exitstatus),
+        "benchmarks": sorted(entries, key=lambda e: e["fullname"] or ""),
+    }
+    (RESULTS_DIR / PIPELINE_JSON).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )

@@ -40,7 +40,7 @@ from repro.graphs import (
     random_connected_network,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CDSResult",

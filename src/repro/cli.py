@@ -8,7 +8,10 @@ Commands
 ``figure``    regenerate one of the paper's figures (10, 11, 12, 13);
 ``example``   print the §3.3 worked example results for every scheme;
 ``faults``    run the fault-injected distributed protocol and report
-              convergence + retransmission overhead.
+              convergence + retransmission overhead;
+``profile``   run an instrumented simulation (and optionally the
+              distributed protocol engines) and print the observability
+              span tree + counters (see :mod:`repro.obs`).
 
 Everything the CLI does goes through the same public API the examples
 use; it exists so the reproduction can be driven without writing Python.
@@ -111,6 +114,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory the benches wrote to",
     )
     r.add_argument("--output", default=None)
+
+    pr = sub.add_parser(
+        "profile",
+        help="instrumented run: per-stage span tree + counters (repro.obs)",
+    )
+    pr.add_argument("--hosts", type=int, default=50)
+    pr.add_argument("--scheme", default="el2", choices=list(PAPER_SERIES_ORDER))
+    pr.add_argument("--drain", default="fixed")
+    pr.add_argument(
+        "--intervals", type=int, default=30,
+        help="max update intervals to profile (stops early on first death)",
+    )
+    pr.add_argument(
+        "--protocol", action="store_true",
+        help="also profile one sync + one async distributed execution",
+    )
+    pr.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="write the JSON-lines span/counter event trace to FILE",
+    )
+    pr.add_argument("--seed", type=int, default=2001)
 
     s = sub.add_parser("sweep", help="lifespan sensitivity to one config knob")
     s.add_argument(
@@ -288,6 +312,52 @@ def _cmd_directed(args) -> int:
     return 0
 
 
+def _cmd_profile(args) -> int:
+    from repro import obs
+    from repro.simulation.interval import run_interval
+    from repro.simulation.lifespan import LifespanSimulator
+
+    cfg = SimulationConfig(
+        n_hosts=args.hosts, scheme=args.scheme, drain_model=args.drain
+    )
+    with obs.capture(trace=args.trace is not None) as reg:
+        sim = LifespanSimulator(cfg, rng=args.seed)
+        intervals = 0
+        with obs.span("profile"):
+            for i in range(args.intervals):
+                outcome = run_interval(
+                    sim.network,
+                    sim.scheme,
+                    sim.accountant,
+                    sim.mobility,
+                    interval_index=i + 1,
+                )
+                intervals += 1
+                if outcome.someone_died:
+                    break
+            if args.protocol:
+                from repro.protocol.async_sim import run_async_cds
+                from repro.protocol.distributed_cds import distributed_cds
+
+                net = random_connected_network(args.hosts, rng=args.seed)
+                energy = np.full(net.n, 100.0)
+                with obs.span("sync_protocol"):
+                    distributed_cds(net, args.scheme, energy=energy)
+                run_async_cds(net, args.scheme, energy=energy, rng=args.seed)
+
+    print(
+        f"profile: N={args.hosts}, scheme {args.scheme.upper()}, "
+        f"drain '{args.drain}', {intervals} interval(s)"
+        + (", protocol engines" if args.protocol else "")
+    )
+    print()
+    print(obs.render_profile(reg))
+    if args.trace is not None:
+        n_events = obs.write_jsonl_trace(reg, args.trace)
+        print(f"\nwrote {n_events} trace events to {args.trace}")
+    return 0
+
+
 def _cmd_report(args) -> int:
     from repro.analysis.report import write_report
 
@@ -319,6 +389,7 @@ def main(argv: list[str] | None = None) -> int:
         "example": _cmd_example,
         "faults": _cmd_faults,
         "directed": _cmd_directed,
+        "profile": _cmd_profile,
         "report": _cmd_report,
         "sweep": _cmd_sweep,
     }[args.command]

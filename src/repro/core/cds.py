@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from repro import obs
 from repro.core.marking import marked_mask
 from repro.core.priority import PriorityScheme, scheme_by_name
 from repro.core.properties import verify_cds
@@ -107,9 +108,16 @@ def compute_cds(
             f"energy has {len(energy)} entries for {len(adj)} nodes"
         )
 
-    marked = marked_mask(adj)
-    final, stats = prune(adj, marked, sch, energy, fixed_point=fixed_point)
-    result = CDSResult(scheme=sch.name, gateway_mask=final, n=len(adj), stats=stats)
-    if verify and final:
-        verify_cds(adj, final, context=f"scheme={sch.name}")
+    with obs.span("cds"):
+        marked = marked_mask(adj)
+        final, stats = prune(adj, marked, sch, energy, fixed_point=fixed_point)
+        result = CDSResult(
+            scheme=sch.name, gateway_mask=final, n=len(adj), stats=stats
+        )
+        if verify and final:
+            with obs.span("verify"):
+                verify_cds(adj, final, context=f"scheme={sch.name}")
+        if obs.enabled():
+            obs.count("cds.computed")
+            obs.add("cds.size", result.size)
     return result

@@ -17,10 +17,11 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro import obs
 from repro.graphs import bitset
 from repro.types import SupportsNeighborhoods
 
-__all__ = ["marking_process", "marked_set", "node_is_marked"]
+__all__ = ["marking_process", "marked_set", "marked_mask", "node_is_marked"]
 
 
 def node_is_marked(adj: Sequence[int], v: int) -> bool:
@@ -63,6 +64,11 @@ def marked_set(graph: SupportsNeighborhoods | Sequence[int]) -> set[int]:
 def marked_mask(graph: SupportsNeighborhoods | Sequence[int]) -> int:
     """The gateway set as a bitmask (fast path for the rule engines)."""
     adj = graph.adjacency if hasattr(graph, "adjacency") else graph
-    return bitset.mask_from_ids(
-        v for v in range(len(adj)) if node_is_marked(adj, v)
-    )
+    with obs.span("marking"):
+        mask = bitset.mask_from_ids(
+            v for v in range(len(adj)) if node_is_marked(adj, v)
+        )
+        if obs.enabled():
+            obs.add("marking.nodes_evaluated", len(adj))
+            obs.add("marking.marked", bitset.popcount(mask))
+    return mask

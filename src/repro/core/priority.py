@@ -36,7 +36,13 @@ from typing import Callable, Sequence
 
 from repro.errors import ConfigurationError
 
-__all__ = ["PriorityScheme", "SCHEMES", "scheme_by_name", "NodeAttrs"]
+__all__ = [
+    "PriorityScheme",
+    "SCHEMES",
+    "PAPER_SERIES_ORDER",
+    "scheme_by_name",
+    "NodeAttrs",
+]
 
 
 @dataclass(frozen=True)

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro import obs
 from repro.core.priority import PriorityScheme
 from repro.core.rules import RuleEngine
 from repro.graphs import bitset
@@ -59,9 +60,11 @@ def prune(
     current = marked
     while True:
         rounds += 1
-        after1 = engine.rule1_pass(current)
+        with obs.span("rule1"):
+            after1 = engine.rule1_pass(current)
         removed1 += bitset.popcount(current) - bitset.popcount(after1)
-        after2 = engine.rule2_pass(after1)
+        with obs.span("rule2"):
+            after2 = engine.rule2_pass(after1)
         removed2 += bitset.popcount(after1) - bitset.popcount(after2)
         stable = after2 == current
         current = after2

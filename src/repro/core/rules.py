@@ -65,6 +65,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro import obs
 from repro.core.priority import PriorityScheme
 from repro.graphs import bitset
 from repro.graphs.neighborhoods import degree_sequence
@@ -94,7 +95,15 @@ class RuleEngine:
     # -- Rule 1 ------------------------------------------------------------
 
     def rule1_pass(self, marked: int) -> int:
-        """One simultaneous Rule-1 pass; returns the new marked mask."""
+        """One simultaneous Rule-1 pass; returns the new marked mask.
+
+        Observability: counts are aggregated per node outside the inner
+        loop so the disabled path never pays per-iteration work.
+        ``rule1.candidates`` counts marked-neighbor coverer candidates
+        (an upper bound on subset tests — the scan exits on first hit).
+        """
+        counting = obs.enabled()
+        n_candidates = 0
         removed = 0
         adj = self.adj
         keys = self.keys
@@ -106,6 +115,8 @@ class RuleEngine:
             closed_v = adj[v] | low
             # candidate coverers are marked neighbors of v
             cand = adj[v] & marked
+            if counting:
+                n_candidates += bitset.popcount(cand)
             while cand:
                 lu = cand & -cand
                 u = lu.bit_length() - 1
@@ -113,6 +124,10 @@ class RuleEngine:
                 if keys[v] < keys[u] and bitset.is_subset(closed_v, adj[u] | lu):
                     removed |= low
                     break
+        if counting:
+            obs.add("rule1.nodes_evaluated", bitset.popcount(marked))
+            obs.add("rule1.candidates", n_candidates)
+            obs.add("rule1.removed", bitset.popcount(removed))
         return marked & ~removed
 
     # -- Rule 2 ------------------------------------------------------------
@@ -128,6 +143,9 @@ class RuleEngine:
         eligible.  So the O(deg²) coverage tests run once per node here,
         and every wave's re-check is a scan of precomputed two-bit masks.
         """
+        counting = obs.enabled()
+        n_cov_tests = 0
+        n_firing = 0
         adj = self.adj
         keys = self.keys
         cases = self.scheme.uses_coverage_cases
@@ -143,6 +161,10 @@ class RuleEngine:
             m ^= low
             nv = adj[v]
             nbrs = bitset.ids_from_mask(nv & marked)
+            if counting:
+                # every unordered neighbor pair gets exactly one primary
+                # N(v) ⊆ N(u) ∪ N(w) subset test — the paper's O(deg²) cost
+                n_cov_tests += len(nbrs) * (len(nbrs) - 1) // 2
             pairs: list[int] = []
             kv = keys[v]
             for i, u in enumerate(nbrs):
@@ -169,6 +191,8 @@ class RuleEngine:
                         pairs.append((1 << u) | (1 << w))
             if pairs:
                 firing_pairs[v] = pairs
+                if counting:
+                    n_firing += len(pairs)
 
         def fires(v: int, current: int) -> bool:
             return any(pm & current == pm for pm in firing_pairs.get(v, ()))
@@ -178,7 +202,14 @@ class RuleEngine:
         for v in firing_pairs:
             if fires(v, current):
                 candidates |= 1 << v
+        if counting:
+            obs.add("rule2.nodes_evaluated", bitset.popcount(marked))
+            obs.add("rule2.coverage_tests", n_cov_tests)
+            obs.add("rule2.firing_pairs", n_firing)
+            obs.add("rule2.candidates_initial", bitset.popcount(candidates))
+        rounds = 0
         while candidates:
+            rounds += 1
             commits = 0
             m = candidates
             while m:
@@ -202,43 +233,10 @@ class RuleEngine:
                 if fires(v, current):
                     nxt |= low
             candidates = nxt
+        if counting:
+            obs.add("rule2.candidate_rounds", rounds)
+            obs.add("rule2.removed", bitset.popcount(marked & ~current))
         return current
-
-    @staticmethod
-    def _rule2_unmarks(
-        v: int,
-        nv: int,
-        marked_nbrs: list[int],
-        adj: Sequence[int],
-        keys: list[tuple],
-        cases: bool,
-    ) -> bool:
-        kv = keys[v]
-        for i, u in enumerate(marked_nbrs):
-            nu = adj[u]
-            for w in marked_nbrs[i + 1 :]:
-                nw = adj[w]
-                if not bitset.is_subset(nv, nu | nw):
-                    continue  # v not covered by this pair
-                if not cases:
-                    # original Rule 2: v removed iff its key is the minimum
-                    if kv < keys[u] and kv < keys[w]:
-                        return True
-                    continue
-                cov_u = bitset.is_subset(nu, nv | nw)
-                cov_w = bitset.is_subset(nw, nu | nv)
-                if not cov_u and not cov_w:
-                    return True  # case 1: only v is covered
-                if cov_u and not cov_w:
-                    if kv < keys[u]:  # case 2
-                        return True
-                elif cov_w and not cov_u:
-                    if kv < keys[w]:  # case 2, symmetric
-                        return True
-                else:  # case 3: all three mutually covered
-                    if kv < keys[u] and kv < keys[w]:
-                        return True
-        return False
 
 
 def apply_rule1(

@@ -1,0 +1,111 @@
+"""Exporters for the observability registry.
+
+Two formats, per the two consumers:
+
+* :func:`render_profile` — a human-readable span tree (indentation =
+  nesting) with per-stage counters underneath each node and a flat
+  counter section at the bottom.  This is what ``repro profile`` prints.
+* :func:`write_jsonl_trace` — the buffered event stream (span exits and
+  counter flushes, monotonic timestamps relative to registry creation) as
+  JSON lines, one event per line, for offline tooling.  Requires the
+  registry to have been created with ``trace=True``.
+
+Both are pure functions of a :class:`~repro.obs.registry.Registry` (or a
+:meth:`~repro.obs.registry.Registry.snapshot` dict), so they work equally
+on merged multi-process snapshots.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.obs.registry import SEP, Registry
+
+__all__ = ["render_profile", "write_jsonl_trace", "profile_dict"]
+
+
+def _fmt_ms(seconds: float) -> str:
+    return f"{seconds * 1e3:.3f}"
+
+
+def _fmt_count(n: float) -> str:
+    return str(int(n)) if float(n).is_integer() else f"{n:.3f}"
+
+
+def profile_dict(registry: Registry | dict[str, Any]) -> dict[str, Any]:
+    """Registry (or snapshot) as one JSON-serializable profile record."""
+    snap = registry.snapshot() if isinstance(registry, Registry) else registry
+    return {"counters": snap["counters"], "spans": snap["spans"]}
+
+
+def render_profile(registry: Registry | dict[str, Any]) -> str:
+    """The span tree + counters as an aligned plain-text table."""
+    snap = registry.snapshot() if isinstance(registry, Registry) else registry
+    spans: dict[str, dict[str, Any]] = snap["spans"]
+    counters: dict[str, float] = snap["counters"]
+
+    lines: list[str] = []
+    if spans:
+        # sort lexicographically by path components: parents precede
+        # children and siblings group together
+        paths = sorted(spans, key=lambda p: p.split(SEP))
+        name_w = max(
+            (2 * (p.count(SEP)) + len(p.rsplit(SEP, 1)[-1]) for p in paths),
+            default=4,
+        )
+        name_w = max(name_w, len("span"))
+        header = (
+            f"{'span':<{name_w}}  {'calls':>7}  {'total ms':>10}  "
+            f"{'mean ms':>9}  {'max ms':>9}"
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for path in paths:
+            d = spans[path]
+            depth = path.count(SEP)
+            label = "  " * depth + path.rsplit(SEP, 1)[-1]
+            mean_s = d["total_s"] / d["count"] if d["count"] else 0.0
+            lines.append(
+                f"{label:<{name_w}}  {d['count']:>7}  "
+                f"{_fmt_ms(d['total_s']):>10}  {_fmt_ms(mean_s):>9}  "
+                f"{_fmt_ms(d['max_s']):>9}"
+            )
+            for cname in sorted(d.get("counters", ())):
+                lines.append(
+                    "  " * (depth + 1)
+                    + f"· {cname} = {_fmt_count(d['counters'][cname])}"
+                )
+    else:
+        lines.append("(no spans recorded)")
+
+    lines.append("")
+    if counters:
+        lines.append("counters (all stages)")
+        width = max(len(n) for n in counters)
+        for name in sorted(counters):
+            lines.append(f"  {name:<{width}}  {_fmt_count(counters[name]):>12}")
+    else:
+        lines.append("counters: none")
+    return "\n".join(lines)
+
+
+def write_jsonl_trace(registry: Registry, path: str | Path) -> int:
+    """Write the buffered trace events as JSON lines; returns event count.
+
+    Raises ``ValueError`` when the registry was not created with tracing
+    on (there is nothing to write, and silently producing an empty file
+    would mask the misconfiguration).
+    """
+    if registry.trace_events is None:
+        raise ValueError(
+            "registry has no trace buffer; enable tracing first "
+            "(obs.enable(trace=True) or obs.capture(trace=True))"
+        )
+    events = list(registry.trace_events)
+    out = Path(path)
+    with out.open("w", encoding="utf-8") as fh:
+        for ev in events:
+            fh.write(json.dumps(ev, sort_keys=True) + "\n")
+    return len(events)

@@ -37,6 +37,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.core.priority import PriorityScheme, scheme_by_name
 from repro.errors import (
     ChannelError,
@@ -142,7 +143,7 @@ class _AsyncHost:
         return len(box) >= self.expected(self.next_stage)
 
 
-def run_async_cds(
+def _run_async_cds_impl(
     graph: SupportsNeighborhoods,
     scheme: str | PriorityScheme = "id",
     energy=None,
@@ -504,3 +505,30 @@ def run_async_cds(
         suspected=frozenset(suspected),
         dropped_frames=dropped_frames,
     )
+
+
+def run_async_cds(
+    graph: SupportsNeighborhoods,
+    scheme: str | PriorityScheme = "id",
+    energy=None,
+    **kwargs,
+) -> AsyncOutcome:
+    """Instrumented front door for :func:`_run_async_cds_impl`.
+
+    Same signature and semantics (see the impl docstring for the full
+    parameter reference); additionally wraps the execution in an
+    ``async_cds`` observability span and publishes the outcome's traffic
+    numbers as ``async.*`` counters — named after the
+    :class:`~repro.faults.outcome.FaultOutcome` fields they correspond
+    to, so sync and async runs read the same way in a profile.
+    """
+    with obs.span("async_cds"):
+        out = _run_async_cds_impl(graph, scheme, energy, **kwargs)
+        if obs.enabled():
+            obs.count("async.runs")
+            obs.add("async.messages_sent", out.messages_sent)
+            obs.add("async.rule2_waves", out.rule2_waves)
+            obs.add("async.dropped_frames", out.dropped_frames)
+            obs.add("async.crashed", len(out.crashed))
+            obs.add("async.suspected", len(out.suspected))
+    return out

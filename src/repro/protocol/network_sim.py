@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+from repro import obs
 from repro.errors import DuplicateBroadcastError, ProtocolError
 from repro.graphs import bitset
 from repro.protocol.messages import Message
@@ -95,6 +96,7 @@ class SyncNetwork:
             )
         if retransmission:
             self.stats.retransmissions += 1
+            obs.count("protocol.retransmissions")
         self._outbox[sender] = msg
 
     @property
@@ -108,7 +110,21 @@ class SyncNetwork:
         Returns the per-host inbox for the round just completed.  Frames
         the filter delays land at the *next* boundary (a delayed frame is
         not re-filtered: one slip per frame).
+
+        Observability counters mirror :class:`TrafficStats` (and thereby
+        the :class:`~repro.faults.outcome.FaultOutcome` traffic fields)
+        under the ``protocol.*`` namespace; deltas are flushed once per
+        round, so the per-frame loop stays untouched.
         """
+        counting = obs.enabled()
+        if counting:
+            before = (
+                self.stats.broadcasts,
+                self.stats.deliveries,
+                self.stats.dropped,
+                self.stats.delayed,
+                self.stats.bytes_on_air,
+            )
         self.stats.rounds += 1
         inboxes: list[list[Message]] = [[] for _ in range(self.n)]
         for r, msg in self._delayed:
@@ -142,6 +158,13 @@ class SyncNetwork:
         self._outbox = [None] * self.n
         self._inboxes = inboxes
         self.round_index += 1
+        if counting:
+            obs.count("protocol.rounds")
+            obs.add("protocol.broadcasts", self.stats.broadcasts - before[0])
+            obs.add("protocol.deliveries", self.stats.deliveries - before[1])
+            obs.add("protocol.dropped", self.stats.dropped - before[2])
+            obs.add("protocol.delayed", self.stats.delayed - before[3])
+            obs.add("protocol.bytes_on_air", self.stats.bytes_on_air - before[4])
         return inboxes
 
     def inbox(self, v: int) -> list[Message]:

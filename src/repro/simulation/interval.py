@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.core.cds import CDSResult, compute_cds
 from repro.core.priority import PriorityScheme
 from repro.energy.accounting import EnergyAccountant, IntervalDrainRecord
@@ -50,40 +51,55 @@ def run_interval(
     """Execute one update interval; moves hosts only if nobody died.
 
     ``cds_fn(adjacency, energy_levels) -> gateway bitmask`` replaces the
-    paper's pipeline when given (oracle/baseline comparisons).
+    paper's pipeline when given (oracle/baseline comparisons).  With
+    ``verify=True`` the custom selector's output is *always* checked —
+    including an empty mask, which on any non-trivial graph fails
+    domination.  (An earlier revision skipped verification for empty
+    masks, silently accepting a degenerate selector.)
     """
-    if cds_fn is not None:
-        from repro.core.reduction import PruneStats
-        from repro.graphs import bitset
+    with obs.span("interval"):
+        if cds_fn is not None:
+            from repro.core.reduction import PruneStats
+            from repro.graphs import bitset
 
-        snap = network.snapshot()
-        mask = cds_fn(list(snap.adjacency), accountant.bank.levels)
-        size = bitset.popcount(mask)
-        cds = CDSResult(
-            scheme="custom",
-            gateway_mask=mask,
-            n=snap.n,
-            stats=PruneStats(size, 0, 0, 0),
-        )
-        if verify and mask:
-            from repro.core.properties import verify_cds
+            snap = network.snapshot()
+            with obs.span("cds_fn"):
+                mask = cds_fn(list(snap.adjacency), accountant.bank.levels)
+            size = bitset.popcount(mask)
+            cds = CDSResult(
+                scheme="custom",
+                gateway_mask=mask,
+                n=snap.n,
+                stats=PruneStats(size, 0, 0, 0),
+            )
+            if verify:
+                from repro.core.properties import verify_cds
 
-            verify_cds(snap.adjacency, mask, context="cds_fn")
-    else:
-        energy = accountant.bank.levels if scheme.needs_energy else None
-        cds = compute_cds(
-            network.snapshot(),
-            scheme,
-            energy=energy,
-            fixed_point=fixed_point,
-            verify=verify,
-        )
-    drain = accountant.apply(cds.gateway_mask)
-    someone_died = bool(drain.died) or accountant.bank.any_dead()
+                with obs.span("verify"):
+                    verify_cds(snap.adjacency, mask, context="cds_fn")
+        else:
+            energy = accountant.bank.levels if scheme.needs_energy else None
+            cds = compute_cds(
+                network.snapshot(),
+                scheme,
+                energy=energy,
+                fixed_point=fixed_point,
+                verify=verify,
+            )
+        with obs.span("drain"):
+            drain = accountant.apply(cds.gateway_mask)
+        someone_died = bool(drain.died) or accountant.bank.any_dead()
 
-    topology_changed = False
-    if not someone_died and mobility is not None:
-        topology_changed = mobility.step()
+        topology_changed = False
+        if not someone_died and mobility is not None:
+            with obs.span("mobility"):
+                topology_changed = mobility.step()
+
+        if obs.enabled():
+            obs.count("interval.count")
+            obs.add("interval.cds_size", cds.size)
+            if topology_changed:
+                obs.count("interval.topology_changed")
 
     metrics = IntervalMetrics(
         interval=interval_index,

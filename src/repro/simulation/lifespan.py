@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.core.priority import scheme_by_name
 from repro.energy.accounting import EnergyAccountant
 from repro.energy.battery import BatteryBank
@@ -110,39 +111,56 @@ class LifespanSimulator:
         cfg = self.config
         records: list[IntervalMetrics] = []
         gateway_counts = np.zeros(cfg.n_hosts, dtype=np.int64)
-        while True:
-            if recorder is not None:
-                pos_snapshot = self.network.positions.copy()
-                energy_snapshot = self.bank.levels.copy()
-            outcome = run_interval(
-                self.network,
-                self.scheme,
-                self.accountant,
-                self.mobility,
-                interval_index=len(records) + 1,
-                fixed_point=cfg.fixed_point,
-                verify=cfg.verify_invariants,
-                cds_fn=self.cds_fn,
-            )
-            records.append(outcome.metrics)
-            m = outcome.cds.gateway_mask
-            while m:
-                low = m & -m
-                gateway_counts[low.bit_length() - 1] += 1
-                m ^= low
-            if recorder is not None:
-                recorder.record(
-                    len(records), pos_snapshot, energy_snapshot,
-                    outcome.cds.gateway_mask,
+        prev_mask: int | None = None
+        with obs.span("trial"):
+            while True:
+                if recorder is not None:
+                    pos_snapshot = self.network.positions.copy()
+                    energy_snapshot = self.bank.levels.copy()
+                outcome = run_interval(
+                    self.network,
+                    self.scheme,
+                    self.accountant,
+                    self.mobility,
+                    interval_index=len(records) + 1,
+                    fixed_point=cfg.fixed_point,
+                    verify=cfg.verify_invariants,
+                    cds_fn=self.cds_fn,
                 )
-            if outcome.someone_died:
-                break
-            if cfg.max_intervals is not None and len(records) >= cfg.max_intervals:
-                raise SimulationError(
-                    f"no host died within max_intervals={cfg.max_intervals}; "
-                    "check the drain configuration (d'=0 with tiny d never "
-                    "terminates)"
-                )
+                records.append(outcome.metrics)
+                m = outcome.cds.gateway_mask
+                while m:
+                    low = m & -m
+                    gateway_counts[low.bit_length() - 1] += 1
+                    m ^= low
+                if obs.enabled():
+                    # recomputation-stability metric (how often mobility /
+                    # energy rotation actually changes the backbone)
+                    if (
+                        prev_mask is not None
+                        and outcome.cds.gateway_mask != prev_mask
+                    ):
+                        obs.count("lifespan.cds_changed")
+                    prev_mask = outcome.cds.gateway_mask
+                if recorder is not None:
+                    recorder.record(
+                        len(records), pos_snapshot, energy_snapshot,
+                        outcome.cds.gateway_mask,
+                    )
+                if outcome.someone_died:
+                    break
+                if (
+                    cfg.max_intervals is not None
+                    and len(records) >= cfg.max_intervals
+                ):
+                    raise SimulationError(
+                        f"no host died within max_intervals={cfg.max_intervals}; "
+                        "check the drain configuration (d'=0 with tiny d never "
+                        "terminates)"
+                    )
+            if obs.enabled():
+                obs.count("lifespan.trials")
+                obs.add("lifespan.intervals", len(records))
         metrics = TrialMetrics.summarize(
             records,
             first_dead_host=self.bank.first_death(),

@@ -16,6 +16,12 @@ class TestRegistry:
     def test_all_paper_series_registered(self):
         assert set(PAPER_SERIES_ORDER) == set(SCHEMES)
 
+    def test_paper_series_order_is_public(self):
+        # plotting/CLI code star-imports the series order; keep it exported
+        import repro.core.priority as mod
+
+        assert "PAPER_SERIES_ORDER" in mod.__all__
+
     def test_lookup_is_case_insensitive(self):
         assert scheme_by_name("EL1") is SCHEMES["el1"]
         assert scheme_by_name("Nd") is SCHEMES["nd"]
@@ -90,3 +96,28 @@ class TestQuantization:
     def test_energy_defaults_to_zero_without_levels(self):
         sch = scheme_by_name("el1")
         assert sch.key(1, [2, 2], None)[0] == 0.0
+
+    @pytest.mark.parametrize("name", ["el1", "el2"])
+    def test_1e15_apart_energies_compare_equal_under_el_keys(self, name):
+        # Two batteries whose float representations differ by 1e-15 are
+        # physically identical; the EL orders must treat them as a tie and
+        # fall through to the deterministic tie-breakers, or the pruning
+        # order (and hence the CDS) would depend on accumulation noise.
+        sch = scheme_by_name(name)
+        energy = [3.0, 3.0 + 1e-15]
+        assert energy[0] != energy[1]  # the raw floats do differ
+        a = sch.key(0, [4, 2], energy)
+        b = sch.key(1, [4, 2], energy)
+        assert a[0] == b[0], "energy component must quantize equal"
+        assert a != b, "tie-breakers must still produce a total order"
+        if name == "el2":
+            # el2 breaks the energy tie on degree before id
+            assert a[1] == 4 and b[1] == 2 and b < a
+
+    @pytest.mark.parametrize("name", ["el1", "el2"])
+    def test_el_keys_order_by_keys_list_too(self, name):
+        # same tie observed through the bulk keys() path the engines use
+        sch = scheme_by_name(name)
+        keys = sch.keys([1, 1], [7.0 + 1e-15, 7.0])
+        assert keys[0][0] == keys[1][0]
+        assert keys[0] < keys[1]  # id 0 loses the tie-break

@@ -5,14 +5,20 @@ from __future__ import annotations
 import pytest
 
 from repro.energy.models import (
+    NOMINAL_BACKBONE,
     PAPER_DRAIN_MODELS,
+    PER_GATEWAY_DRAIN_MODELS,
     ConstantDrain,
     FixedDrain,
     LinearDrain,
+    PerGatewayLinearDrain,
+    PerGatewayQuadraticDrain,
     QuadraticDrain,
     drain_model_by_name,
 )
 from repro.errors import EnergyError
+
+ALL_DRAIN_MODELS = {**PAPER_DRAIN_MODELS, **PER_GATEWAY_DRAIN_MODELS}
 
 
 class TestFormulas:
@@ -40,15 +46,91 @@ class TestFormulas:
 
 
 class TestValidation:
-    @pytest.mark.parametrize("model", list(PAPER_DRAIN_MODELS.values()))
+    """``_check`` error paths, for all six registered models."""
+
+    @pytest.mark.parametrize(
+        "model", ALL_DRAIN_MODELS.values(), ids=list(ALL_DRAIN_MODELS)
+    )
     def test_zero_gateways_rejected(self, model):
-        with pytest.raises(EnergyError):
+        with pytest.raises(EnergyError, match="n_gateways must be positive"):
             model.gateway_drain(10, 0)
 
-    @pytest.mark.parametrize("model", list(PAPER_DRAIN_MODELS.values()))
+    @pytest.mark.parametrize(
+        "model", ALL_DRAIN_MODELS.values(), ids=list(ALL_DRAIN_MODELS)
+    )
+    def test_negative_gateways_rejected(self, model):
+        with pytest.raises(EnergyError, match="n_gateways must be positive"):
+            model.gateway_drain(10, -3)
+
+    @pytest.mark.parametrize(
+        "model", ALL_DRAIN_MODELS.values(), ids=list(ALL_DRAIN_MODELS)
+    )
     def test_zero_hosts_rejected(self, model):
-        with pytest.raises(EnergyError):
+        with pytest.raises(EnergyError, match="n_hosts must be positive"):
             model.gateway_drain(0, 1)
+
+    @pytest.mark.parametrize(
+        "model", ALL_DRAIN_MODELS.values(), ids=list(ALL_DRAIN_MODELS)
+    )
+    def test_negative_hosts_rejected(self, model):
+        with pytest.raises(EnergyError, match="n_hosts must be positive"):
+            model.gateway_drain(-1, 1)
+
+    def test_hosts_checked_before_gateways(self):
+        # both invalid: the n_hosts message wins (documents _check order)
+        with pytest.raises(EnergyError, match="n_hosts must be positive"):
+            LinearDrain().gateway_drain(0, 0)
+
+
+class TestSingleGatewayExtremes:
+    """``n_gateways=1``: one host carries the whole backbone.
+
+    The 1/|G'| sharing degenerates, so each literal model must yield its
+    *total* bypass traffic, while the per-gateway readings are unchanged.
+    """
+
+    def test_constant_pays_full_total(self):
+        assert ConstantDrain().gateway_drain(50, 1) == pytest.approx(2.0)
+        assert ConstantDrain(total=7.0).gateway_drain(50, 1) == pytest.approx(
+            7.0
+        )
+
+    def test_linear_pays_full_population(self):
+        assert LinearDrain().gateway_drain(50, 1) == pytest.approx(50.0)
+
+    def test_quadratic_pays_all_pairs(self):
+        assert QuadraticDrain().gateway_drain(50, 1) == pytest.approx(
+            (50 * 49 / 2) / 10.0
+        )
+
+    def test_fixed_is_unaffected(self):
+        assert FixedDrain().gateway_drain(50, 1) == pytest.approx(2.0)
+
+    def test_pg_linear_is_unaffected(self):
+        assert PerGatewayLinearDrain().gateway_drain(50, 1) == pytest.approx(
+            50.0 / NOMINAL_BACKBONE
+        )
+
+    def test_pg_quadratic_is_unaffected(self):
+        assert PerGatewayQuadraticDrain().gateway_drain(
+            50, 1
+        ) == pytest.approx((50 * 49 / 2) / (10.0 * NOMINAL_BACKBONE))
+
+    @pytest.mark.parametrize(
+        "name", ["fixed", "pg-linear", "pg-quadratic"]
+    )
+    def test_per_gateway_models_are_backbone_blind(self, name):
+        m = ALL_DRAIN_MODELS[name]
+        assert m.gateway_drain(50, 1) == m.gateway_drain(50, 49)
+
+    def test_single_host_single_gateway(self):
+        # N=1, |G'|=1: the degenerate-but-legal corner for every model
+        for name, m in ALL_DRAIN_MODELS.items():
+            d = m.gateway_drain(1, 1)
+            assert d >= 0.0, name
+        # the pair-traffic models see zero pairs
+        assert QuadraticDrain().gateway_drain(1, 1) == 0.0
+        assert PerGatewayQuadraticDrain().gateway_drain(1, 1) == 0.0
 
 
 class TestRegistry:

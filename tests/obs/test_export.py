@@ -1,0 +1,85 @@
+"""Exporter tests: the profile table and the JSON-lines trace."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _clean_state():
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+def _sample_registry(trace: bool = False):
+    with obs.capture(trace=trace) as reg:
+        with obs.span("pipeline"):
+            with obs.span("marking"):
+                obs.add("marking.nodes", 40)
+            with obs.span("rules"):
+                obs.add("rules.tests", 123)
+        obs.count("runs")
+    return reg
+
+
+class TestRenderProfile:
+    def test_tree_indentation_and_counters(self):
+        text = obs.render_profile(_sample_registry())
+        lines = text.splitlines()
+        assert any(line.startswith("pipeline") for line in lines)
+        assert any(line.startswith("  marking") for line in lines)
+        assert "· marking.nodes = 40" in text
+        assert "· rules.tests = 123" in text
+        assert "runs" in text
+
+    def test_children_follow_parents(self):
+        text = obs.render_profile(_sample_registry())
+        assert text.index("pipeline") < text.index("marking") < text.index(
+            "rules"
+        )
+
+    def test_accepts_snapshot_dict(self):
+        reg = _sample_registry()
+        assert obs.render_profile(reg.snapshot()) == obs.render_profile(reg)
+
+    def test_empty_registry_renders(self):
+        with obs.capture() as reg:
+            pass
+        text = obs.render_profile(reg)
+        assert "no spans" in text
+
+    def test_profile_dict_is_json_serializable(self):
+        d = obs.profile_dict(_sample_registry())
+        json.dumps(d)
+        assert d["counters"]["runs"] == 1
+        assert d["spans"]["pipeline/marking"]["count"] == 1
+
+
+class TestJsonlTrace:
+    def test_writes_one_json_object_per_line(self, tmp_path):
+        reg = _sample_registry(trace=True)
+        out = tmp_path / "trace.jsonl"
+        n = obs.write_jsonl_trace(reg, out)
+        lines = out.read_text().splitlines()
+        assert len(lines) == n > 0
+        events = [json.loads(line) for line in lines]
+        span_paths = {e["path"] for e in events if e["ev"] == "span"}
+        assert {"pipeline", "pipeline/marking", "pipeline/rules"} <= span_paths
+        count_events = [e for e in events if e["ev"] == "count"]
+        assert {e["name"] for e in count_events} == {
+            "marking.nodes", "rules.tests", "runs",
+        }
+        # timestamps are monotonic non-negative offsets from registry birth
+        assert all(e["t"] >= 0.0 for e in events)
+
+    def test_untrace_registry_refuses(self, tmp_path):
+        reg = _sample_registry(trace=False)
+        with pytest.raises(ValueError, match="no trace buffer"):
+            obs.write_jsonl_trace(reg, tmp_path / "x.jsonl")

@@ -1,0 +1,130 @@
+"""Disabled-instrumentation overhead guard (acceptance: ≤ 2%).
+
+Timing a 2% end-to-end delta directly is hopelessly noisy in CI, so the
+guard is an *analytic budget*: measure (a) the per-call cost of the
+disabled fast paths (no-op span, early-return counter, hoisted boolean
+guard), (b) the number of instrumentation events one pipeline run emits
+(from an enabled, traced run), and (c) the pipeline's disabled runtime —
+then require  events × per-call-cost ≤ 2% × runtime  with the guard
+volume bounded generously at four boolean checks per node.  If someone
+moves a counter into an inner loop, (b) explodes and this fails.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core.cds import compute_cds
+from repro.graphs.generators import random_connected_network
+
+N_HOSTS = 100
+
+
+@pytest.fixture(autouse=True)
+def _clean_state():
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+def _best_of(fn, repeats: int = 5) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        dt = time.perf_counter() - t0
+        if dt < best:
+            best = dt
+    return best
+
+
+def _per_call_noop_span(iters: int = 20_000) -> float:
+    def loop():
+        span = obs.span
+        for _ in range(iters):
+            with span("x"):
+                pass
+
+    return _best_of(loop) / iters
+
+
+def _per_call_noop_add(iters: int = 20_000) -> float:
+    def loop():
+        add = obs.add
+        for _ in range(iters):
+            add("x", 1)
+
+    return _best_of(loop) / iters
+
+
+def _per_call_guard(iters: int = 200_000) -> float:
+    """Cost of one hoisted `if counting:` check on a false local bool."""
+
+    def loop():
+        counting = obs.enabled()
+        acc = 0
+        for _ in range(iters):
+            if counting:
+                acc += 1
+        return acc
+
+    return _best_of(loop) / iters
+
+
+def test_disabled_overhead_budget_on_pipeline():
+    net = random_connected_network(N_HOSTS, rng=42)
+    snap = net.snapshot()
+    energy = np.linspace(1.0, 100.0, N_HOSTS)
+
+    # (b) instrumentation volume of one run, from a traced enabled run
+    with obs.capture(trace=True) as reg:
+        compute_cds(snap, "el2", energy=energy)
+    n_events = len(reg.trace_events)
+    n_spans = sum(s.count for s in reg.spans.values())
+    assert n_events > 0 and n_spans > 0
+    # the hoisted-guard volume: at most a few boolean checks per node
+    n_guards = 4 * N_HOSTS
+
+    # instrumentation must stay out of the inner loops: event count is
+    # O(stages), never O(nodes) — this is the structural half of the guard
+    assert n_events < 40, (
+        f"{n_events} events for one compute_cds run; a counter has leaked "
+        "into a hot loop"
+    )
+
+    # (a) disabled fast-path costs
+    assert not obs.enabled()
+    t_span = _per_call_noop_span()
+    t_add = _per_call_noop_add()
+    t_guard = _per_call_guard()
+
+    # (c) disabled pipeline runtime
+    t_run = _best_of(lambda: compute_cds(snap, "el2", energy=energy), repeats=7)
+
+    budget = n_spans * t_span + n_events * t_add + n_guards * t_guard
+    assert budget <= 0.02 * t_run, (
+        f"disabled instrumentation budget {budget * 1e6:.1f}µs exceeds 2% of "
+        f"pipeline runtime {t_run * 1e3:.3f}ms "
+        f"(span {t_span * 1e9:.0f}ns, add {t_add * 1e9:.0f}ns, "
+        f"guard {t_guard * 1e9:.0f}ns, {n_events} events)"
+    )
+
+
+def test_disabled_span_allocates_nothing():
+    s1, s2 = obs.span("a"), obs.span("b")
+    assert s1 is s2
+
+
+def test_disabled_calls_leave_registry_untouched():
+    obs.count("x")
+    obs.add("y", 3)
+    with obs.span("z"):
+        pass
+    reg = obs.get_registry()
+    assert reg.counters == {} and reg.spans == {}

@@ -1,0 +1,145 @@
+"""Pin the two surviving Rule-2 implementations to each other.
+
+The dead centralized copy (``RuleEngine._rule2_unmarks``) is gone; what
+remains is the bitmask engine (:meth:`repro.core.rules.RuleEngine.rule2_pass`)
+and the message-driven node agent
+(:meth:`repro.protocol.node_agent.NodeAgent._rule2_unmarks` plus the
+candidacy sub-round machinery).  This property test seeds both from the
+*same* post-Rule-1 marked set on random connected graphs and random
+energies, runs the agents' sub-rounds to convergence, and requires the
+final gateway masks to be bit-identical — so the copies cannot drift.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.marking import marked_mask
+from repro.core.priority import scheme_by_name
+from repro.core.rules import RuleEngine
+from repro.graphs.neighborhoods import NeighborhoodView
+from repro.protocol.node_agent import NodeAgent
+
+RULE_SCHEMES = ["id", "nd", "el1", "el2"]
+
+
+@st.composite
+def connected_graphs(draw, min_nodes=3, max_nodes=14):
+    """Random connected graph: random spanning tree + extra edges."""
+    n = draw(st.integers(min_nodes, max_nodes))
+    edges = set()
+    for v in range(1, n):
+        u = draw(st.integers(0, v - 1))
+        edges.add((u, v))
+    extra = draw(
+        st.sets(
+            st.tuples(
+                st.integers(0, n - 1), st.integers(0, n - 1)
+            ).map(lambda t: (min(t), max(t))).filter(lambda t: t[0] != t[1]),
+            max_size=2 * n,
+        )
+    )
+    edges |= extra
+    adj = [0] * n
+    for u, v in edges:
+        adj[u] |= 1 << v
+        adj[v] |= 1 << u
+    return NeighborhoodView(adj)
+
+
+@st.composite
+def graph_energy_scheme(draw):
+    g = draw(connected_graphs())
+    # small integer-valued floats force frequent energy ties, which is
+    # exactly where the two key computations could disagree
+    energy = draw(
+        st.lists(st.integers(1, 4).map(float), min_size=g.n, max_size=g.n)
+    )
+    scheme = draw(st.sampled_from(RULE_SCHEMES))
+    return g, energy, scheme
+
+
+def _agents_after_rule1(g, energy, scheme, after1: int) -> list[NodeAgent]:
+    """Build agents with exchanged neighbor sets, state forced to ``after1``.
+
+    Marking and Rule 1 are bypassed on purpose: the test isolates Rule 2,
+    so a drift there cannot be masked (or faked) by the earlier stages.
+    """
+    adj = g.adjacency
+    agents = [
+        NodeAgent(
+            v,
+            frozenset(u for u in range(g.n) if adj[v] >> u & 1),
+            scheme,
+            energy=energy[v],
+        )
+        for v in range(g.n)
+    ]
+    msgs = [a.make_neighbor_set_msg() for a in agents]
+    for a in agents:
+        a.receive_neighbor_sets([m for m in msgs if m.sender in a.neighbors])
+    for a in agents:
+        a.marked = bool(after1 >> a.node & 1)  # pre-rule1 value is unused
+        a.marked_post_rule1 = bool(after1 >> a.node & 1)
+        a.nbr_marked_post_rule1 = {
+            u: bool(after1 >> u & 1) for u in a.neighbors
+        }
+    return agents
+
+
+def _run_agent_rule2(agents: list[NodeAgent]) -> int:
+    for a in agents:
+        a.begin_rule2()
+    for _ in range(len(agents) + 1):  # convergence bound: ≥1 unmark/round
+        markers = [a.make_rule2_marker_msg() for a in agents]
+        for a in agents:
+            a.receive_rule2_markers(
+                [m for m in markers if m.sender in a.neighbors]
+            )
+        cands = [a.make_candidacy_msg() for a in agents]
+        for a in agents:
+            a.receive_candidacies(
+                [m for m in cands if m.sender in a.neighbors]
+            )
+        if not any(a.decide_rule2_subround() for a in agents):
+            break
+    else:  # pragma: no cover - would mean non-termination
+        raise AssertionError("rule2 sub-rounds did not converge")
+    mask = 0
+    for a in agents:
+        if a.finalize():
+            mask |= 1 << a.node
+    return mask
+
+
+class TestRule2Equivalence:
+    @given(graph_energy_scheme())
+    @settings(max_examples=150, deadline=None)
+    def test_engine_and_agents_agree_from_same_rule1_state(self, ges):
+        g, energy, name = ges
+        scheme = scheme_by_name(name)
+        engine = RuleEngine(g.adjacency, scheme, energy)
+        after1 = engine.rule1_pass(marked_mask(g.adjacency))
+
+        centralized = engine.rule2_pass(after1)
+        agent_mask = _run_agent_rule2(
+            _agents_after_rule1(g, energy, scheme, after1)
+        )
+        assert agent_mask == centralized, (
+            f"scheme={name} after1={after1:b} "
+            f"engine={centralized:b} agents={agent_mask:b}"
+        )
+
+    @given(connected_graphs(), st.sampled_from(RULE_SCHEMES))
+    @settings(max_examples=60, deadline=None)
+    def test_agreement_with_uniform_energy(self, g, name):
+        # uniform energy: every EL key ties on energy, so ordering falls
+        # entirely to the tie-breakers — the historically fragile path
+        scheme = scheme_by_name(name)
+        energy = [2.0] * g.n
+        engine = RuleEngine(g.adjacency, scheme, energy)
+        after1 = engine.rule1_pass(marked_mask(g.adjacency))
+        agent_mask = _run_agent_rule2(
+            _agents_after_rule1(g, energy, scheme, after1)
+        )
+        assert agent_mask == engine.rule2_pass(after1)

@@ -1,0 +1,101 @@
+"""Regression: ``run_interval(verify=True)`` must verify degenerate
+``cds_fn`` output too.
+
+The original guard was ``if verify and mask:`` — a custom selector
+returning an *empty* gateway mask (non-dominating on any non-trivial
+graph) skipped :func:`verify_cds` entirely and the interval was accepted.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.energy.accounting import EnergyAccountant
+from repro.energy.battery import BatteryBank
+from repro.energy.models import FixedDrain
+from repro.errors import InvariantViolation
+from repro.graphs.generators import random_connected_network
+from repro.simulation.interval import run_interval
+
+
+def _parts(n: int = 12, seed: int = 9):
+    network = random_connected_network(n, rng=seed)
+    bank = BatteryBank(n, initial=100.0)
+    accountant = EnergyAccountant(bank, FixedDrain())
+    return network, accountant
+
+
+def test_empty_mask_from_cds_fn_is_rejected_when_verifying():
+    network, accountant = _parts()
+    from repro.core.priority import scheme_by_name
+
+    with pytest.raises(InvariantViolation, match="not dominating"):
+        run_interval(
+            network,
+            scheme_by_name("nd"),
+            accountant,
+            None,
+            interval_index=1,
+            verify=True,
+            cds_fn=lambda adj, energy: 0,
+        )
+
+
+def test_empty_mask_still_accepted_without_verify():
+    # verify=False keeps the old permissive behavior for oracle sweeps
+    network, accountant = _parts()
+    from repro.core.priority import scheme_by_name
+
+    outcome = run_interval(
+        network,
+        scheme_by_name("nd"),
+        accountant,
+        None,
+        interval_index=1,
+        verify=False,
+        cds_fn=lambda adj, energy: 0,
+    )
+    assert outcome.cds.size == 0
+
+
+def test_valid_cds_fn_passes_verification():
+    network, accountant = _parts()
+    from repro.core.cds import compute_cds
+    from repro.core.priority import scheme_by_name
+
+    def good_fn(adj, energy):
+        return compute_cds(adj, "nd").gateway_mask
+
+    outcome = run_interval(
+        network,
+        scheme_by_name("nd"),
+        accountant,
+        None,
+        interval_index=1,
+        verify=True,
+        cds_fn=good_fn,
+    )
+    assert outcome.cds.size > 0
+
+
+def test_disconnected_mask_from_cds_fn_is_rejected():
+    # a mask that dominates but is not induced-connected must also raise
+    network, accountant = _parts(n=12, seed=9)
+    from repro.core.priority import scheme_by_name
+
+    full = (1 << network.n) - 1
+
+    def all_but_connected(adj, energy):
+        # every node: dominating and trivially connected — fine
+        return full
+
+    outcome = run_interval(
+        network,
+        scheme_by_name("nd"),
+        accountant,
+        None,
+        interval_index=1,
+        verify=True,
+        cds_fn=all_but_connected,
+    )
+    assert outcome.cds.size == network.n

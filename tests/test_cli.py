@@ -101,3 +101,35 @@ class TestCommands:
             "sweep", "n_hosts", "8,12", "--trials", "2",
         ]) == 0
         assert "n_hosts" in capsys.readouterr().out
+
+    def test_profile_prints_span_tree(self, capsys):
+        assert main([
+            "profile", "--hosts", "20", "--scheme", "el2",
+            "--intervals", "5", "--seed", "7",
+        ]) == 0
+        out = capsys.readouterr().out
+        for name in ("profile", "interval", "cds", "marking", "rule1",
+                     "rule2", "drain"):
+            assert name in out, f"span {name!r} missing from profile output"
+        assert "interval.count" in out
+        assert "rule2.coverage_tests" in out
+
+    def test_profile_leaves_obs_disabled(self, capsys):
+        from repro import obs
+
+        assert main(["profile", "--hosts", "15", "--intervals", "3"]) == 0
+        capsys.readouterr()
+        assert not obs.enabled()
+
+    def test_profile_protocol_and_trace(self, capsys, tmp_path):
+        import json
+
+        trace = tmp_path / "trace.jsonl"
+        assert main([
+            "profile", "--hosts", "15", "--intervals", "3",
+            "--protocol", "--trace", str(trace),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "sync_protocol" in out and "async_cds" in out
+        events = [json.loads(l) for l in trace.read_text().splitlines()]
+        assert events and any(e["ev"] == "span" for e in events)
