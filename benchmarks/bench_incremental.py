@@ -1,0 +1,314 @@
+"""Incremental delta-CDS pipeline vs the from-scratch path (not a figure).
+
+Replays identical seeded mobility trajectories (the Figure-11 setup:
+N = 100 hosts, 100x100 region, radius 25, paper walk) through both
+per-interval pipelines:
+
+* **incremental** — :meth:`AdHocNetwork.apply_moves` (grid-delta adjacency
+  maintenance) + :class:`DeltaCDSPipeline` (dirty-set marking, cached rule
+  engine, short-circuit on unchanged fingerprints);
+* **scratch** — invalidate + snapshot + :func:`compute_cds`, exactly what
+  the simulator did per interval before the delta pipeline existed.
+
+Both paths see the same moves and the same per-interval energy drain, so
+their gateway masks must be bit-identical (asserted on every replay that
+collects masks).  pytest-benchmark times a fixed-length replay per scheme
+at stability 0.9; ``test_speedup_summary`` additionally records best-of-k
+per-scheme speedups, a speedup-vs-stability sweep, and the delta
+pipeline's dirty-fraction counters into
+``benchmarks/results/BENCH_pipeline.json`` (under ``"extra"``).
+
+Timing methodology: the two paths are timed in fully separate replays
+(never interleaved — alternating them pollutes the cached engine's memory
+locality and understates the win) and each configuration takes the best
+of ``k`` runs to suppress machine noise.
+
+Also runnable as a plain script for CI::
+
+    python benchmarks/bench_incremental.py --smoke
+
+which asserts delta == scratch masks on a seeded 100-host trial for all
+five schemes and fails if the incremental path is slower at stability 0.9.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # plain-script mode without an installed package
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import pytest
+
+from repro.core.cds import compute_cds
+from repro.core.delta import DeltaCDSPipeline
+from repro.core.priority import scheme_by_name
+from repro.geometry.space import Region2D
+from repro.graphs import bitset
+from repro.graphs.adhoc import AdHocNetwork
+from repro.graphs.generators import random_connected_network
+from repro.mobility.paper_walk import PaperWalk
+
+N_HOSTS = 100
+SIDE = 100.0
+RADIUS = 25.0
+#: enough to outlast any replay below (gateways drain 3/interval).
+INITIAL_ENERGY = 2000.0
+SCHEMES = ("nr", "id", "nd", "el1", "el2")
+BENCH_INTERVALS = 100
+STABILITY = 0.9
+
+
+def _trajectory(
+    stability: float, seed: int, intervals: int, n: int = N_HOSTS
+) -> list[np.ndarray]:
+    """Seeded per-interval position frames (frame 0 = initial placement)."""
+    net = random_connected_network(n, side=SIDE, radius=RADIUS, rng=seed)
+    region = Region2D(side=SIDE)
+    walk = PaperWalk(stability=stability)
+    rng = np.random.default_rng(seed + 1)
+    pos = net.positions.copy()
+    frames = [pos.copy()]
+    for _ in range(intervals):
+        walk.step(pos, region, rng)
+        frames.append(pos.copy())
+    return frames
+
+
+def _drain(energy: np.ndarray, gateway_mask: int) -> None:
+    """Deterministic drain (gateways 3, others 1) so EL keys keep rotating."""
+    energy -= 1.0
+    ids = bitset.ids_from_mask(gateway_mask)
+    if ids:
+        energy[np.asarray(ids, dtype=np.intp)] -= 2.0
+
+
+def _replay_incremental(
+    frames: list[np.ndarray], scheme_name: str, collect: bool = False
+) -> list[int]:
+    sch = scheme_by_name(scheme_name)
+    net = AdHocNetwork(frames[0].copy(), RADIUS, side=SIDE)
+    net.adjacency  # build the cache so apply_moves patches in place
+    pipe = DeltaCDSPipeline(sch)
+    energy = np.full(len(frames[0]), INITIAL_ENERGY)
+    masks: list[int] = []
+    for i, pos in enumerate(frames):
+        if i:
+            moved = np.flatnonzero(np.any(pos != net.positions, axis=1))
+            net.positions[moved] = pos[moved]
+            net.apply_moves(moved)
+        cds = pipe.compute(
+            net, energy=energy if sch.needs_energy else None
+        )
+        _drain(energy, cds.gateway_mask)
+        if collect:
+            masks.append(cds.gateway_mask)
+    return masks
+
+
+def _replay_scratch(
+    frames: list[np.ndarray], scheme_name: str, collect: bool = False
+) -> list[int]:
+    sch = scheme_by_name(scheme_name)
+    net = AdHocNetwork(frames[0].copy(), RADIUS, side=SIDE)
+    energy = np.full(len(frames[0]), INITIAL_ENERGY)
+    masks: list[int] = []
+    for i, pos in enumerate(frames):
+        if i:
+            net.positions[:] = pos
+            net.invalidate()
+        cds = compute_cds(
+            net.snapshot(),
+            sch,
+            energy=energy if sch.needs_energy else None,
+        )
+        _drain(energy, cds.gateway_mask)
+        if collect:
+            masks.append(cds.gateway_mask)
+    return masks
+
+
+def _assert_equivalent(frames: list[np.ndarray], scheme: str) -> None:
+    inc = _replay_incremental(frames, scheme, collect=True)
+    scr = _replay_scratch(frames, scheme, collect=True)
+    assert inc == scr, (
+        f"scheme {scheme}: incremental and scratch gateway masks diverged "
+        f"at interval {next(i for i, (a, b) in enumerate(zip(inc, scr)) if a != b)}"
+    )
+
+
+def _best_of(k: int, fn, *args) -> float:
+    best = float("inf")
+    for _ in range(k):
+        t0 = time.perf_counter()
+        fn(*args)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _dirty_counters(frames: list[np.ndarray], scheme: str) -> dict:
+    """Run one instrumented incremental replay; return the delta.* counters."""
+    from repro import obs
+
+    with obs.capture() as reg:
+        _replay_incremental(frames, scheme)
+    c = reg.counters
+    intervals = c.get("delta.intervals", 0.0)
+    nodes = c.get("delta.nodes", 0.0)
+    out = {
+        k.removeprefix("delta."): v
+        for k, v in sorted(c.items())
+        if k.startswith("delta.")
+    }
+    out["dirty_fraction"] = (
+        c.get("delta.dirty_marking", 0.0) / nodes if nodes else 0.0
+    )
+    out["changed_row_fraction"] = (
+        c.get("delta.changed_rows", 0.0) / nodes if nodes else 0.0
+    )
+    out["short_circuit_fraction"] = (
+        c.get("delta.short_circuit", 0.0) / intervals if intervals else 0.0
+    )
+    return out
+
+
+def speedup_summary(
+    seed: int, *, intervals: int = BENCH_INTERVALS, k: int = 3
+) -> dict:
+    """Per-scheme speedups at stability 0.9 + a stability sweep for el2."""
+    frames = _trajectory(STABILITY, seed, intervals)
+    per_scheme = {}
+    for scheme in SCHEMES:
+        _assert_equivalent(frames, scheme)
+        t_inc = _best_of(k, _replay_incremental, frames, scheme)
+        t_scr = _best_of(k, _replay_scratch, frames, scheme)
+        per_scheme[scheme] = {
+            "incremental_ms_per_interval": 1e3 * t_inc / (intervals + 1),
+            "scratch_ms_per_interval": 1e3 * t_scr / (intervals + 1),
+            "speedup": t_scr / t_inc,
+        }
+    sweep = {}
+    for stability in (0.5, 0.7, 0.9, 0.97):
+        fr = _trajectory(stability, seed + 17, intervals)
+        t_inc = _best_of(k, _replay_incremental, fr, "el2")
+        t_scr = _best_of(k, _replay_scratch, fr, "el2")
+        sweep[str(stability)] = t_scr / t_inc
+    speedups = [d["speedup"] for d in per_scheme.values()]
+    return {
+        "config": {
+            "n_hosts": N_HOSTS,
+            "side": SIDE,
+            "radius": RADIUS,
+            "stability": STABILITY,
+            "intervals": intervals,
+            "best_of": k,
+            "seed": seed,
+        },
+        "per_scheme": per_scheme,
+        "mean_speedup": float(np.mean(speedups)),
+        "min_speedup": float(np.min(speedups)),
+        "speedup_vs_stability_el2": sweep,
+        "delta_counters_el2": _dirty_counters(frames, "el2"),
+    }
+
+
+# -- pytest benches ----------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def frames():
+    from conftest import bench_seed
+
+    return _trajectory(STABILITY, bench_seed(), BENCH_INTERVALS)
+
+
+@pytest.mark.benchmark(group="incremental-pipeline")
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_interval_incremental(benchmark, frames, scheme):
+    masks = benchmark(lambda: _replay_incremental(frames, scheme, collect=True))
+    assert len(masks) == len(frames) and all(masks)
+
+
+@pytest.mark.benchmark(group="incremental-pipeline")
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_interval_scratch(benchmark, frames, scheme):
+    masks = benchmark(lambda: _replay_scratch(frames, scheme, collect=True))
+    assert len(masks) == len(frames) and all(masks)
+
+
+def test_speedup_summary(capsys, results_dir):
+    """Equivalence + the JSON summary the acceptance criteria read."""
+    import conftest
+
+    summary = speedup_summary(conftest.bench_seed())
+    conftest.EXTRA["incremental"] = summary
+    lines = [
+        "incremental delta-CDS pipeline vs scratch "
+        f"(N={N_HOSTS}, stability {STABILITY}, {BENCH_INTERVALS} intervals):"
+    ]
+    for scheme, d in summary["per_scheme"].items():
+        lines.append(
+            f"  {scheme:>3}: {d['incremental_ms_per_interval']:.3f} ms vs "
+            f"{d['scratch_ms_per_interval']:.3f} ms  ({d['speedup']:.2f}x)"
+        )
+    lines.append(f"  mean speedup {summary['mean_speedup']:.2f}x")
+    lines.append(
+        "  el2 speedup vs stability: "
+        + ", ".join(
+            f"c={c}: {s:.2f}x"
+            for c, s in summary["speedup_vs_stability_el2"].items()
+        )
+    )
+    with capsys.disabled():
+        print("\n" + "\n".join(lines))
+    # the delta path must never lose to scratch at high stability
+    assert summary["min_speedup"] > 1.0
+
+
+# -- CI smoke mode -----------------------------------------------------------
+
+
+def _smoke(seed: int, intervals: int) -> int:
+    frames = _trajectory(STABILITY, seed, intervals)
+    for scheme in SCHEMES:
+        _assert_equivalent(frames, scheme)
+        print(f"equivalence ok: {scheme} ({intervals + 1} intervals)")
+    t_inc = sum(_best_of(2, _replay_incremental, frames, s) for s in SCHEMES)
+    t_scr = sum(_best_of(2, _replay_scratch, frames, s) for s in SCHEMES)
+    speedup = t_scr / t_inc
+    print(
+        f"all-scheme replay: incremental {t_inc:.3f}s vs scratch {t_scr:.3f}s "
+        f"({speedup:.2f}x) at stability {STABILITY}"
+    )
+    if t_inc >= t_scr:
+        print("FAIL: incremental pipeline is slower than scratch")
+        return 1
+    print("smoke ok")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    p.add_argument(
+        "--smoke", action="store_true",
+        help="assert delta == scratch on a seeded trial and that the "
+        "incremental path is not slower at stability 0.9",
+    )
+    p.add_argument("--seed", type=int, default=2001)
+    p.add_argument("--intervals", type=int, default=60)
+    args = p.parse_args(argv)
+    if not args.smoke:
+        p.error("run under pytest for timings, or pass --smoke")
+    return _smoke(args.seed, args.intervals)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

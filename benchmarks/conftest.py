@@ -33,6 +33,11 @@ import pytest
 RESULTS_DIR = Path(__file__).parent / "results"
 PIPELINE_JSON = "BENCH_pipeline.json"
 
+#: Benches may drop structured side-results here (e.g. the incremental
+#: pipeline's speedup/dirty-fraction summary); merged into the
+#: ``BENCH_pipeline.json`` payload under ``"extra"`` at session end.
+EXTRA: dict = {}
+
 
 def bench_trials() -> int:
     return int(os.environ.get("REPRO_BENCH_TRIALS", "12"))
@@ -115,6 +120,8 @@ def pytest_sessionfinish(session, exitstatus):
         "exit_status": int(exitstatus),
         "benchmarks": sorted(entries, key=lambda e: e["fullname"] or ""),
     }
+    if EXTRA:
+        payload["extra"] = dict(EXTRA)
     (RESULTS_DIR / PIPELINE_JSON).write_text(
         json.dumps(payload, indent=2, sort_keys=True) + "\n"
     )

@@ -61,6 +61,15 @@ def build_parser() -> argparse.ArgumentParser:
     l.add_argument("--drain", default="fixed")
     l.add_argument("--trials", type=int, default=8)
     l.add_argument("--seed", type=int, default=2001)
+    l.add_argument(
+        "--scratch", action="store_true",
+        help="recompute the CDS from scratch each interval instead of the "
+        "incremental delta pipeline (results are bit-identical)",
+    )
+    l.add_argument(
+        "--shadow-check", action="store_true",
+        help="run both pipelines every interval and fail on any divergence",
+    )
 
     f = sub.add_parser("figure", help="regenerate a paper figure")
     f.add_argument("number", type=int, choices=[10, 11, 12, 13])
@@ -182,7 +191,11 @@ def _cmd_lifespan(args) -> int:
     rows = []
     for scheme in schemes:
         cfg = SimulationConfig(
-            n_hosts=args.hosts, scheme=scheme, drain_model=args.drain
+            n_hosts=args.hosts,
+            scheme=scheme,
+            drain_model=args.drain,
+            incremental=not args.scratch,
+            shadow_check=args.shadow_check,
         )
         metrics = run_trials(cfg, args.trials, root_seed=args.seed)
         life = summarize([m.lifespan for m in metrics])
@@ -331,6 +344,7 @@ def _cmd_profile(args) -> int:
                     sim.accountant,
                     sim.mobility,
                     interval_index=i + 1,
+                    pipeline=sim.pipeline,
                 )
                 intervals += 1
                 if outcome.someone_died:

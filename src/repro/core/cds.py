@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro import obs
-from repro.core.marking import marked_mask
+from repro.core.marking import marked_mask, marking_trivially_empty
 from repro.core.priority import PriorityScheme, scheme_by_name
 from repro.core.properties import verify_cds
 from repro.core.reduction import PruneStats, prune
@@ -42,16 +42,21 @@ class CDSResult:
     gateway_mask: int
     n: int
     stats: PruneStats
-    _gateways: frozenset[int] = field(init=False, repr=False, default=frozenset())
-
-    def __post_init__(self) -> None:
-        object.__setattr__(
-            self, "_gateways", frozenset(bitset.ids_from_mask(self.gateway_mask))
-        )
+    _gateways: frozenset[int] | None = field(init=False, repr=False, default=None)
 
     @property
     def gateways(self) -> frozenset[int]:
-        """Gateway (dominating-set member) node ids."""
+        """Gateway (dominating-set member) node ids (built on first access).
+
+        The simulator produces one ``CDSResult`` per interval and touches
+        only ``gateway_mask``; deferring the frozenset keeps the hot loop
+        allocation-free.
+        """
+        if self._gateways is None:
+            object.__setattr__(
+                self, "_gateways", frozenset(bitset.ids_from_mask(self.gateway_mask))
+            )
+        assert self._gateways is not None
         return self._gateways
 
     @property
@@ -114,7 +119,11 @@ def compute_cds(
         result = CDSResult(
             scheme=sch.name, gateway_mask=final, n=len(adj), stats=stats
         )
-        if verify and final:
+        # An empty mask is legitimate only where the marking process is
+        # *defined* to return nothing (complete graphs, n <= 2).  Anywhere
+        # else an empty result is a pipeline bug that verify_cds must flag —
+        # gating on `final` alone silently accepted every empty mask.
+        if verify and (final or not marking_trivially_empty(adj)):
             with obs.span("verify"):
                 verify_cds(adj, final, context=f"scheme={sch.name}")
         if obs.enabled():

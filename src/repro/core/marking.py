@@ -21,7 +21,14 @@ from repro import obs
 from repro.graphs import bitset
 from repro.types import SupportsNeighborhoods
 
-__all__ = ["marking_process", "marked_set", "marked_mask", "node_is_marked"]
+__all__ = [
+    "marking_process",
+    "marked_set",
+    "marked_mask",
+    "marked_mask_delta",
+    "marking_trivially_empty",
+    "node_is_marked",
+]
 
 
 def node_is_marked(adj: Sequence[int], v: int) -> bool:
@@ -72,3 +79,49 @@ def marked_mask(graph: SupportsNeighborhoods | Sequence[int]) -> int:
             obs.add("marking.nodes_evaluated", len(adj))
             obs.add("marking.marked", bitset.popcount(mask))
     return mask
+
+
+def marked_mask_delta(adj: Sequence[int], previous: int, dirty: int) -> int:
+    """Re-mark only the ``dirty`` nodes, reusing ``previous`` elsewhere.
+
+    ``m(v)`` depends on ``N(v)`` and on edges *within* ``N(v)`` — strictly
+    2-hop-local information.  If an edge ``{u, w}`` flipped, the only nodes
+    whose marker can change are ``u``, ``w``, and nodes adjacent to one of
+    them (before or after): any other ``x`` keeps both its neighbor set and
+    the adjacency among its neighbors.  Callers therefore pass
+    ``dirty = C ∪ N_old(C) ∪ N_new(C)`` where ``C`` is the set of nodes
+    whose adjacency row changed; the result is then bit-identical to a
+    full :func:`marked_mask` pass.
+    """
+    with obs.span("marking"):
+        mask = previous
+        n_dirty = 0
+        m = dirty
+        while m:
+            low = m & -m
+            m ^= low
+            if node_is_marked(adj, low.bit_length() - 1):
+                mask |= low
+            else:
+                mask &= ~low
+            n_dirty += 1
+        if obs.enabled():
+            obs.add("marking.nodes_evaluated", n_dirty)
+            obs.add("marking.reused", len(adj) - n_dirty)
+            obs.add("marking.marked", bitset.popcount(mask))
+    return mask
+
+
+def marking_trivially_empty(adj: Sequence[int]) -> bool:
+    """True iff the marking process returns the empty set *by design*.
+
+    That happens exactly for complete graphs and for n <= 2 (where no node
+    can have two non-adjacent neighbors).  :func:`repro.core.cds.compute_cds`
+    uses this to decide whether an empty gateway mask is legitimate or an
+    invariant violation.
+    """
+    n = len(adj)
+    if n <= 2:
+        return True
+    universe = (1 << n) - 1
+    return all(m == universe ^ (1 << v) for v, m in enumerate(adj))

@@ -1,9 +1,17 @@
 """Uniform-grid spatial index for radius queries.
 
-Used by the grid UDG builder and available to user code that wants
-incremental neighbor queries (e.g. interference or sensing extensions).
-Cell size equals the query radius so any point within ``r`` of a query
-point lies in the 3x3 block of cells around it.
+Used by the grid UDG builder, the incremental adjacency maintainer on
+:class:`~repro.graphs.adhoc.AdHocNetwork`, and user code that wants
+neighbor queries (e.g. interference or sensing extensions).  Cell size
+equals the query radius so any point within ``r`` of a query point lies
+in the 3x3 block of cells around it.
+
+The index holds a *reference* to the position array when it is already
+float64 (a copy otherwise).  Two update protocols are supported:
+
+* snapshot style — rebuild (cheap, one pass) after positions move;
+* incremental style — mutate rows of the original array in place, then
+  call :meth:`move` for each moved point to re-bucket just that point.
 """
 
 from __future__ import annotations
@@ -16,12 +24,9 @@ __all__ = ["UniformGridIndex"]
 
 
 class UniformGridIndex:
-    """Bucket points into ``radius``-sized cells for O(1)-ish radius queries.
+    """Bucket points into ``radius``-sized cells for O(1)-ish radius queries."""
 
-    The index is a snapshot: rebuild (cheap, one pass) after positions move.
-    """
-
-    __slots__ = ("_radius", "_buckets", "_positions")
+    __slots__ = ("_radius", "_buckets", "_positions", "_keys")
 
     def __init__(self, positions: np.ndarray, radius: float):
         if radius <= 0 or not np.isfinite(radius):
@@ -33,9 +38,12 @@ class UniformGridIndex:
         self._positions = pos
         keys = np.floor(pos / radius).astype(np.int64)
         buckets: dict[tuple[int, int], list[int]] = {}
+        key_list: list[tuple[int, int]] = []
         for i, key in enumerate(map(tuple, keys)):
             buckets.setdefault(key, []).append(i)
+            key_list.append(key)
         self._buckets = buckets
+        self._keys = key_list
 
     @property
     def radius(self) -> float:
@@ -43,6 +51,43 @@ class UniformGridIndex:
 
     def __len__(self) -> int:
         return len(self._positions)
+
+    def move(self, i: int) -> bool:
+        """Re-bucket point ``i`` after its row in the position array changed.
+
+        Only valid when the index aliases the caller's array (float64
+        input); returns True iff the point changed cell.  Cost is O(bucket
+        size), so a k-point move costs O(k), not O(n).
+        """
+        p = self._positions[i]
+        key = (int(np.floor(p[0] / self._radius)), int(np.floor(p[1] / self._radius)))
+        old = self._keys[i]
+        if key == old:
+            return False
+        self._buckets[old].remove(i)
+        if not self._buckets[old]:
+            del self._buckets[old]
+        self._buckets.setdefault(key, []).append(i)
+        self._keys[i] = key
+        return True
+
+    def cell_block(self, point) -> list[int]:
+        """Unordered candidate ids from the 3x3 cell block around ``point``.
+
+        Raw superset for callers that do their own distance filtering
+        (e.g. the incremental adjacency maintainer); :meth:`query` is the
+        filtered, sorted variant.
+        """
+        cx = int(np.floor(point[0] / self._radius))
+        cy = int(np.floor(point[1] / self._radius))
+        buckets = self._buckets
+        cand: list[int] = []
+        for dx in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                got = buckets.get((cx + dx, cy + dy))
+                if got is not None:
+                    cand.extend(got)
+        return cand
 
     def query(self, point: np.ndarray, radius: float | None = None) -> list[int]:
         """Indices of points within ``radius`` (default: index radius) of

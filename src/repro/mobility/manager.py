@@ -55,24 +55,30 @@ class MobilityManager:
         self.retries_used = 0
 
     def step(self) -> bool:
-        """Advance one update interval; returns True iff topology changed."""
+        """Advance one update interval; returns True iff topology changed.
+
+        Adjacency is maintained incrementally: only the rows of hosts
+        that actually moved (and their affected neighbors) are patched via
+        :meth:`AdHocNetwork.apply_moves`, which is bit-identical to a full
+        rebuild.  A rolled-back retry re-applies the same moved set to
+        restore the previous rows exactly.
+        """
         net = self.network
+        net.adjacency  # ensure the cache exists so patches report exact deltas
         before = net.positions.copy()
-        before_adj = list(net.adjacency)
 
         for attempt in range(self.max_retries):
             self.model.step(net.positions, self.region, self.rng)
-            net.invalidate()
+            moved = np.flatnonzero(np.any(net.positions != before, axis=1))
+            changed = net.apply_moves(moved)
             if self.on_disconnect == "accept" or net.is_connected():
                 if attempt:
                     self.retries_used += attempt
-                return net.adjacency != before_adj
+                return bool(changed)
             # roll back and redraw this interval's moves
             net.positions[:] = before
-            net.invalidate()
+            net.apply_moves(moved)
 
         # every retry disconnected the network: freeze hosts this interval
         self.frozen_intervals += 1
-        net.positions[:] = before
-        net.invalidate()
         return False

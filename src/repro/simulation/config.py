@@ -57,6 +57,17 @@ class SimulationConfig:
     fixed_point: bool = False
     #: verify CDS invariants every interval (slow; for debugging).
     verify_invariants: bool = False
+    #: recompute the CDS incrementally across intervals (grid-delta
+    #: adjacency + dirty-set marking + cached rule engine); False falls
+    #: back to the from-scratch pipeline.  Both paths produce bit-identical
+    #: gateway masks — this knob only trades recomputation cost.  Networks
+    #: below ``repro.core.delta.INCREMENTAL_MIN_HOSTS`` stay on the scratch
+    #: path regardless (it is faster there).
+    incremental: bool = True
+    #: run the scratch pipeline alongside the incremental one every
+    #: interval and raise on any gateway-mask divergence (debug/CI mode;
+    #: pays for both paths; implies nothing unless ``incremental``).
+    shadow_check: bool = False
     #: hard cap on intervals (guards d' = 0 style configs; None = no cap).
     max_intervals: int | None = 100_000
     #: non-gateway drain d' (the paper's unit).

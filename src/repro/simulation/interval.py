@@ -47,6 +47,7 @@ def run_interval(
     fixed_point: bool = False,
     verify: bool = False,
     cds_fn=None,
+    pipeline=None,
 ) -> IntervalOutcome:
     """Execute one update interval; moves hosts only if nobody died.
 
@@ -56,6 +57,15 @@ def run_interval(
     including an empty mask, which on any non-trivial graph fails
     domination.  (An earlier revision skipped verification for empty
     masks, silently accepting a degenerate selector.)
+
+    ``pipeline`` (a :class:`repro.core.delta.DeltaCDSPipeline`) switches
+    the CDS computation to the incremental path: the pipeline diffs the
+    network's live adjacency against its cached copy instead of taking a
+    fresh snapshot, producing a bit-identical result.  The pipeline's own
+    ``fixed_point``/``verify``/``shadow_check`` settings govern that path
+    (the keyword arguments here apply to the scratch path only), so the
+    caller must construct it consistently.  Mutually exclusive with
+    ``cds_fn``.
     """
     with obs.span("interval"):
         if cds_fn is not None:
@@ -77,6 +87,9 @@ def run_interval(
 
                 with obs.span("verify"):
                     verify_cds(snap.adjacency, mask, context="cds_fn")
+        elif pipeline is not None:
+            energy = accountant.bank.levels if scheme.needs_energy else None
+            cds = pipeline.compute(network, energy=energy)
         else:
             energy = accountant.bank.levels if scheme.needs_energy else None
             cds = compute_cds(

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro import obs
+from repro.core.delta import INCREMENTAL_MIN_HOSTS, DeltaCDSPipeline
 from repro.core.priority import scheme_by_name
 from repro.energy.accounting import EnergyAccountant
 from repro.energy.battery import BatteryBank
@@ -29,6 +30,7 @@ from repro.mobility.manager import MobilityManager
 from repro.mobility.paper_walk import PaperWalk
 from repro.simulation.config import SimulationConfig
 from repro.simulation.interval import run_interval
+from repro.graphs import bitset
 from repro.simulation.metrics import IntervalMetrics, TrialMetrics
 from repro.types import as_generator, RngLike
 
@@ -63,6 +65,22 @@ class LifespanSimulator:
         self.rng = as_generator(rng)
         self.scheme = scheme_by_name(config.scheme)
         self.drain_model = drain_model_by_name(config.drain_model)
+        # the incremental pipeline carries cached state across intervals;
+        # one instance per trial so trials stay independent.  Networks below
+        # the measured crossover stay on the (there faster) scratch path —
+        # unless shadow checking was requested, which needs the pipeline.
+        self.pipeline = (
+            DeltaCDSPipeline(
+                self.scheme,
+                fixed_point=config.fixed_point,
+                verify=config.verify_invariants,
+                shadow_check=config.shadow_check,
+            )
+            if config.incremental
+            and cds_fn is None
+            and (config.n_hosts >= INCREMENTAL_MIN_HOSTS or config.shadow_check)
+            else None
+        )
 
         self.network = random_connected_network(
             config.n_hosts,
@@ -126,13 +144,12 @@ class LifespanSimulator:
                     fixed_point=cfg.fixed_point,
                     verify=cfg.verify_invariants,
                     cds_fn=self.cds_fn,
+                    pipeline=self.pipeline,
                 )
                 records.append(outcome.metrics)
-                m = outcome.cds.gateway_mask
-                while m:
-                    low = m & -m
-                    gateway_counts[low.bit_length() - 1] += 1
-                    m ^= low
+                gateways = bitset.ids_from_mask(outcome.cds.gateway_mask)
+                if gateways:
+                    gateway_counts[np.asarray(gateways, dtype=np.intp)] += 1
                 if obs.enabled():
                     # recomputation-stability metric (how often mobility /
                     # energy rotation actually changes the backbone)

@@ -1,0 +1,186 @@
+"""Property tests for the incremental delta-CDS pipeline (PR 4).
+
+Three layers, each pinned against its from-scratch reference:
+
+1. :class:`UniformGridIndex` queries == brute-force distance filtering,
+   including negative coordinates and points exactly on cell boundaries
+   (the floor-based bucketing's edge cases);
+2. incrementally maintained adjacency (:meth:`AdHocNetwork.apply_moves`)
+   == a full :func:`unit_disk_adjacency` rebuild over random move
+   sequences — both the dense and the grid delta strategies;
+3. :class:`DeltaCDSPipeline` gateway masks == :func:`compute_cds` for all
+   five schemes over random move sequences with draining energy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.cds import compute_cds
+from repro.core.delta import DeltaCDSPipeline
+from repro.core.priority import SCHEMES
+from repro.geometry.spatial_index import UniformGridIndex
+from repro.graphs.adhoc import AdHocNetwork
+from repro.graphs.unitdisk import unit_disk_adjacency
+
+# Coordinates straddle zero and land on exact multiples of every radius
+# below, exercising the floor-bucketing seams.  They are quantized to 0.5
+# so squared distances are exact in float64: a coordinate within a
+# sub-ulp of a cell seam can otherwise make the float ``d2 <= r*r``
+# filter accept a point whose true distance exceeds r and which therefore
+# legitimately lies outside the 3x3 cell block (a measure-zero tie the
+# simulator's clamped [0, side] domain cannot produce).
+coords = st.integers(-100, 100).map(lambda k: 0.5 * k)
+radii = st.sampled_from([1.0, 2.5, 5.0, 25.0])
+point_arrays = st.lists(
+    st.tuples(coords, coords), min_size=1, max_size=40
+).map(lambda pts: np.array(pts, dtype=np.float64))
+
+
+def _brute_query(pts: np.ndarray, q, r: float) -> list[int]:
+    d2 = np.sum((pts - np.asarray(q, dtype=np.float64)) ** 2, axis=1)
+    return [int(i) for i in np.flatnonzero(d2 <= r * r)]
+
+
+class TestGridIndexProperties:
+    @given(point_arrays, radii)
+    @settings(max_examples=150, deadline=None)
+    def test_query_matches_brute_force(self, pts, radius):
+        idx = UniformGridIndex(pts, radius)
+        for q in pts[:8]:
+            assert idx.query(q) == _brute_query(pts, q, radius)
+
+    @given(point_arrays, radii)
+    @settings(max_examples=100, deadline=None)
+    def test_cell_block_is_candidate_superset(self, pts, radius):
+        idx = UniformGridIndex(pts, radius)
+        for q in pts[:8]:
+            block = set(idx.cell_block(q))
+            assert block >= set(_brute_query(pts, q, radius))
+
+    @given(point_arrays, radii, st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_query_after_incremental_moves(self, pts, radius, data):
+        """move() re-bucketing keeps queries exact (aliased array mutated)."""
+        idx = UniformGridIndex(pts, radius)
+        n = len(pts)
+        for _ in range(data.draw(st.integers(1, 5))):
+            i = data.draw(st.integers(0, n - 1))
+            pts[i] = data.draw(st.tuples(coords, coords))
+            idx.move(i)
+        for q in pts[:8]:
+            assert idx.query(q) == _brute_query(pts, q, radius)
+
+    def test_point_on_cell_boundary(self):
+        # x == k * radius exactly: the point sits on the seam between cells
+        pts = np.array([[25.0, 0.0], [25.0 - 1e-9, 0.0], [-25.0, -25.0]])
+        idx = UniformGridIndex(pts, 25.0)
+        for q in pts:
+            assert idx.query(q) == _brute_query(pts, q, 25.0)
+
+
+# small regions force topology churn; mix fractional and full-set moves so
+# both the dense/grid patch path and the rebuild fallback are exercised
+move_counts = st.integers(1, 100)
+
+
+@st.composite
+def move_sequences(draw):
+    n = draw(st.integers(1, 30))
+    pts = draw(
+        hnp.arrays(
+            np.float64,
+            (n, 2),
+            elements=st.floats(0.0, 60.0, allow_nan=False),
+        )
+    )
+    steps = []
+    for _ in range(draw(st.integers(1, 6))):
+        k = draw(st.integers(1, n))
+        ids = draw(
+            st.lists(
+                st.integers(0, n - 1), min_size=k, max_size=k, unique=True
+            )
+        )
+        deltas = draw(
+            hnp.arrays(
+                np.float64,
+                (k, 2),
+                elements=st.floats(-20.0, 20.0, allow_nan=False),
+            )
+        )
+        steps.append((ids, deltas))
+    return pts, steps
+
+
+class TestIncrementalAdjacency:
+    @given(move_sequences())
+    @settings(max_examples=150, deadline=None)
+    def test_apply_moves_equals_full_rebuild(self, seq):
+        pts, steps = seq
+        net = AdHocNetwork(pts, 25.0, side=60.0)
+        net.adjacency  # prime the cache so every step patches incrementally
+        for ids, deltas in steps:
+            net.positions[ids] += deltas
+            net.apply_moves(ids)
+            assert net.adjacency == unit_disk_adjacency(net.positions, 25.0)
+
+    @given(move_sequences())
+    @settings(max_examples=60, deadline=None)
+    def test_apply_moves_reports_exact_changed_rows(self, seq):
+        pts, steps = seq
+        net = AdHocNetwork(pts, 25.0, side=60.0)
+        prev = list(net.adjacency)
+        for ids, deltas in steps:
+            net.positions[ids] += deltas
+            changed = net.apply_moves(ids)
+            cur = net.adjacency
+            expect = 0
+            for v in range(net.n):
+                if cur[v] != prev[v]:
+                    expect |= 1 << v
+            assert changed == expect
+            prev = list(cur)
+
+
+class TestDeltaPipelineEquivalence:
+    @given(move_sequences(), st.sampled_from(sorted(SCHEMES)))
+    @settings(max_examples=60, deadline=None)
+    def test_masks_and_stats_match_scratch(self, seq, scheme_name):
+        pts, steps = seq
+        net = AdHocNetwork(pts, 25.0, side=60.0)
+        net.adjacency
+        n = net.n
+        scheme = SCHEMES[scheme_name]
+        pipe = DeltaCDSPipeline(scheme)
+        energy = np.linspace(30.0, 100.0, n)
+        for step_no, (ids, deltas) in enumerate([([], None)] + steps):
+            if step_no:
+                net.positions[ids] += deltas
+                net.apply_moves(ids)
+            e = energy if scheme.needs_energy else None
+            got = pipe.compute(net, energy=e)
+            want = compute_cds(net.snapshot(), scheme, energy=e)
+            assert got.gateway_mask == want.gateway_mask
+            assert got.stats == want.stats
+            # drain so EL keys actually change between steps
+            energy -= np.where(
+                np.arange(n) % 3 == step_no % 3, 2.0, 0.5
+            )
+
+    @given(move_sequences())
+    @settings(max_examples=30, deadline=None)
+    def test_fixed_point_mode_matches_scratch(self, seq):
+        pts, steps = seq
+        net = AdHocNetwork(pts, 25.0, side=60.0)
+        net.adjacency
+        pipe = DeltaCDSPipeline("nd", fixed_point=True)
+        for step_no, (ids, deltas) in enumerate([([], None)] + steps):
+            if step_no:
+                net.positions[ids] += deltas
+                net.apply_moves(ids)
+            got = pipe.compute(net)
+            want = compute_cds(net.snapshot(), "nd", fixed_point=True)
+            assert got.gateway_mask == want.gateway_mask
