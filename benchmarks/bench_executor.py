@@ -1,0 +1,213 @@
+"""Sharded sweep executor: crash-safety acceptance + dispatch overhead.
+
+Two jobs, one file:
+
+* Under pytest(-benchmark): time the executor's serial dispatch against a
+  bare in-process loop over the same trials — the scheduling, checkpoint
+  and capture plumbing must stay noise-level next to the simulation
+  itself — and record the pooled fan-out for the same sweep.
+* As a plain script (the CI job)::
+
+      python benchmarks/bench_executor.py --smoke
+
+  starts a real ``repro sweep`` in a subprocess with a checkpoint
+  directory, SIGKILLs the whole process group mid-flight, re-runs the
+  same command to completion, and asserts the merged result is
+  bit-identical to an uninterrupted in-process reference — the
+  kill-and-resume acceptance criterion.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # plain-script mode without an installed package
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.priority import PAPER_SERIES_ORDER
+from repro.exec.checkpoint import CheckpointStore
+from repro.exec.executor import SweepExecutor
+from repro.simulation.config import SimulationConfig
+from repro.simulation.lifespan import LifespanSimulator
+from repro.simulation.metrics import TrialMetrics
+from repro.simulation.rng import generator_for_trial
+
+# -- pytest-benchmark section -------------------------------------------------
+
+_CFG = SimulationConfig(n_hosts=24, scheme="id", drain_model="fixed")
+_TRIALS = 6
+_SEED = 2001
+
+
+def test_dispatch_overhead_serial(benchmark):
+    """Executor (serial) vs bare loop: plumbing must be noise-level."""
+
+    def bare() -> list[TrialMetrics]:
+        return [
+            LifespanSimulator(
+                _CFG, rng=generator_for_trial(_SEED, t)
+            ).run().metrics
+            for t in range(_TRIALS)
+        ]
+
+    expected = bare()
+
+    def through_executor():
+        return SweepExecutor(processes=1).run(
+            [("cell", _CFG)], _TRIALS, root_seed=_SEED
+        )
+
+    outcome = benchmark(through_executor)
+    assert outcome.cell("cell") == expected
+
+
+def test_pooled_fanout(benchmark):
+    def pooled():
+        return SweepExecutor(processes=4).run(
+            [("cell", _CFG)], _TRIALS, root_seed=_SEED
+        )
+
+    outcome = benchmark.pedantic(pooled, rounds=3, iterations=1)
+    assert len(outcome.cell("cell")) == _TRIALS
+
+
+# -- CI smoke mode: kill a sweep mid-flight, resume, compare ------------------
+
+_SMOKE_KNOB = "stability"
+_SMOKE_VALUES = (0.3, 0.7)
+_SMOKE_HOSTS = 24
+_SMOKE_TRIALS = 4
+_SMOKE_PROCS = 2
+
+
+def _smoke_command(ck_dir: str) -> list[str]:
+    return [
+        sys.executable, "-m", "repro", "sweep", _SMOKE_KNOB,
+        ",".join(str(v) for v in _SMOKE_VALUES),
+        "--hosts", str(_SMOKE_HOSTS), "--trials", str(_SMOKE_TRIALS),
+        "--seed", str(_SEED), "--processes", str(_SMOKE_PROCS),
+        "--resume", ck_dir,
+    ]
+
+
+def _count_complete_lines(path: Path) -> int:
+    if not path.exists():
+        return 0
+    n = 0
+    for line in path.read_text(encoding="utf-8", errors="replace").splitlines():
+        try:
+            json.loads(line)
+            n += 1
+        except json.JSONDecodeError:
+            pass
+    return n
+
+
+def _reference_cells() -> dict[str, list[TrialMetrics]]:
+    """The uninterrupted result, computed in-process (same cell naming as
+    :func:`repro.analysis.sweeps.sweep_parameter`)."""
+    base = SimulationConfig(n_hosts=_SMOKE_HOSTS, drain_model="fixed")
+    cells = [
+        (
+            f"{_SMOKE_KNOB}={value}/{scheme}",
+            base.with_overrides(**{_SMOKE_KNOB: value, "scheme": scheme}),
+        )
+        for value in _SMOKE_VALUES
+        for scheme in PAPER_SERIES_ORDER
+    ]
+    outcome = SweepExecutor(processes=_SMOKE_PROCS).run(
+        cells, _SMOKE_TRIALS, root_seed=_SEED
+    )
+    return outcome.cells
+
+
+def _smoke() -> int:
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+    total = len(_SMOKE_VALUES) * len(PAPER_SERIES_ORDER) * _SMOKE_TRIALS
+
+    with tempfile.TemporaryDirectory() as d:
+        ck = Path(d) / "ck"
+        shard_file = ck / "shards.jsonl"
+
+        # 1. start the sweep and SIGKILL its whole process group mid-flight
+        proc = subprocess.Popen(
+            _smoke_command(str(ck)), env=env, start_new_session=True,
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        deadline = time.monotonic() + 120.0
+        try:
+            while _count_complete_lines(shard_file) < 3:
+                if proc.poll() is not None:
+                    raise AssertionError(
+                        "sweep finished before it could be killed; "
+                        "raise the trial count"
+                    )
+                if time.monotonic() > deadline:
+                    raise AssertionError("no shards appeared within 120s")
+                time.sleep(0.02)
+        finally:
+            if proc.poll() is None:
+                os.killpg(proc.pid, signal.SIGKILL)
+            proc.wait()
+        before = shard_file.read_text(encoding="utf-8", errors="replace")
+        n_before = _count_complete_lines(shard_file)
+        print(f"killed sweep with {n_before}/{total} shards checkpointed")
+        assert 0 < n_before < total, "kill landed outside the useful window"
+
+        # 2. resume to completion with the identical command
+        subprocess.run(
+            _smoke_command(str(ck)), env=env, check=True,
+            stdout=subprocess.DEVNULL, timeout=600,
+        )
+
+        # 3. pre-kill records must have been restored, not recomputed
+        after = shard_file.read_text(encoding="utf-8", errors="replace")
+        assert after.startswith(before.rsplit("\n", 1)[0]), (
+            "resume rewrote the pre-kill shard log"
+        )
+        records = CheckpointStore(ck).load()
+        assert len(records) == total, (
+            f"expected {total} unique shards after resume, got {len(records)}"
+        )
+
+        # 4. merged result == uninterrupted in-process reference, bit for bit
+        reference = _reference_cells()
+        for rec in records.values():
+            got = TrialMetrics.from_dict(rec["metrics"])
+            want = reference[rec["cell"]][rec["trial"]]
+            assert got == want, (
+                f"shard {rec['cell']} trial {rec['trial']} diverged "
+                "after kill/resume"
+            )
+    print(f"smoke ok: kill/resume of {total} shards is bit-identical")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    p.add_argument(
+        "--smoke", action="store_true",
+        help="kill a checkpointed sweep mid-flight, resume, compare",
+    )
+    args = p.parse_args(argv)
+    if not args.smoke:
+        p.error("run under pytest for timings, or pass --smoke")
+    return _smoke()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

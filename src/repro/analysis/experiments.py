@@ -20,14 +20,15 @@ chart, and assert the headline orderings.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from pathlib import Path
+from typing import Callable, Mapping, Sequence
 
 from repro.analysis.stats import SeriesSummary, summarize
 from repro.analysis.tables import render_table
 from repro.analysis.plots import ascii_chart
 from repro.core.priority import PAPER_SERIES_ORDER
+from repro.exec.executor import SweepExecutor, SweepProgress
 from repro.simulation.config import SimulationConfig
-from repro.simulation.runner import run_trials
 
 __all__ = [
     "ExperimentResult",
@@ -116,6 +117,10 @@ class ExperimentResult:
         return "\n".join(parts)
 
 
+def _cell_name(n: int, scheme: str) -> str:
+    return f"n={n}/{scheme}"
+
+
 def _sweep(
     base: SimulationConfig,
     schemes: Sequence[str],
@@ -124,15 +129,33 @@ def _sweep(
     root_seed: int | None,
     value_of,
     parallel: bool,
+    processes: int | None = None,
+    checkpoint_dir: str | Path | None = None,
+    progress: Callable[[SweepProgress], None] | None = None,
 ) -> tuple[dict[str, list[SeriesSummary]], dict[str, list[tuple[float, ...]]]]:
+    """Run the whole figure as ONE executor sweep.
+
+    Every (N, scheme) cell's trials are shards of a single
+    :class:`SweepExecutor` run: one persistent pool serves the entire
+    figure (no per-cell pool churn), one checkpoint directory makes the
+    entire figure resumable, and obs capture survives the fan-out.
+    """
+    cells = [
+        (_cell_name(n, scheme), base.with_overrides(n_hosts=n, scheme=scheme))
+        for n in n_values
+        for scheme in schemes
+    ]
+    executor = SweepExecutor(
+        processes=processes, checkpoint=checkpoint_dir, progress=progress
+    )
+    outcome = executor.run(
+        cells, trials, root_seed=root_seed, parallel=parallel
+    )
     out: dict[str, list[SeriesSummary]] = {s: [] for s in schemes}
     raw: dict[str, list[tuple[float, ...]]] = {s: [] for s in schemes}
     for n in n_values:
         for scheme in schemes:
-            cfg = base.with_overrides(n_hosts=n, scheme=scheme)
-            metrics = run_trials(
-                cfg, trials, root_seed=root_seed, parallel=parallel
-            )
+            metrics = outcome.cell(_cell_name(n, scheme))
             values = tuple(value_of(m) for m in metrics)
             out[scheme].append(summarize(values))
             raw[scheme].append(values)
@@ -147,12 +170,20 @@ def run_figure10(
     drain_model: str = "constant",
     root_seed: int | None = 2001,
     parallel: bool = True,
+    processes: int | None = None,
+    checkpoint_dir: str | Path | None = None,
+    progress: Callable[[SweepProgress], None] | None = None,
 ) -> ExperimentResult:
-    """Figure 10: average |G'| per interval vs N for every scheme."""
+    """Figure 10: average |G'| per interval vs N for every scheme.
+
+    ``checkpoint_dir`` makes the whole figure resumable: a killed run
+    restarts from its completed (N, scheme, trial) shards bit-identically.
+    """
     base = SimulationConfig(scheme="id", drain_model=drain_model)
     series, raw = _sweep(
         base, list(schemes), list(n_values), trials, root_seed,
         lambda m: m.mean_cds_size, parallel,
+        processes=processes, checkpoint_dir=checkpoint_dir, progress=progress,
     )
     return ExperimentResult(
         figure="Figure 10",
@@ -187,13 +218,21 @@ def run_lifespan_figure(
     schemes: Sequence[str] = PAPER_SERIES_ORDER,
     root_seed: int | None = 2001,
     parallel: bool = True,
+    processes: int | None = None,
+    checkpoint_dir: str | Path | None = None,
+    progress: Callable[[SweepProgress], None] | None = None,
 ) -> ExperimentResult:
-    """Figures 11/12/13: average lifespan vs N under one drain model."""
+    """Figures 11/12/13: average lifespan vs N under one drain model.
+
+    ``checkpoint_dir`` makes the whole figure resumable: a killed run
+    restarts from its completed (N, scheme, trial) shards bit-identically.
+    """
     figure, formula = _FIGURE_BY_MODEL.get(drain_model, (f"({drain_model})", ""))
     base = SimulationConfig(scheme="id", drain_model=drain_model)
     series, raw = _sweep(
         base, list(schemes), list(n_values), trials, root_seed,
         lambda m: float(m.lifespan), parallel,
+        processes=processes, checkpoint_dir=checkpoint_dir, progress=progress,
     )
     notes = {
         "constant": (

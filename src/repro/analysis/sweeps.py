@@ -10,15 +10,16 @@ operating point (radius 25, c = 0.5, uniform initial energy).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from pathlib import Path
+from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
 from repro.analysis.stats import SeriesSummary, summarize
 from repro.analysis.tables import render_table
 from repro.core.priority import PAPER_SERIES_ORDER
+from repro.exec.executor import SweepExecutor, SweepProgress
 from repro.simulation.config import SimulationConfig
-from repro.simulation.runner import run_trials
 
 __all__ = ["SweepResult", "sweep_radius", "sweep_stability", "sweep_parameter"]
 
@@ -60,16 +61,35 @@ def sweep_parameter(
     trials: int = 8,
     root_seed: int | None = 2001,
     parallel: bool = True,
+    processes: int | None = None,
+    checkpoint_dir: str | Path | None = None,
+    progress: Callable[[SweepProgress], None] | None = None,
 ) -> SweepResult:
-    """Sweep one SimulationConfig field, measuring lifespan per scheme."""
+    """Sweep one SimulationConfig field, measuring lifespan per scheme.
+
+    All (value, scheme) cells run as one :class:`SweepExecutor` sweep:
+    a single persistent pool serves every cell, and ``checkpoint_dir``
+    makes the whole sweep crash-safe/resumable (``repro sweep --resume``).
+    """
     base = base or SimulationConfig(n_hosts=50, drain_model="fixed")
+    cells = [
+        (
+            f"{knob}={value}/{scheme}",
+            base.with_overrides(**{knob: value, "scheme": scheme}),
+        )
+        for value in values
+        for scheme in schemes
+    ]
+    executor = SweepExecutor(
+        processes=processes, checkpoint=checkpoint_dir, progress=progress
+    )
+    outcome = executor.run(
+        cells, trials, root_seed=root_seed, parallel=parallel
+    )
     series: dict[str, list[SeriesSummary]] = {s: [] for s in schemes}
     for value in values:
         for scheme in schemes:
-            cfg = base.with_overrides(**{knob: value, "scheme": scheme})
-            metrics = run_trials(
-                cfg, trials, root_seed=root_seed, parallel=parallel
-            )
+            metrics = outcome.cell(f"{knob}={value}/{scheme}")
             series[scheme].append(
                 summarize([float(m.lifespan) for m in metrics])
             )

@@ -62,6 +62,15 @@ def build_parser() -> argparse.ArgumentParser:
     l.add_argument("--trials", type=int, default=8)
     l.add_argument("--seed", type=int, default=2001)
     l.add_argument(
+        "--processes", type=int, default=None,
+        help="pool size for the trial fan-out (default: cpu count)",
+    )
+    l.add_argument(
+        "--resume", default=None, metavar="DIR",
+        help="checkpoint directory: completed (scheme, trial) shards are "
+        "saved there and a re-run resumes from them bit-identically",
+    )
+    l.add_argument(
         "--scratch", action="store_true",
         help="recompute the CDS from scratch each interval instead of the "
         "incremental delta pipeline (results are bit-identical)",
@@ -83,6 +92,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="drain-model reading for figures 11-13 (see EXPERIMENTS.md)",
     )
     f.add_argument("--seed", type=int, default=2001)
+    f.add_argument(
+        "--processes", type=int, default=None,
+        help="pool size for the shard fan-out (default: cpu count)",
+    )
+    f.add_argument(
+        "--resume", default=None, metavar="DIR",
+        help="checkpoint directory: a killed figure run resumes from its "
+        "completed (N, scheme, trial) shards bit-identically",
+    )
 
     sub.add_parser("example", help="the paper's §3.3 worked example")
 
@@ -143,6 +161,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", default=None, metavar="FILE",
         help="write the JSON-lines span/counter event trace to FILE",
     )
+    pr.add_argument(
+        "--trials", type=int, default=1,
+        help="with >1: profile full lifespan trials through the sharded "
+        "executor instead of one in-process interval loop (worker-side "
+        "counters are merged back, so the totals match a serial run)",
+    )
+    pr.add_argument(
+        "--processes", type=int, default=None,
+        help="pool size for --trials > 1 (default: cpu count)",
+    )
     pr.add_argument("--seed", type=int, default=2001)
 
     s = sub.add_parser("sweep", help="lifespan sensitivity to one config knob")
@@ -157,6 +185,15 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--drain", default="fixed")
     s.add_argument("--trials", type=int, default=6)
     s.add_argument("--seed", type=int, default=2001)
+    s.add_argument(
+        "--processes", type=int, default=None,
+        help="pool size for the shard fan-out (default: cpu count)",
+    )
+    s.add_argument(
+        "--resume", default=None, metavar="DIR",
+        help="checkpoint directory: a killed sweep resumes from its "
+        "completed (value, scheme, trial) shards bit-identically",
+    )
     return p
 
 
@@ -187,17 +224,31 @@ def _cmd_cds(args) -> int:
 
 
 def _cmd_lifespan(args) -> int:
+    from repro.exec import SweepExecutor, progress_printer
+
     schemes = list(PAPER_SERIES_ORDER) if args.scheme == "all" else [args.scheme]
+    cells = [
+        (
+            scheme,
+            SimulationConfig(
+                n_hosts=args.hosts,
+                scheme=scheme,
+                drain_model=args.drain,
+                incremental=not args.scratch,
+                shadow_check=args.shadow_check,
+            ),
+        )
+        for scheme in schemes
+    ]
+    executor = SweepExecutor(
+        processes=args.processes,
+        checkpoint=args.resume,
+        progress=progress_printer(),
+    )
+    outcome = executor.run(cells, args.trials, root_seed=args.seed)
     rows = []
     for scheme in schemes:
-        cfg = SimulationConfig(
-            n_hosts=args.hosts,
-            scheme=scheme,
-            drain_model=args.drain,
-            incremental=not args.scratch,
-            shadow_check=args.shadow_check,
-        )
-        metrics = run_trials(cfg, args.trials, root_seed=args.seed)
+        metrics = outcome.cell(scheme)
         life = summarize([m.lifespan for m in metrics])
         size = summarize([m.mean_cds_size for m in metrics])
         rows.append([scheme.upper(), life.mean, life.sem, size.mean])
@@ -215,18 +266,24 @@ def _cmd_lifespan(args) -> int:
 
 
 def _cmd_figure(args) -> int:
+    from repro.exec import progress_printer
+
     sweep = tuple(int(x) for x in args.sweep.split(","))
+    common = dict(
+        n_values=sweep,
+        trials=args.trials,
+        root_seed=args.seed,
+        processes=args.processes,
+        checkpoint_dir=args.resume,
+        progress=progress_printer(),
+    )
     if args.number == 10:
-        result = run_figure10(
-            n_values=sweep, trials=args.trials, root_seed=args.seed
-        )
+        result = run_figure10(**common)
     else:
         literal = {11: "constant", 12: "linear", 13: "quadratic"}
         per_gw = {11: "fixed", 12: "pg-linear", 13: "pg-quadratic"}
         model = (literal if args.reading == "literal" else per_gw)[args.number]
-        result = run_lifespan_figure(
-            model, n_values=sweep, trials=args.trials, root_seed=args.seed
-        )
+        result = run_lifespan_figure(model, **common)
     print(result.report())
     return 0
 
@@ -333,6 +390,29 @@ def _cmd_profile(args) -> int:
     cfg = SimulationConfig(
         n_hosts=args.hosts, scheme=args.scheme, drain_model=args.drain
     )
+    if args.trials > 1:
+        # profile the fan-out itself: trials run through the sharded
+        # executor (parallel per --processes) and every worker's counters
+        # and spans are merged back into this registry — the totals match
+        # a serial run of the same trials.
+        with obs.capture() as reg:
+            run_trials(
+                cfg, args.trials, root_seed=args.seed,
+                processes=args.processes,
+            )
+        print(
+            f"profile: N={args.hosts}, scheme {args.scheme.upper()}, "
+            f"drain '{args.drain}', {args.trials} trial(s) via the sharded "
+            f"executor (processes={args.processes or 'auto'})"
+        )
+        print()
+        print(obs.render_profile(reg))
+        if args.trace is not None:
+            print(
+                "note: --trace covers the in-process interval mode only; "
+                "worker-side snapshots do not carry trace events"
+            )
+        return 0
     with obs.capture(trace=args.trace is not None) as reg:
         sim = LifespanSimulator(cfg, rng=args.seed)
         intervals = 0
@@ -382,13 +462,15 @@ def _cmd_report(args) -> int:
 
 def _cmd_sweep(args) -> int:
     from repro.analysis.sweeps import sweep_parameter
+    from repro.exec import progress_printer
 
     caster = int if args.knob == "n_hosts" else float
     values = tuple(caster(x) for x in args.values.split(","))
     base = SimulationConfig(n_hosts=args.hosts, drain_model=args.drain)
     result = sweep_parameter(
         args.knob, values, base=base, trials=args.trials,
-        root_seed=args.seed,
+        root_seed=args.seed, processes=args.processes,
+        checkpoint_dir=args.resume, progress=progress_printer(),
     )
     print(result.to_table())
     return 0

@@ -20,6 +20,8 @@ __all__ = [
     "RoutingError",
     "EnergyError",
     "SimulationError",
+    "TrialExecutionError",
+    "CheckpointError",
 ]
 
 
@@ -93,3 +95,44 @@ class EnergyError(ReproError, ValueError):
 
 class SimulationError(ReproError, RuntimeError):
     """The simulation engine could not make progress."""
+
+
+class TrialExecutionError(SimulationError):
+    """A fan-out trial failed after exhausting its retry budget.
+
+    Carries enough to re-run the exact failing trial in isolation:
+    ``generator_for_trial(root_seed, trial)`` rebuilds its stream.  Shards
+    that completed before the failure survive in the checkpoint (when one
+    was configured), so a fixed re-run resumes instead of starting over.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        cell: str,
+        trial: int,
+        root_seed: int | None,
+        attempts: int,
+        cause: str | None = None,
+    ) -> None:
+        detail = (
+            f"{message} [cell={cell!r}, trial={trial}, root_seed={root_seed}, "
+            f"attempts={attempts}]"
+        )
+        if cause:
+            detail += f": {cause}"
+        super().__init__(detail)
+        self.cell = cell
+        self.trial = trial
+        self.root_seed = root_seed
+        self.attempts = attempts
+        self.cause = cause
+
+
+class CheckpointError(ReproError, RuntimeError):
+    """A sweep checkpoint directory is unusable or does not match the sweep.
+
+    Raised when resuming against a manifest written by a different
+    (cells, root_seed) sweep — silently mixing shards from two sweeps
+    would corrupt both."""

@@ -1,0 +1,41 @@
+"""``repro.exec`` — the resilient sharded experiment executor.
+
+The paper's quantitative claims are means over many independent trials per
+(N, scheme, drain-model) cell; this package is the machinery that runs
+those campaigns at scale without losing work or data:
+
+* :class:`SweepExecutor` — streams (cell × trial) shards through one
+  persistent process pool, checkpoints each completed shard, retries
+  crashed shards on the same seed, and merges worker-side observability
+  into the parent (see :mod:`repro.exec.executor`);
+* :class:`CheckpointStore` — the append-only JSONL shard log + manifest a
+  killed sweep resumes from, bit-identically
+  (:mod:`repro.exec.checkpoint`);
+* :func:`config_fingerprint` / :class:`ShardSpec` — shard identity
+  (:mod:`repro.exec.shards`).
+
+:func:`repro.simulation.runner.run_trials` is the single-cell facade over
+this; :mod:`repro.analysis.experiments` and :mod:`repro.analysis.sweeps`
+drive whole figures through it as one sweep.
+"""
+
+from repro.exec.checkpoint import CheckpointStore, sweep_fingerprint
+from repro.exec.executor import (
+    SweepExecutor,
+    SweepOutcome,
+    SweepProgress,
+    progress_printer,
+)
+from repro.exec.shards import ShardSpec, config_fingerprint, shard_key
+
+__all__ = [
+    "CheckpointStore",
+    "ShardSpec",
+    "SweepExecutor",
+    "SweepOutcome",
+    "SweepProgress",
+    "config_fingerprint",
+    "progress_printer",
+    "shard_key",
+    "sweep_fingerprint",
+]

@@ -1,0 +1,167 @@
+"""Crash-safe sweep checkpoints: a manifest plus an append-only shard log.
+
+Layout of a checkpoint directory::
+
+    manifest.json   # identity of the sweep this directory belongs to
+    shards.jsonl    # one completed shard per line, append-only
+
+``shards.jsonl`` is the source of truth.  Each line is a self-contained
+JSON object::
+
+    {"k": "<config fp>:<root seed>:<trial>",   # shard key (identity)
+     "cell": "...", "trial": 3,                 # display/grouping info
+     "attempts": 1, "dur_s": 0.12,
+     "metrics": {...},                          # TrialMetrics.to_dict()
+     "obs": {...} | null}                       # Registry.snapshot() or null
+
+Appends are flushed per record, so a ``SIGKILL`` can lose at most the line
+being written; :meth:`CheckpointStore.load` tolerates one torn trailing
+line (and only a trailing one — a corrupt line *followed by* valid records
+means the file was edited, not torn, and raises).  Duplicate keys are
+legal — later lines win — which lets a retried/raced shard simply append
+again instead of rewriting the log.
+
+The manifest pins the sweep identity: the set of cell config fingerprints
+and the root seed.  Resuming against a manifest from a *different* sweep
+raises :class:`~repro.errors.CheckpointError` instead of silently mixing
+two experiments' shards.  (Trial count is *not* part of the identity:
+shards are keyed per trial, so re-running with more trials reuses every
+shard the smaller sweep completed.)
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from repro.errors import CheckpointError
+
+__all__ = ["CheckpointStore", "sweep_fingerprint"]
+
+_MANIFEST = "manifest.json"
+_SHARDS = "shards.jsonl"
+_VERSION = 1
+
+
+def sweep_fingerprint(
+    cell_fingerprints: Iterable[str], root_seed: int | None
+) -> str:
+    """Identity of a whole sweep: its cell configs + root seed.
+
+    Cell fingerprints are sorted first — the same set of cells submitted in
+    a different order is the same sweep.
+    """
+    doc = json.dumps(
+        {"cells": sorted(cell_fingerprints), "root_seed": root_seed},
+        sort_keys=True,
+    )
+    return hashlib.sha256(doc.encode("utf-8")).hexdigest()[:16]
+
+
+class CheckpointStore:
+    """One sweep's checkpoint directory (created on first use)."""
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        self._shard_path = self.directory / _SHARDS
+        self._fh = None  # lazily opened append handle
+
+    # -- manifest ------------------------------------------------------------
+
+    def bind(
+        self,
+        *,
+        sweep_fp: str,
+        root_seed: int | None,
+        trials: int,
+        cells: Mapping[str, str],
+    ) -> bool:
+        """Attach this directory to a sweep; returns True when resuming.
+
+        First use writes the manifest; later uses verify the directory
+        belongs to the same sweep and raise :class:`CheckpointError` when
+        it does not.
+        """
+        self.directory.mkdir(parents=True, exist_ok=True)
+        manifest_path = self.directory / _MANIFEST
+        if manifest_path.exists():
+            try:
+                manifest = json.loads(manifest_path.read_text())
+            except json.JSONDecodeError as exc:
+                raise CheckpointError(
+                    f"unreadable checkpoint manifest {manifest_path}: {exc}"
+                ) from exc
+            found = manifest.get("sweep_fp")
+            if found != sweep_fp:
+                raise CheckpointError(
+                    f"checkpoint directory {self.directory} belongs to a "
+                    f"different sweep (manifest fingerprint {found!r}, this "
+                    f"sweep {sweep_fp!r}); use a fresh --resume directory "
+                    "per sweep"
+                )
+            return True
+        manifest = {
+            "version": _VERSION,
+            "sweep_fp": sweep_fp,
+            "root_seed": root_seed,
+            "trials": trials,
+            "cells": dict(cells),
+        }
+        tmp = manifest_path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(manifest, indent=1, sort_keys=True))
+        os.replace(tmp, manifest_path)
+        return False
+
+    # -- shard log -----------------------------------------------------------
+
+    def load(self) -> dict[str, dict[str, Any]]:
+        """All completed shards, keyed by shard key (later lines win)."""
+        records: dict[str, dict[str, Any]] = {}
+        if not self._shard_path.exists():
+            return records
+        torn_at: int | None = None
+        with self._shard_path.open("r", encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh, start=1):
+                if not line.strip():
+                    continue
+                try:
+                    rec = json.loads(line)
+                except json.JSONDecodeError:
+                    torn_at = lineno
+                    continue
+                if torn_at is not None:
+                    raise CheckpointError(
+                        f"corrupt shard record at {self._shard_path}:"
+                        f"{torn_at} is followed by valid records — the log "
+                        "was edited, not torn; refusing to resume from it"
+                    )
+                key = rec.get("k")
+                if isinstance(key, str) and "metrics" in rec:
+                    records[key] = rec
+        return records
+
+    def append(self, record: dict[str, Any]) -> None:
+        """Append one completed-shard record (flushed immediately)."""
+        if self._fh is None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            self._fh = self._shard_path.open("a", encoding="utf-8")
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "CheckpointStore":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __len__(self) -> int:
+        return len(self.load())

@@ -1,0 +1,60 @@
+"""Shard identity for the sweep executor.
+
+A *shard* is the executor's unit of work: one (cell, trial) pair, where a
+cell is one named :class:`SimulationConfig` of a sweep (e.g. the
+``(N, scheme)`` point of a figure).  Because every trial's random stream is
+derived in isolation — ``SeedSequence(root, spawn_key=(trial,))``, see
+:func:`repro.simulation.rng.generator_for_trial` — a shard's result is a
+pure function of ``(config, root_seed, trial)``.  That triple, with the
+config collapsed to a fingerprint, is the shard's *key*: the checkpoint
+store uses it to recognise already-completed work across process restarts,
+and the retry path uses it to re-run a crashed shard on the same seed.
+
+Cell *names* are display/grouping labels only; identity never depends on
+them, so renaming a cell (or permuting submission order) cannot invalidate
+a checkpoint.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+
+from repro.simulation.config import SimulationConfig
+
+__all__ = ["config_fingerprint", "shard_key", "ShardSpec"]
+
+
+def config_fingerprint(config: SimulationConfig) -> str:
+    """Stable short hex digest of every field of ``config``.
+
+    Field order is canonicalised by sorting keys, so the fingerprint is a
+    function of the config's *values*, not of dataclass declaration order;
+    adding a field to :class:`SimulationConfig` deliberately changes every
+    fingerprint (old checkpoints no longer attest to the same simulation).
+    """
+    doc = json.dumps(asdict(config), sort_keys=True, default=repr)
+    return hashlib.sha256(doc.encode("utf-8")).hexdigest()[:16]
+
+
+def shard_key(fingerprint: str, root_seed: int | None, trial: int) -> str:
+    """The checkpoint key of one shard: ``<config fp>:<root seed>:<trial>``."""
+    seed = "none" if root_seed is None else str(root_seed)
+    return f"{fingerprint}:{seed}:{trial}"
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One schedulable unit: trial ``trial`` of cell ``cell``."""
+
+    cell: str
+    config: SimulationConfig
+    root_seed: int | None
+    trial: int
+    #: cached config fingerprint (cells share it across their trials).
+    fingerprint: str
+
+    @property
+    def key(self) -> str:
+        return shard_key(self.fingerprint, self.root_seed, self.trial)

@@ -33,6 +33,7 @@ from repro.obs.registry import (
     enable,
     enabled,
     get_registry,
+    isolated_capture,
     reset,
     span,
     timed,
@@ -49,6 +50,7 @@ __all__ = [
     "enable",
     "enabled",
     "get_registry",
+    "isolated_capture",
     "reset",
     "span",
     "timed",

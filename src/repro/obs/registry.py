@@ -47,6 +47,7 @@ __all__ = [
     "add",
     "timed",
     "capture",
+    "isolated_capture",
     "current_path",
 ]
 
@@ -347,3 +348,43 @@ def capture(*, trace: bool = False) -> Iterator[Registry]:
         _trace_requested = prev_trace
         if _registries.get(os.getpid()) is reg:
             reset()
+
+
+@contextmanager
+def isolated_capture() -> Iterator[Registry]:
+    """Enable instrumentation on a fresh registry, then put everything back.
+
+    The sharded executor runs every trial under one of these so a shard's
+    counters/spans can be :meth:`Registry.snapshot`-ed and merged into the
+    parent regardless of where the shard ran (pool worker, or in-process on
+    the serial path).  It differs from :func:`capture` in two ways that
+    matter there:
+
+    * it restores the *previous registry object* on exit (``capture``
+      resets to a brand-new one, which would discard an enclosing
+      ``capture`` block's data on the serial path), so it nests; and
+    * it swaps in an empty span stack, so span paths recorded inside are
+      identical whether or not the caller holds spans open — a trial
+      measured serially and one measured in a worker produce the same
+      snapshot.
+
+    No trace buffer is created: snapshots do not carry trace events across
+    the pool boundary.
+    """
+    global _enabled
+    pid = os.getpid()
+    prev_reg = _registries.get(pid)
+    prev_enabled = _enabled
+    prev_stack = getattr(_tls, "stack", None)
+    _tls.stack = []
+    reg = _registries[pid] = Registry()
+    _enabled = True
+    try:
+        yield reg
+    finally:
+        _enabled = prev_enabled
+        if prev_reg is not None:
+            _registries[pid] = prev_reg
+        elif _registries.get(pid) is reg:
+            del _registries[pid]
+        _tls.stack = prev_stack if prev_stack is not None else []

@@ -11,7 +11,7 @@ plain frozen dataclasses so they serialize trivially
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Any, Sequence
 
 import numpy as np
 
@@ -19,6 +19,17 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.outcome import FaultOutcome
 
 __all__ = ["IntervalMetrics", "TrialMetrics", "FaultSummary"]
+
+
+def _py(value):
+    """NumPy scalar -> the equivalent Python scalar (identity otherwise).
+
+    Checkpoint records go through JSON; ``json.dumps`` rejects NumPy
+    scalars, and exact resume requires the round trip to be lossless.
+    ``repr(float)`` is shortest-round-trip in CPython, so float fields
+    survive JSON bit-identically once they are plain ``float``.
+    """
+    return value.item() if isinstance(value, np.generic) else value
 
 
 @dataclass(frozen=True)
@@ -32,6 +43,22 @@ class IntervalMetrics:
     topology_changed: bool
     removed_rule1: int
     removed_rule2: int
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe plain dict (see :meth:`TrialMetrics.to_dict`)."""
+        return {
+            "interval": int(self.interval),
+            "cds_size": int(self.cds_size),
+            "gateway_drain": float(self.gateway_drain),
+            "min_energy_after": float(self.min_energy_after),
+            "topology_changed": bool(self.topology_changed),
+            "removed_rule1": int(self.removed_rule1),
+            "removed_rule2": int(self.removed_rule2),
+        }
+
+    @staticmethod
+    def from_dict(d: dict[str, Any]) -> "IntervalMetrics":
+        return IntervalMetrics(**d)
 
 
 @dataclass(frozen=True)
@@ -55,6 +82,45 @@ class TrialMetrics:
     #: per-host fraction of intervals served as gateway.
     gateway_duty: tuple[float, ...] = field(default=(), repr=False)
     intervals: tuple[IntervalMetrics, ...] = field(default=(), repr=False)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe plain dict; :meth:`from_dict` inverts it exactly.
+
+        The sharded executor checkpoints every completed trial as one JSON
+        line, so the round trip must be lossless: NumPy scalars are coerced
+        to Python scalars (whose JSON text round-trips bit-identically) and
+        tuples come back as tuples on the way in.
+        """
+        return {
+            "lifespan": int(self.lifespan),
+            "mean_cds_size": float(self.mean_cds_size),
+            "first_dead_host": _py(self.first_dead_host),
+            "total_gateway_drain": float(self.total_gateway_drain),
+            "total_non_gateway_drain": float(self.total_non_gateway_drain),
+            "frozen_intervals": int(self.frozen_intervals),
+            "energy_std_at_death": float(self.energy_std_at_death),
+            "gateway_duty_jain": float(self.gateway_duty_jain),
+            "gateway_duty": [float(f) for f in self.gateway_duty],
+            "intervals": [iv.to_dict() for iv in self.intervals],
+        }
+
+    @staticmethod
+    def from_dict(d: dict[str, Any]) -> "TrialMetrics":
+        first_dead = d.get("first_dead_host")
+        return TrialMetrics(
+            lifespan=int(d["lifespan"]),
+            mean_cds_size=float(d["mean_cds_size"]),
+            first_dead_host=None if first_dead is None else int(first_dead),
+            total_gateway_drain=float(d["total_gateway_drain"]),
+            total_non_gateway_drain=float(d["total_non_gateway_drain"]),
+            frozen_intervals=int(d["frozen_intervals"]),
+            energy_std_at_death=float(d["energy_std_at_death"]),
+            gateway_duty_jain=float(d["gateway_duty_jain"]),
+            gateway_duty=tuple(float(f) for f in d.get("gateway_duty", ())),
+            intervals=tuple(
+                IntervalMetrics.from_dict(iv) for iv in d.get("intervals", ())
+            ),
+        )
 
     @staticmethod
     def summarize(

@@ -1,0 +1,159 @@
+"""Unit tests for the checkpoint store and shard identity."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import CheckpointError
+from repro.exec.checkpoint import CheckpointStore, sweep_fingerprint
+from repro.exec.shards import ShardSpec, config_fingerprint, shard_key
+from repro.simulation.config import SimulationConfig
+from repro.simulation.metrics import IntervalMetrics, TrialMetrics
+
+
+def _metrics(**overrides) -> TrialMetrics:
+    base = dict(
+        lifespan=37,
+        mean_cds_size=9.123456789012345,
+        first_dead_host=np.int64(4),  # numpy scalars must be coerced
+        total_gateway_drain=np.float64(123.45600000000013),
+        total_non_gateway_drain=456.1,
+        frozen_intervals=2,
+        energy_std_at_death=0.1 + 0.2,  # classic non-representable sum
+        gateway_duty_jain=0.87,
+        gateway_duty=(0.25, 0.5, 1 / 3),
+        intervals=(
+            IntervalMetrics(1, 5, 2.5, 97.5, True, 1, 2),
+            IntervalMetrics(2, 6, 2.0, 95.0, False, 0, 1),
+        ),
+    )
+    base.update(overrides)
+    return TrialMetrics(**base)
+
+
+class TestMetricsRoundtrip:
+    def test_json_roundtrip_is_exact(self):
+        m = _metrics()
+        doc = json.dumps(m.to_dict())
+        back = TrialMetrics.from_dict(json.loads(doc))
+        assert back == m
+        # strict types, not just equal values
+        assert isinstance(back.first_dead_host, int)
+        assert isinstance(back.gateway_duty, tuple)
+        assert isinstance(back.intervals[0], IntervalMetrics)
+
+    def test_none_first_dead_host(self):
+        m = _metrics(first_dead_host=None)
+        back = TrialMetrics.from_dict(json.loads(json.dumps(m.to_dict())))
+        assert back.first_dead_host is None
+
+    def test_empty_optionals(self):
+        m = _metrics(gateway_duty=(), intervals=())
+        back = TrialMetrics.from_dict(json.loads(json.dumps(m.to_dict())))
+        assert back == m
+
+
+class TestShardIdentity:
+    def test_fingerprint_stable_and_value_sensitive(self):
+        a = SimulationConfig(n_hosts=20, scheme="id")
+        b = SimulationConfig(n_hosts=20, scheme="id")
+        c = SimulationConfig(n_hosts=21, scheme="id")
+        assert config_fingerprint(a) == config_fingerprint(b)
+        assert config_fingerprint(a) != config_fingerprint(c)
+
+    def test_shard_key_includes_seed_and_trial(self):
+        fp = config_fingerprint(SimulationConfig(n_hosts=10))
+        assert shard_key(fp, 7, 3) != shard_key(fp, 7, 4)
+        assert shard_key(fp, 7, 3) != shard_key(fp, 8, 3)
+        assert shard_key(fp, None, 3).split(":")[1] == "none"
+
+    def test_spec_key_matches_helper(self):
+        cfg = SimulationConfig(n_hosts=10)
+        fp = config_fingerprint(cfg)
+        spec = ShardSpec("cell", cfg, 5, 2, fp)
+        assert spec.key == shard_key(fp, 5, 2)
+
+    def test_sweep_fingerprint_order_invariant(self):
+        assert sweep_fingerprint(["a", "b"], 1) == sweep_fingerprint(
+            ["b", "a"], 1
+        )
+        assert sweep_fingerprint(["a", "b"], 1) != sweep_fingerprint(
+            ["a", "b"], 2
+        )
+
+
+def _record(key: str, trial: int = 0) -> dict:
+    return {
+        "k": key,
+        "cell": "c",
+        "trial": trial,
+        "attempts": 1,
+        "dur_s": 0.1,
+        "metrics": _metrics().to_dict(),
+        "obs": None,
+    }
+
+
+class TestCheckpointStore:
+    def test_append_load_roundtrip(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ck")
+        store.append(_record("k1"))
+        store.append(_record("k2", trial=1))
+        store.close()
+        loaded = CheckpointStore(tmp_path / "ck").load()
+        assert set(loaded) == {"k1", "k2"}
+        assert TrialMetrics.from_dict(loaded["k1"]["metrics"]) == _metrics()
+
+    def test_duplicate_keys_later_wins(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.append(_record("k1"))
+        newer = _record("k1")
+        newer["attempts"] = 2
+        store.append(newer)
+        store.close()
+        assert CheckpointStore(tmp_path).load()["k1"]["attempts"] == 2
+
+    def test_torn_trailing_line_tolerated(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.append(_record("k1"))
+        store.close()
+        with (tmp_path / "shards.jsonl").open("a") as fh:
+            fh.write('{"k": "k2", "metrics": {"trunc')  # SIGKILL mid-write
+        loaded = CheckpointStore(tmp_path).load()
+        assert set(loaded) == {"k1"}
+
+    def test_corrupt_interior_line_raises(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.append(_record("k1"))
+        store.close()
+        path = tmp_path / "shards.jsonl"
+        good = path.read_text()
+        path.write_text("not json at all\n" + good)
+        with pytest.raises(CheckpointError, match="edited, not torn"):
+            CheckpointStore(tmp_path).load()
+
+    def test_bind_fresh_then_resume(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        resumed = store.bind(
+            sweep_fp="abc", root_seed=1, trials=4, cells={"c": "fp"}
+        )
+        assert resumed is False
+        again = CheckpointStore(tmp_path).bind(
+            sweep_fp="abc", root_seed=1, trials=4, cells={"c": "fp"}
+        )
+        assert again is True
+
+    def test_bind_rejects_foreign_sweep(self, tmp_path):
+        CheckpointStore(tmp_path).bind(
+            sweep_fp="abc", root_seed=1, trials=4, cells={"c": "fp"}
+        )
+        with pytest.raises(CheckpointError, match="different sweep"):
+            CheckpointStore(tmp_path).bind(
+                sweep_fp="zzz", root_seed=1, trials=4, cells={"c": "fp"}
+            )
+
+    def test_load_of_missing_store_is_empty(self, tmp_path):
+        assert CheckpointStore(tmp_path / "nope").load() == {}

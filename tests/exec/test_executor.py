@@ -1,0 +1,210 @@
+"""Sweep-executor tests: determinism, resume, retries, obs capture.
+
+The acceptance bar from the executor's design: results are bit-identical
+across process counts, shard submission order, and kill/resume — and
+parallel runs lose no observability relative to serial ones.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.errors import ConfigurationError, TrialExecutionError
+from repro.exec.checkpoint import CheckpointStore
+from repro.exec.executor import SweepExecutor, SweepProgress
+from repro.simulation.config import SimulationConfig
+from repro.simulation.runner import run_trials
+
+CFG = SimulationConfig(n_hosts=8, scheme="id", drain_model="linear")
+CELLS = [
+    ("id", CFG),
+    ("nd", SimulationConfig(n_hosts=8, scheme="nd", drain_model="linear")),
+]
+
+
+def _run(executor: SweepExecutor, trials: int = 3, **kwargs):
+    return executor.run(CELLS, trials, root_seed=11, **kwargs)
+
+
+class TestDeterminism:
+    def test_parallel_equals_serial_bitwise(self):
+        serial = _run(SweepExecutor(processes=1))
+        parallel = _run(SweepExecutor(processes=4))
+        assert serial.cells == parallel.cells
+
+    def test_shuffle_order_is_irrelevant(self):
+        a = _run(SweepExecutor(processes=2), shuffle_seed=1)
+        b = _run(SweepExecutor(processes=2), shuffle_seed=99)
+        c = _run(SweepExecutor(processes=2))
+        assert a.cells == b.cells == c.cells
+
+    def test_cells_are_trial_ordered(self):
+        out = _run(SweepExecutor(processes=2), trials=4)
+        assert len(out.cell("id")) == 4
+        assert out.cell("id") == run_trials(
+            CFG, 4, root_seed=11, parallel=False
+        )
+
+
+class TestValidation:
+    def test_duplicate_cell_names_rejected(self):
+        with pytest.raises(ConfigurationError, match="duplicate cell"):
+            SweepExecutor(processes=1).run(
+                [("a", CFG), ("a", CFG)], 2, root_seed=1
+            )
+
+    def test_bad_start_method_rejected(self):
+        with pytest.raises(ConfigurationError, match="start method"):
+            SweepExecutor(start_method="teleport")
+
+    def test_bad_trials_rejected(self):
+        with pytest.raises(ConfigurationError, match="trials"):
+            SweepExecutor(processes=1).run(CELLS, 0, root_seed=1)
+
+
+class TestCheckpointResume:
+    def test_resume_after_partial_checkpoint_is_bit_identical(self, tmp_path):
+        full = _run(SweepExecutor(processes=2))
+        ck = tmp_path / "ck"
+        _run(SweepExecutor(processes=2, checkpoint=ck))
+        # simulate a kill after 2 completed shards
+        shard_file = ck / "shards.jsonl"
+        lines = shard_file.read_text().splitlines(keepends=True)
+        assert len(lines) == 6
+        shard_file.write_text("".join(lines[:2]))
+        resumed = _run(SweepExecutor(processes=2, checkpoint=ck))
+        assert resumed.cells == full.cells
+        assert resumed.restored == 2
+        assert resumed.executed == 4
+
+    def test_resume_tolerates_torn_final_line(self, tmp_path):
+        full = _run(SweepExecutor(processes=1))
+        ck = tmp_path / "ck"
+        _run(SweepExecutor(processes=1, checkpoint=ck))
+        shard_file = ck / "shards.jsonl"
+        lines = shard_file.read_text().splitlines(keepends=True)
+        shard_file.write_text("".join(lines[:3]) + lines[3][: len(lines[3]) // 2])
+        resumed = _run(SweepExecutor(processes=1, checkpoint=ck))
+        assert resumed.cells == full.cells
+        assert resumed.restored == 3
+
+    def test_growing_trial_count_reuses_shards(self, tmp_path):
+        ck = tmp_path / "ck"
+        _run(SweepExecutor(processes=1, checkpoint=ck), trials=2)
+        bigger = _run(SweepExecutor(processes=1, checkpoint=ck), trials=5)
+        assert bigger.restored == 2 * len(CELLS)
+        assert bigger.cells == _run(SweepExecutor(processes=1), trials=5).cells
+
+    def test_completed_run_restores_everything(self, tmp_path):
+        ck = tmp_path / "ck"
+        first = _run(SweepExecutor(processes=2, checkpoint=ck))
+        again = _run(SweepExecutor(processes=2, checkpoint=ck))
+        assert again.cells == first.cells
+        assert again.executed == 0
+        assert again.restored == 6
+
+
+class TestRetries:
+    def test_transient_failure_heals_on_same_seed(self, monkeypatch):
+        clean = _run(SweepExecutor(processes=2))
+        monkeypatch.setenv("REPRO_EXEC_FAULT", "raise:1:1")
+        healed = _run(SweepExecutor(processes=2))
+        assert healed.cells == clean.cells
+        assert healed.retried >= 1
+
+    def test_serial_path_retries_too(self, monkeypatch):
+        clean = _run(SweepExecutor(processes=1))
+        monkeypatch.setenv("REPRO_EXEC_FAULT", "raise:0:2")
+        healed = _run(SweepExecutor(processes=1, max_retries=2))
+        assert healed.cells == clean.cells
+
+    def test_exhausted_budget_carries_attribution(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXEC_FAULT", "raise:1:99")
+        with pytest.raises(TrialExecutionError) as err:
+            _run(SweepExecutor(processes=2, max_retries=1))
+        assert err.value.trial == 1
+        assert err.value.root_seed == 11
+        assert err.value.attempts == 2
+        assert "injected fault" in str(err.value)
+
+    def test_completed_shards_survive_a_terminal_failure(
+        self, monkeypatch, tmp_path
+    ):
+        ck = tmp_path / "ck"
+        monkeypatch.setenv("REPRO_EXEC_FAULT", "raise:2:99")
+        with pytest.raises(TrialExecutionError):
+            _run(SweepExecutor(processes=2, max_retries=0, checkpoint=ck))
+        # every trial != 2 of both cells completed and was checkpointed
+        saved = CheckpointStore(ck).load()
+        assert len(saved) == 4
+        monkeypatch.delenv("REPRO_EXEC_FAULT")
+        resumed = _run(SweepExecutor(processes=2, checkpoint=ck))
+        assert resumed.restored == 4
+        assert resumed.cells == _run(SweepExecutor(processes=2)).cells
+
+    def test_hard_worker_crash_recovers_via_timeout(self, monkeypatch):
+        clean = _run(SweepExecutor(processes=2))
+        monkeypatch.setenv("REPRO_EXEC_FAULT", "exit:2:1")
+        healed = _run(SweepExecutor(processes=2, timeout_s=3.0))
+        assert healed.cells == clean.cells
+
+
+class TestObsCapture:
+    def test_parallel_capture_equals_serial_capture(self):
+        """Regression: worker-side obs used to be silently dropped."""
+        with obs.capture() as serial_reg:
+            _run(SweepExecutor(processes=1))
+        with obs.capture() as parallel_reg:
+            _run(SweepExecutor(processes=3))
+        assert serial_reg.counters != {}
+        assert serial_reg.counters == parallel_reg.counters
+        assert set(serial_reg.spans) == set(parallel_reg.spans)
+        for path, stats in serial_reg.spans.items():
+            other = parallel_reg.spans[path]
+            assert stats.count == other.count
+            assert stats.counters == other.counters
+
+    def test_resume_restores_checkpointed_obs(self, tmp_path):
+        with obs.capture() as uninterrupted:
+            _run(SweepExecutor(processes=2))
+        ck = tmp_path / "ck"
+        with obs.capture():
+            _run(SweepExecutor(processes=2, checkpoint=ck))
+        shard_file = ck / "shards.jsonl"
+        lines = shard_file.read_text().splitlines(keepends=True)
+        shard_file.write_text("".join(lines[:3]))
+        with obs.capture() as resumed:
+            _run(SweepExecutor(processes=2, checkpoint=ck))
+        assert resumed.counters == uninterrupted.counters
+
+    def test_capture_off_ships_no_snapshots(self):
+        out = _run(SweepExecutor(processes=1, capture_obs=False))
+        assert out.total_shards == 6
+        assert obs.get_registry().counters == {}
+
+
+class TestStartMethods:
+    def test_spawn_smoke(self):
+        """spawn workers build their own state instead of inheriting it."""
+        spawn = SweepExecutor(processes=2, start_method="spawn").run(
+            [("id", CFG)], 2, root_seed=11
+        )
+        serial = SweepExecutor(processes=1).run([("id", CFG)], 2, root_seed=11)
+        assert spawn.cells == serial.cells
+
+
+class TestProgress:
+    def test_progress_ticks_cover_all_shards(self):
+        events: list[SweepProgress] = []
+        _run(SweepExecutor(processes=2, progress=events.append))
+        assert events[-1].done == events[-1].total == 6
+        assert {e.source for e in events} == {"run"}
+
+    def test_progress_reports_restores(self, tmp_path):
+        ck = tmp_path / "ck"
+        _run(SweepExecutor(processes=1, checkpoint=ck))
+        events: list[SweepProgress] = []
+        _run(SweepExecutor(processes=1, checkpoint=ck, progress=events.append))
+        assert events[0].source == "restored"
+        assert events[0].restored == 6

@@ -164,3 +164,42 @@ class TestCapture:
         assert reg.trace_events is not None
         kinds = [e["ev"] for e in reg.trace_events]
         assert kinds == ["count", "span"]
+
+
+class TestIsolatedCapture:
+    """isolated_capture: the executor's per-shard capture primitive."""
+
+    def test_restores_outer_registry_object(self):
+        with obs.capture() as outer:
+            obs.count("outer")
+            with obs.isolated_capture() as inner:
+                obs.count("inner")
+            assert obs.get_registry() is outer
+            obs.count("outer")
+        assert outer.counters == {"outer": 2}
+        assert inner.counters == {"inner": 1}
+
+    def test_restores_disabled_state(self):
+        assert not obs.enabled()
+        with obs.isolated_capture():
+            assert obs.enabled()
+        assert not obs.enabled()
+
+    def test_span_paths_ignore_enclosing_spans(self):
+        # a shard measured under an open caller span must record the same
+        # paths as one measured in a worker (where the stack is empty)
+        with obs.capture():
+            with obs.span("outer"):
+                with obs.isolated_capture() as inner:
+                    with obs.span("trial"):
+                        obs.count("c")
+                assert reg_mod.current_path() == "outer"
+        assert set(inner.spans) == {"trial"}
+        assert inner.spans["trial"].counters == {"c": 1}
+
+    def test_snapshot_merges_into_parent(self):
+        with obs.capture() as outer:
+            with obs.isolated_capture() as inner:
+                obs.count("c", 3)
+            obs.get_registry().merge(inner.snapshot())
+        assert outer.counters == {"c": 3}

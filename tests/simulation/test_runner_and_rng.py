@@ -61,3 +61,42 @@ class TestRunner:
     def test_single_trial_short_circuits_pool(self):
         out = run_trials(CFG, 1, root_seed=4, parallel=True)
         assert len(out) == 1
+
+    def test_parallel_results_fully_equal_serial(self):
+        # not just lifespans: every field of every TrialMetrics
+        serial = run_trials(CFG, 4, root_seed=9, parallel=False)
+        parallel = run_trials(CFG, 4, root_seed=9, parallel=True, processes=2)
+        assert serial == parallel
+
+    def test_explicit_spawn_start_method(self):
+        spawn = run_trials(
+            CFG, 2, root_seed=9, processes=2, start_method="spawn"
+        )
+        assert spawn == run_trials(CFG, 2, root_seed=9, parallel=False)
+
+    def test_unknown_start_method_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="start method"):
+            run_trials(CFG, 2, root_seed=9, start_method="osmosis")
+
+    def test_failed_trial_attributes_seed_and_index(self, monkeypatch):
+        from repro.errors import SimulationError, TrialExecutionError
+
+        monkeypatch.setenv("REPRO_EXEC_FAULT", "raise:2:99")
+        with pytest.raises(TrialExecutionError) as err:
+            TrialRunner(root_seed=9, processes=2, max_retries=0).run(CFG, 4)
+        assert err.value.trial == 2
+        assert err.value.root_seed == 9
+        # stays catchable as the engine's base error
+        assert isinstance(err.value, SimulationError)
+
+    def test_checkpointed_run_resumes(self, tmp_path):
+        first = run_trials(
+            CFG, 2, root_seed=9, checkpoint_dir=tmp_path, parallel=False
+        )
+        full = run_trials(
+            CFG, 5, root_seed=9, checkpoint_dir=tmp_path, parallel=False
+        )
+        assert full[:2] == first
+        assert full == run_trials(CFG, 5, root_seed=9, parallel=False)
