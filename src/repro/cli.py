@@ -11,7 +11,12 @@ Commands
               convergence + retransmission overhead;
 ``profile``   run an instrumented simulation (and optionally the
               distributed protocol engines) and print the observability
-              span tree + counters (see :mod:`repro.obs`).
+              span tree + counters (see :mod:`repro.obs`);
+``serve``     run the crash-safe multi-tenant backbone service over a
+              seeded update stream, with optional journaling (kill/
+              restart recovers bit-identically) and chaos injection;
+``serve-bench``  measure sustained service updates/sec + query latency
+              percentiles per topology size into BENCH_pipeline.json.
 
 Everything the CLI does goes through the same public API the examples
 use; it exists so the reproduction can be driven without writing Python.
@@ -172,6 +177,72 @@ def build_parser() -> argparse.ArgumentParser:
         help="pool size for --trials > 1 (default: cpu count)",
     )
     pr.add_argument("--seed", type=int, default=2001)
+
+    sv = sub.add_parser(
+        "serve",
+        help="run the crash-safe backbone service over a seeded update "
+        "stream (multi-tenant; optional journaling + chaos injection)",
+    )
+    sv.add_argument("--tenants", type=int, default=2)
+    sv.add_argument("--hosts", type=int, default=40, help="hosts per tenant")
+    sv.add_argument("--updates", type=int, default=100, help="updates per tenant")
+    sv.add_argument("--seed", type=int, default=2001)
+    sv.add_argument("--scheme", default="el2", choices=list(PAPER_SERIES_ORDER))
+    sv.add_argument("--radius", type=float, default=25.0)
+    sv.add_argument("--side", type=float, default=100.0)
+    sv.add_argument(
+        "--data-dir", default=None, metavar="DIR",
+        help="journal root: per-tenant WAL + snapshots; a killed serve "
+        "re-run with the same arguments recovers and resumes bit-identically",
+    )
+    sv.add_argument("--snapshot-every", type=int, default=25)
+    sv.add_argument(
+        "--recompute-timeout", type=float, default=None, metavar="S",
+        help="per-recompute budget; overruns degrade to the stale backbone",
+    )
+    sv.add_argument(
+        "--chaos-loss", type=float, default=0.0,
+        help="probability an update apply crashes the tenant's task",
+    )
+    sv.add_argument(
+        "--chaos-delay", type=float, default=0.0,
+        help="probability a recompute is slowed (drives the timeout path)",
+    )
+    sv.add_argument(
+        "--chaos-seed", type=int, default=None,
+        help="fault-plan seed (default: derived from --seed)",
+    )
+    sv.add_argument(
+        "--max-failures", type=int, default=5,
+        help="consecutive task failures before a tenant is quarantined",
+    )
+    sv.add_argument(
+        "--deadline", type=float, default=600.0,
+        help="overall per-tenant drive deadline in seconds",
+    )
+    sv.add_argument(
+        "--digest", action="store_true",
+        help="print one machine-readable 'digest <tenant> <sha256>' line "
+        "per tenant (what the CI chaos job compares)",
+    )
+
+    sb = sub.add_parser(
+        "serve-bench",
+        help="service throughput/latency: sustained updates/sec and query "
+        "p99 per topology size, merged into BENCH_pipeline.json",
+    )
+    sb.add_argument(
+        "--sizes", default="100,1000",
+        help="comma-separated hosts-per-tenant topology sizes",
+    )
+    sb.add_argument("--updates", type=int, default=150, help="updates per size")
+    sb.add_argument("--seed", type=int, default=2001)
+    sb.add_argument("--scheme", default="el2", choices=list(PAPER_SERIES_ORDER))
+    sb.add_argument(
+        "--output", default="benchmarks/results/BENCH_pipeline.json",
+        help="bench JSON to merge the service numbers into (under "
+        "extra.service); '-' skips writing",
+    )
 
     s = sub.add_parser("sweep", help="lifespan sensitivity to one config knob")
     s.add_argument(
@@ -460,6 +531,174 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.faults.plan import FaultPlan
+    from repro.service import ChaosSchedule, RestartPolicy, ServiceConfig
+    from repro.service.driver import drive_tenants
+    from repro.service.server import BackboneService
+
+    chaos = None
+    if args.chaos_loss > 0.0 or args.chaos_delay > 0.0:
+        chaos_seed = (
+            args.chaos_seed if args.chaos_seed is not None else args.seed + 7919
+        )
+        chaos = ChaosSchedule(
+            FaultPlan(
+                seed=chaos_seed, loss=args.chaos_loss, delay=args.chaos_delay
+            )
+        )
+    config = ServiceConfig(
+        radius=args.radius,
+        side=args.side,
+        scheme=args.scheme,
+        snapshot_every=args.snapshot_every,
+        recompute_timeout_s=args.recompute_timeout,
+        restart=RestartPolicy(
+            max_failures=args.max_failures, seed=args.seed
+        ),
+        data_dir=args.data_dir,
+    )
+
+    async def run():
+        service = BackboneService(config, chaos=chaos)
+        try:
+            return await drive_tenants(
+                service,
+                tenants=args.tenants,
+                hosts=args.hosts,
+                updates=args.updates,
+                seed=args.seed,
+                side=args.side,
+                deadline_s=args.deadline,
+            )
+        finally:
+            await service.close()
+
+    report = asyncio.run(run())
+    rows = [
+        [
+            name,
+            st["seq"],
+            st["n_nodes"],
+            st["restarts"],
+            st["failures"],
+            st["stale_publishes"],
+            "yes" if st["quarantined"] else "no",
+        ]
+        for name, st in sorted(report.stats.items())
+    ]
+    print(
+        render_table(
+            ["tenant", "seq", "hosts", "restarts", "failures", "stale", "quar"],
+            rows,
+            title=(
+                f"serve: {args.tenants} tenant(s) x {args.updates} updates, "
+                f"N={args.hosts}, scheme {args.scheme.upper()}, "
+                f"{report.elapsed_s:.2f}s"
+                + (
+                    f", chaos loss={args.chaos_loss} delay={args.chaos_delay}"
+                    if chaos is not None
+                    else ""
+                )
+            ),
+        )
+    )
+    if chaos is not None and chaos.events:
+        print(f"chaos injections: {chaos.counts()}")
+    if args.digest:
+        for name, digest in sorted(report.digests.items()):
+            print(f"digest {name} {digest}")
+    if not report.ok:
+        print(
+            "serve: FAILED — "
+            + (
+                f"quarantined: {sorted(report.quarantined)}"
+                if report.quarantined
+                else "some tenants short of the target seq"
+            )
+        )
+        return 1
+    return 0
+
+
+def _cmd_serve_bench(args) -> int:
+    import asyncio
+    import json
+    import time as _time
+    from pathlib import Path
+
+    from repro.service import ServiceConfig
+    from repro.service.driver import bench_service, scaled_side
+    from repro.service.server import BackboneService
+
+    sizes = [int(x) for x in args.sizes.split(",")]
+    results: dict[str, dict] = {}
+    rows = []
+    for hosts in sizes:
+        side = scaled_side(hosts)
+        config = ServiceConfig(
+            side=side,
+            scheme=args.scheme,
+            queue_high_water=max(256, args.updates),
+        )
+
+        async def run(hosts=hosts, side=side, config=config):
+            service = BackboneService(config)
+            try:
+                return await bench_service(
+                    service,
+                    hosts=hosts,
+                    updates=args.updates,
+                    seed=args.seed,
+                    side=side,
+                )
+            finally:
+                await service.close()
+
+        res = asyncio.run(run())
+        results[f"n{hosts}"] = res
+        rows.append(
+            [
+                hosts,
+                f"{res['updates_per_s']:.1f}",
+                f"{res['query_p50_ms']:.3f}" if res["query_p50_ms"] else "-",
+                f"{res['query_p99_ms']:.3f}" if res["query_p99_ms"] else "-",
+                res["queries"],
+                res["final_backbone"],
+            ]
+        )
+    print(
+        render_table(
+            ["hosts", "updates/s", "q p50 ms", "q p99 ms", "queries", "|G'|"],
+            rows,
+            title=(
+                f"serve-bench: {args.updates} updates/size, scheme "
+                f"{args.scheme.upper()}, seed {args.seed} "
+                f"(density-constant arena)"
+            ),
+        )
+    )
+    if args.output != "-":
+        out = Path(args.output)
+        if out.exists():
+            payload = json.loads(out.read_text(encoding="utf-8"))
+        else:
+            payload = {"schema": "repro-bench-pipeline/1", "benchmarks": []}
+        payload.setdefault("extra", {})["service"] = {
+            "created_unix": _time.time(),
+            "updates": args.updates,
+            "seed": args.seed,
+            "scheme": args.scheme,
+            "results": results,
+        }
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"merged service numbers into {out} (extra.service)")
+    return 0
+
+
 def _cmd_sweep(args) -> int:
     from repro.analysis.sweeps import sweep_parameter
     from repro.exec import progress_printer
@@ -487,6 +726,8 @@ def main(argv: list[str] | None = None) -> int:
         "directed": _cmd_directed,
         "profile": _cmd_profile,
         "report": _cmd_report,
+        "serve": _cmd_serve,
+        "serve-bench": _cmd_serve_bench,
         "sweep": _cmd_sweep,
     }[args.command]
     return handler(args)

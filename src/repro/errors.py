@@ -22,6 +22,11 @@ __all__ = [
     "SimulationError",
     "TrialExecutionError",
     "CheckpointError",
+    "ServiceError",
+    "DeadlineExceeded",
+    "ServiceOverloaded",
+    "TenantQuarantinedError",
+    "StateRecoveryError",
 ]
 
 
@@ -136,3 +141,58 @@ class CheckpointError(ReproError, RuntimeError):
     Raised when resuming against a manifest written by a different
     (cells, root_seed) sweep — silently mixing shards from two sweeps
     would corrupt both."""
+
+
+class ServiceError(ReproError, RuntimeError):
+    """Base class for backbone-maintenance service failures.
+
+    Everything :mod:`repro.service` raises on its request path derives
+    from this, so callers can separate "the service said no" from library
+    bugs with one ``except`` clause."""
+
+
+class DeadlineExceeded(ServiceError, TimeoutError):
+    """A service request missed its deadline.
+
+    Carries the tenant and the budget that was exhausted.  Queries that
+    hit this were *not* partially applied — the request path is read-only
+    until the result is ready."""
+
+    def __init__(self, message: str, *, tenant: str, deadline_s: float) -> None:
+        super().__init__(f"{message} [tenant={tenant!r}, deadline={deadline_s}s]")
+        self.tenant = tenant
+        self.deadline_s = deadline_s
+
+
+class ServiceOverloaded(ServiceError):
+    """The service shed load instead of queueing more work.
+
+    Raised by non-blocking update submission when a tenant's update queue
+    is at its high-water mark.  The client owns the retry decision; the
+    update was **not** enqueued."""
+
+    def __init__(self, message: str, *, tenant: str, queued: int) -> None:
+        super().__init__(f"{message} [tenant={tenant!r}, queued={queued}]")
+        self.tenant = tenant
+        self.queued = queued
+
+
+class TenantQuarantinedError(ServiceError):
+    """The tenant's maintenance task failed repeatedly and was quarantined.
+
+    Updates are refused; queries keep serving the last verified backbone
+    (stamped stale).  Operator action (restart / un-quarantine) required."""
+
+    def __init__(self, message: str, *, tenant: str, failures: int) -> None:
+        super().__init__(f"{message} [tenant={tenant!r}, failures={failures}]")
+        self.tenant = tenant
+        self.failures = failures
+
+
+class StateRecoveryError(ServiceError):
+    """Persistent tenant state could not be recovered.
+
+    Raised when *no* snapshot/WAL combination yields a consistent state —
+    e.g. every snapshot generation is corrupt, or the WAL references a
+    snapshot that is gone.  A torn WAL tail or a corrupt *latest* snapshot
+    alone is recoverable and does not raise."""

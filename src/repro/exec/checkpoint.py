@@ -46,6 +46,18 @@ _SHARDS = "shards.jsonl"
 _VERSION = 1
 
 
+def _fsync_dir(path: Path) -> None:
+    """Flush directory metadata so a rename/create survives power loss."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - exotic filesystems
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
 def sweep_fingerprint(
     cell_fingerprints: Iterable[str], root_seed: int | None
 ) -> str:
@@ -90,7 +102,7 @@ class CheckpointStore:
         if manifest_path.exists():
             try:
                 manifest = json.loads(manifest_path.read_text())
-            except json.JSONDecodeError as exc:
+            except (json.JSONDecodeError, UnicodeDecodeError, OSError) as exc:
                 raise CheckpointError(
                     f"unreadable checkpoint manifest {manifest_path}: {exc}"
                 ) from exc
@@ -110,9 +122,16 @@ class CheckpointStore:
             "trials": trials,
             "cells": dict(cells),
         }
+        # temp write + fsync + atomic rename + directory fsync: a crash at
+        # any instruction leaves either no manifest or a complete one,
+        # never a torn file that would poison every later resume
         tmp = manifest_path.with_suffix(".json.tmp")
-        tmp.write_text(json.dumps(manifest, indent=1, sort_keys=True))
+        with tmp.open("w", encoding="utf-8") as fh:
+            fh.write(json.dumps(manifest, indent=1, sort_keys=True))
+            fh.flush()
+            os.fsync(fh.fileno())
         os.replace(tmp, manifest_path)
+        _fsync_dir(self.directory)
         return False
 
     # -- shard log -----------------------------------------------------------

@@ -40,6 +40,7 @@ retry and crash-recovery paths stay testable without a real crash.
 
 from __future__ import annotations
 
+import hashlib
 import multiprocessing as mp
 import os
 import sys
@@ -51,6 +52,7 @@ from typing import Any, Callable, Iterator, Mapping, Sequence, TextIO
 from repro import obs
 from repro.errors import ConfigurationError, TrialExecutionError
 from repro.exec.checkpoint import CheckpointStore, sweep_fingerprint
+from repro.faults.plan import mix_u01
 from repro.exec.shards import ShardSpec, config_fingerprint
 from repro.simulation.config import SimulationConfig
 from repro.simulation.metrics import TrialMetrics
@@ -220,6 +222,15 @@ class SweepExecutor:
         their own instrumentation instead of relying on inherited state.
     max_retries:
         re-attempts per shard beyond the first, on the same seed.
+    retry_backoff_s:
+        base delay before retry ``k`` (1-based):
+        ``min(retry_backoff_max_s, retry_backoff_s * 2**(k-1))``, scaled
+        by a deterministic jitter factor in ``[0.5, 1.0)`` keyed on the
+        shard identity — a transient resource squeeze (OOM killer, disk
+        stall) gets breathing room instead of an instant hammer, and
+        replays are reproducible.  ``0`` disables the backoff entirely.
+    retry_backoff_max_s:
+        cap on the exponential growth of the retry delay.
     timeout_s:
         max seconds to wait for the *next* shard result before declaring
         the pool wedged (a hard-crashed worker never returns its task):
@@ -241,6 +252,8 @@ class SweepExecutor:
     processes: int | None = None
     start_method: str | None = None
     max_retries: int = 2
+    retry_backoff_s: float = 0.05
+    retry_backoff_max_s: float = 2.0
     timeout_s: float | None = None
     checkpoint: CheckpointStore | str | Path | None = None
     capture_obs: bool | None = None
@@ -259,6 +272,11 @@ class SweepExecutor:
         if self.max_retries < 0:
             raise ConfigurationError(
                 f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.retry_backoff_s < 0 or self.retry_backoff_max_s < 0:
+            raise ConfigurationError(
+                f"retry backoff must be >= 0, got "
+                f"[{self.retry_backoff_s}, {self.retry_backoff_max_s}]"
             )
         if self.processes is not None and self.processes < 1:
             raise ConfigurationError(
@@ -428,7 +446,27 @@ class SweepExecutor:
                 attempts=attempt + 1,
                 cause=cause,
             )
+        if obs.enabled():
+            obs.count("exec.retries")
         return attempt + 1
+
+    def _retry_delay_s(self, spec: ShardSpec, next_attempt: int) -> float:
+        """Jittered exponential backoff before retry ``next_attempt``.
+
+        The jitter factor is a pure function of (shard key, attempt), so
+        a resumed or replayed sweep waits the same spans — backoff never
+        introduces nondeterminism into anything observable.
+        """
+        if self.retry_backoff_s <= 0.0:
+            return 0.0
+        raw = min(
+            self.retry_backoff_max_s,
+            self.retry_backoff_s * 2.0 ** (next_attempt - 1),
+        )
+        key = int.from_bytes(
+            hashlib.sha256(spec.key.encode("utf-8")).digest()[:4], "little"
+        )
+        return raw * (0.5 + 0.5 * mix_u01(key, next_attempt))
 
     def _tick(
         self,
@@ -482,6 +520,12 @@ class SweepExecutor:
                     spec, attempt, reply.error or "unknown error"
                 )
                 retried += 1
+                delay = self._retry_delay_s(spec, next_attempt)
+                if delay > 0.0 and len(queue) == 0:
+                    # nothing else to interleave: wait out the backoff now.
+                    # With other shards queued, running them first IS the
+                    # backoff (the retry sits at the back of the queue).
+                    time.sleep(delay)
                 queue.append((spec, next_attempt))
         return retried
 
@@ -571,6 +615,15 @@ class SweepExecutor:
                         next_wave.append((spec, next_attempt))
                 if deferred is not None:
                     raise deferred
+                if next_wave:
+                    # one wave-level pause: retries run concurrently, so
+                    # the longest member delay is the wave's backoff
+                    delay = max(
+                        self._retry_delay_s(spec, attempt)
+                        for spec, attempt in next_wave
+                    )
+                    if delay > 0.0:
+                        time.sleep(delay)
                 wave = next_wave
         finally:
             pool.terminate()

@@ -25,13 +25,25 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 
-__all__ = ["GilbertElliott", "FaultPlan", "FaultRealization"]
+__all__ = [
+    "GilbertElliott",
+    "FaultPlan",
+    "FaultRealization",
+    "mix64",
+    "mix_u01",
+]
 
 _M64 = (1 << 64) - 1
 
 
-def _mix(*vals: int) -> int:
-    """Order-sensitive splitmix64 hash of integer coordinates."""
+def mix64(*vals: int) -> int:
+    """Order-sensitive splitmix64 hash of integer coordinates.
+
+    Public because every seeded-decision consumer in the repo (fault
+    plans, the service chaos schedule, supervision jitter) should draw
+    from the *same* mixer family: stateless in the coordinates, replayed
+    bit-identically for a fixed seed.
+    """
     x = 0x9E3779B97F4A7C15
     for v in vals:
         x = (x + (v & _M64) + 0x9E3779B97F4A7C15) & _M64
@@ -43,9 +55,14 @@ def _mix(*vals: int) -> int:
     return x
 
 
-def _u01(*vals: int) -> float:
-    """Uniform draw in [0, 1) from hashed coordinates."""
-    return _mix(*vals) / 2.0**64
+def mix_u01(*vals: int) -> float:
+    """Uniform draw in [0, 1) from hashed coordinates (see :func:`mix64`)."""
+    return mix64(*vals) / 2.0**64
+
+
+# internal aliases (historic names used throughout this module)
+_mix = mix64
+_u01 = mix_u01
 
 
 # coordinate tags keep the draw families independent

@@ -1,0 +1,59 @@
+"""CDS-as-a-service: supervised async backbone maintenance.
+
+This package turns the incremental pipeline
+(:class:`repro.core.delta.DeltaCDSPipeline`) into a long-running,
+crash-safe service: many tenant networks, each fed a stream of topology
+updates (join / leave / move / energy drain), each serving backbone and
+routing queries — with robustness as the headline contract:
+
+* :mod:`repro.service.supervisor` — restart-with-backoff supervision and
+  tenant quarantine;
+* :mod:`repro.service.server` — the asyncio service: per-request
+  deadlines, bounded retries, load shedding, graceful degradation to the
+  last *verified* backbone;
+* :mod:`repro.service.wal` — per-tenant write-ahead log + fsync'd
+  snapshots (``kill -9`` recovers a bit-identical state);
+* :mod:`repro.service.invariants` — the publish gate: domination +
+  gateway connectivity, plus a Hansen–Schmutz-style statistical alarm;
+* :mod:`repro.service.chaos` — the seeded fault harness driving all of
+  the above in tests and CI.
+"""
+
+from repro.service.chaos import ChaosSchedule, corrupt_snapshot, tear_wal_tail
+from repro.service.invariants import BackboneChecker, CheckReport
+from repro.service.server import BackboneService, BackboneView, ServiceConfig
+from repro.service.state import TenantState
+from repro.service.supervisor import RestartPolicy, Supervisor, TaskHealth
+from repro.service.updates import (
+    Drain,
+    Join,
+    Leave,
+    Move,
+    Update,
+    UpdateStream,
+    update_from_dict,
+)
+from repro.service.wal import TenantJournal
+
+__all__ = [
+    "BackboneChecker",
+    "BackboneService",
+    "BackboneView",
+    "ChaosSchedule",
+    "CheckReport",
+    "Drain",
+    "Join",
+    "Leave",
+    "Move",
+    "RestartPolicy",
+    "ServiceConfig",
+    "Supervisor",
+    "TaskHealth",
+    "TenantJournal",
+    "TenantState",
+    "Update",
+    "UpdateStream",
+    "corrupt_snapshot",
+    "tear_wal_tail",
+    "update_from_dict",
+]

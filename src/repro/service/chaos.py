@@ -1,0 +1,214 @@
+"""Chaos harness: drives :class:`BackboneService` with seeded faults.
+
+The schedule reuses the :mod:`repro.faults` machinery — a
+:class:`~repro.faults.plan.FaultPlan` supplies the seed and the fault
+rates, and every injection decision comes from the same splitmix64 mixer
+(:func:`repro.faults.plan.mix_u01`), so a chaos run is **replayable**:
+same plan, same service workload → same crashes at the same seqs.  The
+plan's knobs are re-interpreted for the service layer:
+
+* ``loss``  → probability that applying one update crashes the tenant's
+  maintenance task (split uniformly between *before* the WAL append and
+  *after* the state mutation — the two interesting crash points);
+* ``delay`` → probability that one recompute is slowed by
+  ``base_delay_s * delay_factor`` (drives the timeout/degradation path);
+* ``seed``  → the replay key.
+
+Injections are **attempt-aware**: the coordinates include a per-
+``(tenant, seq, site)`` attempt counter, so a supervised retry of the
+same update redraws instead of hitting a deterministic crash loop — the
+service provably makes progress under any ``loss < 1``.
+
+``pinned`` kills ("crash tenant T right before update k") exist for the
+bit-identical recovery tests, where the crash point must be exact, and
+fire on the first attempt only.
+
+File-level injectors :func:`corrupt_snapshot` and :func:`tear_wal_tail`
+simulate disk damage for the journal-recovery tests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import os
+from pathlib import Path
+from typing import Mapping
+
+from repro.errors import ConfigurationError
+from repro.faults.plan import FaultPlan, mix_u01
+
+__all__ = ["ChaosCrash", "ChaosSchedule", "corrupt_snapshot", "tear_wal_tail"]
+
+# coordinate tags (disjoint from repro.faults.plan's 0..5 range on purpose:
+# these draws share the seed but must not collide with radio-layer draws)
+_TAG_BEFORE, _TAG_AFTER, _TAG_SIDE, _TAG_DELAY, _TAG_SNAP = range(16, 21)
+
+
+class ChaosCrash(RuntimeError):
+    """An injected maintenance-task crash (not a real bug)."""
+
+
+def _tenant_key(name: str) -> int:
+    """Stable 32-bit coordinate for a tenant name (PYTHONHASHSEED-proof)."""
+    return int.from_bytes(
+        hashlib.sha256(name.encode("utf-8")).digest()[:4], "little"
+    )
+
+
+class ChaosSchedule:
+    """Fault-injection hooks consumed by :class:`BackboneService`.
+
+    Parameters
+    ----------
+    plan:
+        The seeded fault description (see module docstring for how its
+        fields map onto service faults).
+    pinned:
+        ``{tenant_name: seq}`` — deterministically crash that tenant
+        right before durably recording update ``seq`` (first attempt
+        only).  This is the hook the kill-recovery tests use to place a
+        crash at an exact WAL position.
+    base_delay_s:
+        Unit of injected recompute slowness; an injected delay sleeps
+        ``base_delay_s * plan.delay_factor`` seconds.
+    snapshot_corruption:
+        Probability that a freshly written snapshot is corrupted on disk
+        (exercises the checksum-fallback path in recovery).
+    """
+
+    def __init__(
+        self,
+        plan: FaultPlan | None = None,
+        *,
+        pinned: Mapping[str, int] | None = None,
+        base_delay_s: float = 0.005,
+        snapshot_corruption: float = 0.0,
+    ):
+        self.plan = plan or FaultPlan()
+        if not 0.0 <= snapshot_corruption <= 1.0:
+            raise ConfigurationError(
+                f"snapshot_corruption must be in [0, 1], got "
+                f"{snapshot_corruption}"
+            )
+        if base_delay_s < 0.0:
+            raise ConfigurationError(
+                f"base_delay_s must be >= 0, got {base_delay_s}"
+            )
+        self.pinned = dict(pinned or {})
+        self.base_delay_s = base_delay_s
+        self.snapshot_corruption = snapshot_corruption
+        self._attempts: dict[tuple[str, int, int], int] = {}
+        #: injection journal: (kind, tenant, seq) in order — tests assert
+        #: against it, and ``repro serve-bench`` reports the totals.
+        self.events: list[tuple[str, str, int]] = []
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def _attempt(self, tenant: str, seq: int, site: int) -> int:
+        key = (tenant, seq, site)
+        idx = self._attempts.get(key, 0)
+        self._attempts[key] = idx + 1
+        return idx
+
+    def counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for kind, _, _ in self.events:
+            out[kind] = out.get(kind, 0) + 1
+        return out
+
+    # -- hooks called by the service ----------------------------------------
+
+    async def before_apply(self, tenant: str, seq: int) -> None:
+        """May crash the maintenance task before the update is durable."""
+        attempt = self._attempt(tenant, seq, _TAG_BEFORE)
+        if attempt == 0 and self.pinned.get(tenant) == seq:
+            self.events.append(("pinned_crash", tenant, seq))
+            raise ChaosCrash(
+                f"pinned crash for {tenant!r} before update {seq}"
+            )
+        p = self.plan.loss
+        if p <= 0.0:
+            return
+        key = _tenant_key(tenant)
+        u = mix_u01(self.plan.seed, _TAG_BEFORE, key, seq, attempt)
+        # split the crash budget between the two sites
+        if u < p and mix_u01(self.plan.seed, _TAG_SIDE, key, seq, attempt) < 0.5:
+            self.events.append(("crash_before", tenant, seq))
+            raise ChaosCrash(
+                f"injected crash for {tenant!r} before update {seq} "
+                f"(attempt {attempt})"
+            )
+
+    async def after_apply(self, tenant: str, seq: int) -> None:
+        """May crash after the update is durable and applied in memory."""
+        attempt = self._attempt(tenant, seq, _TAG_AFTER)
+        p = self.plan.loss
+        if p <= 0.0:
+            return
+        key = _tenant_key(tenant)
+        u = mix_u01(self.plan.seed, _TAG_AFTER, key, seq, attempt)
+        if u < p and mix_u01(self.plan.seed, _TAG_SIDE, key, seq, attempt) >= 0.5:
+            self.events.append(("crash_after", tenant, seq))
+            raise ChaosCrash(
+                f"injected crash for {tenant!r} after update {seq} "
+                f"(attempt {attempt})"
+            )
+
+    def recompute_delay_s(self, tenant: str, seq: int) -> float:
+        """Injected recompute slowness (0.0 = none this time)."""
+        if self.plan.delay <= 0.0 or self.base_delay_s <= 0.0:
+            return 0.0
+        attempt = self._attempt(tenant, seq, _TAG_DELAY)
+        key = _tenant_key(tenant)
+        if mix_u01(self.plan.seed, _TAG_DELAY, key, seq, attempt) < self.plan.delay:
+            self.events.append(("slow_recompute", tenant, seq))
+            return self.base_delay_s * self.plan.delay_factor
+        return 0.0
+
+    def on_snapshot(self, tenant: str, seq: int, path: Path) -> None:
+        """May corrupt the snapshot that was just written."""
+        if self.snapshot_corruption <= 0.0:
+            return
+        key = _tenant_key(tenant)
+        if (
+            mix_u01(self.plan.seed, _TAG_SNAP, key, seq)
+            < self.snapshot_corruption
+        ):
+            self.events.append(("corrupt_snapshot", tenant, seq))
+            corrupt_snapshot(path)
+
+    # -- convenience ---------------------------------------------------------
+
+    async def sleep_jitter(self, tenant: str, seq: int) -> None:
+        """Optional inter-update pacing jitter for soak drivers."""
+        if self.base_delay_s <= 0.0:
+            return
+        u = mix_u01(self.plan.seed, _TAG_DELAY, _tenant_key(tenant), seq, 999)
+        await asyncio.sleep(self.base_delay_s * u)
+
+
+# -- file-level damage injectors ---------------------------------------------
+
+
+def corrupt_snapshot(path: str | Path, *, offset: int | None = None) -> None:
+    """Flip one byte of a snapshot file in place (checksum must catch it)."""
+    path = Path(path)
+    data = bytearray(path.read_bytes())
+    if not data:
+        return
+    at = len(data) // 2 if offset is None else min(offset, len(data) - 1)
+    data[at] ^= 0x20
+    path.write_bytes(bytes(data))
+
+
+def tear_wal_tail(path: str | Path, *, drop_bytes: int = 17) -> None:
+    """Chop the last ``drop_bytes`` bytes off a WAL — the kill -9 torn-
+    record signature recovery must tolerate (in the final generation)."""
+    path = Path(path)
+    size = path.stat().st_size
+    keep = max(0, size - max(1, drop_bytes))
+    with path.open("r+b") as fh:
+        fh.truncate(keep)
+        fh.flush()
+        os.fsync(fh.fileno())

@@ -1,0 +1,182 @@
+"""Workload drivers for the backbone service.
+
+The CLI (``repro serve`` / ``repro serve-bench``), the chaos tests, and
+the service benchmark all need the same shape of harness: seed N tenant
+networks deterministically, push each one a seeded
+:class:`~repro.service.updates.UpdateStream`, and either report health
+(serve) or measure sustained throughput and query latency (bench).
+
+Everything here is deterministic in ``(seed, tenant index, update
+index)``, which is what lets a killed-and-restarted driver resume each
+tenant at its recovered seq and land on a bit-identical final state —
+the property the ``service-chaos`` CI job asserts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.errors import TenantQuarantinedError
+from repro.faults.plan import mix64
+from repro.service.server import BackboneService
+from repro.service.updates import UpdateStream
+
+__all__ = [
+    "tenant_seed",
+    "seed_positions",
+    "scaled_side",
+    "DriveReport",
+    "drive_tenants",
+    "bench_service",
+]
+
+
+def tenant_seed(root_seed: int, index: int) -> int:
+    """Independent per-tenant stream seed (stable across restarts)."""
+    return mix64(root_seed, index) & 0x7FFFFFFF
+
+
+def seed_positions(
+    root_seed: int, index: int, hosts: int, side: float
+) -> np.ndarray:
+    """The tenant's initial placement — pure function of its identity."""
+    rng = np.random.default_rng([tenant_seed(root_seed, index), 0xB00])
+    return rng.uniform(0.0, side, size=(hosts, 2))
+
+
+def scaled_side(hosts: int, *, reference_hosts: int = 100) -> float:
+    """Arena side keeping node density constant as N grows (the paper's
+    100x100 arena holds ~100 hosts; density drives degree, and degree
+    drives every cost downstream)."""
+    return 100.0 * math.sqrt(max(hosts, 1) / reference_hosts)
+
+
+@dataclass
+class DriveReport:
+    """Outcome of driving one service to a target seq on every tenant."""
+
+    target_seq: int
+    #: tenant -> final applied seq
+    seqs: dict[str, int] = field(default_factory=dict)
+    #: tenant -> sha256 state digest at the end of the drive
+    digests: dict[str, str] = field(default_factory=dict)
+    #: tenant -> stats dict (see :meth:`BackboneService.stats`)
+    stats: dict[str, dict[str, Any]] = field(default_factory=dict)
+    quarantined: list[str] = field(default_factory=list)
+    elapsed_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.quarantined and all(
+            s == self.target_seq for s in self.seqs.values()
+        )
+
+
+async def drive_tenants(
+    service: BackboneService,
+    *,
+    tenants: int,
+    hosts: int,
+    updates: int,
+    seed: int,
+    side: float,
+    deadline_s: float = 600.0,
+) -> DriveReport:
+    """Create/recover ``tenants`` networks and push each to seq ``updates``.
+
+    Tenants that already hold journaled progress resume where they left
+    off (their update stream is skipped forward); quarantined tenants are
+    reported, not raised — the caller decides whether that fails the run.
+    """
+    report = DriveReport(target_seq=updates)
+    names = [f"t{i:03d}" for i in range(tenants)]
+    recovered: dict[str, int] = {}
+    for i, name in enumerate(names):
+        recovered[name] = await service.add_tenant(
+            name, seed_positions(seed, i, hosts, side)
+        )
+
+    async def drive(i: int, name: str) -> None:
+        stream = UpdateStream(
+            seed=tenant_seed(seed, i), n_initial=hosts, side=side
+        )
+        stream.skip(recovered[name])
+        try:
+            for upd in stream.take(max(0, updates - recovered[name])):
+                await service.submit(name, upd, deadline_s=deadline_s)
+            await service.wait_seq(name, updates, deadline_s=deadline_s)
+        except TenantQuarantinedError:
+            report.quarantined.append(name)
+
+    t0 = time.perf_counter()
+    await asyncio.gather(*(drive(i, n) for i, n in enumerate(names)))
+    report.elapsed_s = time.perf_counter() - t0
+    for name in names:
+        report.seqs[name] = service.stats(name)["seq"]
+        report.digests[name] = service.state_digest(name)
+        report.stats[name] = service.stats(name)
+    return report
+
+
+async def bench_service(
+    service: BackboneService,
+    *,
+    hosts: int,
+    updates: int,
+    seed: int,
+    side: float,
+    query_deadline_s: float = 5.0,
+) -> dict[str, Any]:
+    """Measure sustained updates/sec and query-latency percentiles.
+
+    One tenant of ``hosts`` nodes is driven through ``updates`` stream
+    updates while a concurrent querier hammers :meth:`get_backbone` —
+    queries answer from the published view, so their latency captures
+    event-loop stalls caused by recomputes (the honest p99, not an
+    idle-service fantasy).
+    """
+    await service.add_tenant(
+        "bench", seed_positions(seed, 0, hosts, side)
+    )
+    stream = UpdateStream(seed=tenant_seed(seed, 0), n_initial=hosts, side=side)
+    latencies: list[float] = []
+    done = asyncio.Event()
+
+    async def querier() -> None:
+        while not done.is_set():
+            t0 = time.perf_counter()
+            await service.get_backbone("bench", deadline_s=query_deadline_s)
+            latencies.append(time.perf_counter() - t0)
+            await asyncio.sleep(0)
+
+    qt = asyncio.create_task(querier())
+    t0 = time.perf_counter()
+    for upd in stream.take(updates):
+        await service.submit("bench", upd, deadline_s=600.0)
+    await service.wait_seq("bench", updates, deadline_s=600.0)
+    elapsed = time.perf_counter() - t0
+    done.set()
+    await qt
+
+    lat = np.asarray(latencies, dtype=np.float64)
+    stats = service.stats("bench")
+    return {
+        "hosts": hosts,
+        "side": side,
+        "updates": updates,
+        "elapsed_s": elapsed,
+        "updates_per_s": updates / elapsed if elapsed > 0 else float("inf"),
+        "queries": int(lat.size),
+        "query_p50_ms": float(np.percentile(lat, 50) * 1e3) if lat.size else None,
+        "query_p99_ms": float(np.percentile(lat, 99) * 1e3) if lat.size else None,
+        "query_max_ms": float(lat.max() * 1e3) if lat.size else None,
+        "final_backbone": len((await service.get_backbone("bench")).gateways),
+        "stale_publishes": stats["stale_publishes"],
+        "recompute_timeouts": stats["recompute_timeouts"],
+    }

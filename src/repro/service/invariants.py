@@ -1,0 +1,144 @@
+"""The publish gate: hard CDS invariants + a statistical sanity alarm.
+
+Before the service publishes a freshly recomputed backbone it must pass:
+
+**Hard invariants** (per connected component, the strongest guarantee a
+churned — possibly fragmented — topology admits):
+
+* *domination*: every node of a component with ≥ 3 hosts is a gateway or
+  adjacent to one, unless the component's marking process is empty (a
+  clique marks nobody and needs nobody — consistent with
+  :func:`repro.core.cds.compute_cds` on a clique);
+* *gateway connectivity*: the gateways inside each component induce a
+  connected subgraph.
+
+Components of 1–2 hosts need no gateway (nothing to relay).
+
+**Statistical alarm** (advisory by default): Hansen & Schmutz's
+probabilistic analysis of Rule 2 (PAPERS.md) studies the *expected* size
+of the surviving set on random geometric ensembles.  We apply the same
+idea as a runtime tripwire using the mean-field marking expectation: for
+a node of degree ``d`` in a uniform random geometric graph, each of its
+``d(d-1)/2`` neighbor pairs is itself adjacent with probability
+
+    q = 1 - 3*sqrt(3) / (4*pi)  ≈ 0.5865
+
+(the classic probability that two points uniform in a disk of radius
+``r`` around ``v`` lie within ``r`` of each other), so
+
+    P(v marked) ≈ 1 - q ** (d(d-1)/2)
+
+evaluated on the node's *actual* degree.  Gateways are a subset of the
+marked set, so a published backbone larger than the expected marked
+count plus a generous noise band means the pruning stage silently broke
+(or the topology stopped looking anything like the ensemble) — either
+way a human should look.  The alarm never *blocks* publication unless
+configured to: it is a drift detector, not an oracle, and the hard
+invariants above are what correctness rests on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.marking import marked_mask
+from repro.core.properties import is_dominating
+from repro.graphs import bitset
+from repro.graphs.neighborhoods import components, connected_within
+from repro.graphs.subgraphs import restrict_adjacency
+
+__all__ = ["CheckReport", "BackboneChecker", "expected_marked_count"]
+
+#: P(two uniform points in a radius-r disk are within r of each other).
+_Q_PAIR_ADJACENT = 1.0 - 3.0 * math.sqrt(3.0) / (4.0 * math.pi)
+
+
+def expected_marked_count(adj: Sequence[int]) -> float:
+    """Mean-field expectation of the marked-set size for this topology."""
+    total = 0.0
+    for row in adj:
+        d = bitset.popcount(row)
+        if d >= 2:
+            total += 1.0 - _Q_PAIR_ADJACENT ** (d * (d - 1) / 2.0)
+    return total
+
+
+@dataclass(frozen=True)
+class CheckReport:
+    """Outcome of one publish-gate evaluation."""
+
+    dominating: bool
+    connected: bool
+    #: statistical alarm tripped (advisory unless the service blocks on it)
+    alarm: bool
+    size: int
+    expected_marked: float
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        """Hard invariants only — the alarm is advisory."""
+        return self.dominating and self.connected
+
+
+class BackboneChecker:
+    """Validates a gateway mask against the topology it claims to serve.
+
+    ``alarm_slack`` widens the statistical band: the alarm trips when
+    ``size > expected_marked + alarm_slack * sqrt(expected_marked) + 3``
+    — a ~3-sigma-style band on the Poisson-ish marked count, offset so
+    tiny networks never alarm on ±1 noise.
+    """
+
+    def __init__(self, *, alarm_slack: float = 4.0):
+        self.alarm_slack = alarm_slack
+
+    def check(self, adj: Sequence[int], gateway_mask: int) -> CheckReport:
+        n = len(adj)
+        size = bitset.popcount(gateway_mask)
+        dominating = True
+        connected = True
+        detail = ""
+        if gateway_mask >> n:
+            return CheckReport(
+                False, False, True, size, 0.0,
+                f"mask has bits beyond n={n}",
+            )
+        for comp in components(adj):
+            if bitset.popcount(comp) <= 2:
+                if gateway_mask & comp:
+                    detail = detail or "gateway inside a <=2-host component"
+                continue
+            members = gateway_mask & comp
+            sub = restrict_adjacency(adj, comp)
+            if members == 0:
+                # legal only when the component marks nobody (clique-like)
+                if marked_mask(sub) != 0:
+                    dominating = False
+                    detail = detail or (
+                        "empty backbone for a component whose marking "
+                        "is non-empty"
+                    )
+                continue
+            if not is_dominating(
+                sub, members | (((1 << n) - 1) & ~comp)
+            ):
+                # nodes outside the component are "covered" by padding the
+                # mask with them; only this component's coverage is tested
+                dominating = False
+                detail = detail or "a host has no gateway neighbor"
+            if not connected_within(sub, members):
+                connected = False
+                detail = detail or "gateways do not induce a connected set"
+        expected = expected_marked_count(adj)
+        band = expected + self.alarm_slack * math.sqrt(max(expected, 1.0)) + 3.0
+        alarm = size > band
+        if alarm and not detail:
+            detail = (
+                f"backbone size {size} exceeds the Hansen-Schmutz-style "
+                f"expectation band ({expected:.1f} expected marked, "
+                f"band {band:.1f})"
+            )
+        return CheckReport(dominating, connected, alarm, size, expected, detail)

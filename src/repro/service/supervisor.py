@@ -1,0 +1,180 @@
+"""Restart-with-backoff supervision for per-tenant maintenance tasks.
+
+A supervised coroutine that raises is restarted after an exponential
+backoff with deterministic jitter; after ``max_failures`` *consecutive*
+failures the task is **quarantined** — no more restarts, and the owning
+service degrades that tenant to serving its last verified backbone.
+Successful progress (reported by the task via
+:meth:`Supervisor.note_progress`) resets the failure streak, so a tenant
+that hits a transient burst of faults recovers its full budget.
+
+Backoff jitter is derived from the same splitmix64 mixer the fault plans
+use (:func:`repro.faults.plan.mix_u01`), keyed on ``(seed, task, failure
+index)`` — chaos tests replay the exact same supervision timeline for a
+fixed seed, which is what makes "the service recovered" assertable
+rather than flaky.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+from dataclasses import dataclass, field
+from typing import Awaitable, Callable
+
+from repro import obs
+from repro.errors import ConfigurationError
+from repro.faults.plan import mix_u01
+
+__all__ = ["RestartPolicy", "TaskHealth", "Supervisor"]
+
+
+@dataclass(frozen=True)
+class RestartPolicy:
+    """How failures are absorbed before a task is given up on."""
+
+    #: first-restart delay; failure ``k`` (1-based) waits
+    #: ``min(max_delay_s, base_delay_s * 2**(k-1))`` scaled by jitter.
+    base_delay_s: float = 0.02
+    max_delay_s: float = 2.0
+    #: consecutive failures tolerated before quarantine.
+    max_failures: int = 5
+    #: fraction of the delay that is randomized (0 = fixed, 1 = full jitter).
+    jitter: float = 0.5
+    #: seed for the deterministic jitter stream.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.base_delay_s < 0 or self.max_delay_s < self.base_delay_s:
+            raise ConfigurationError(
+                f"need 0 <= base_delay_s <= max_delay_s, got "
+                f"[{self.base_delay_s}, {self.max_delay_s}]"
+            )
+        if self.max_failures < 1:
+            raise ConfigurationError(
+                f"max_failures must be >= 1, got {self.max_failures}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigurationError(
+                f"jitter must be in [0, 1], got {self.jitter}"
+            )
+
+    def delay_s(self, task: str, failure_idx: int) -> float:
+        """Backoff before restart ``failure_idx`` (1-based), jittered."""
+        raw = min(
+            self.max_delay_s, self.base_delay_s * 2.0 ** (failure_idx - 1)
+        )
+        if self.jitter == 0.0:
+            return raw
+        key = int.from_bytes(
+            hashlib.sha256(task.encode("utf-8")).digest()[:4], "little"
+        )
+        u = mix_u01(self.seed, key, failure_idx)
+        return raw * (1.0 - self.jitter + self.jitter * u)
+
+
+@dataclass
+class TaskHealth:
+    """Live health record of one supervised task."""
+
+    name: str
+    #: "running" | "backing_off" | "quarantined" | "stopped"
+    state: str = "running"
+    #: consecutive failures in the current streak.
+    failures: int = 0
+    #: total restarts performed over the task's lifetime.
+    restarts: int = 0
+    total_failures: int = 0
+    last_error: str | None = None
+    _streak_reset: bool = field(default=False, repr=False)
+
+
+class Supervisor:
+    """Owns a set of supervised tasks inside one event loop."""
+
+    def __init__(self, policy: RestartPolicy | None = None):
+        self.policy = policy or RestartPolicy()
+        self._health: dict[str, TaskHealth] = {}
+        self._tasks: dict[str, asyncio.Task] = {}
+        #: called with (name, health) when a task is quarantined.
+        self.on_quarantine: Callable[[str, TaskHealth], None] | None = None
+
+    def start(
+        self, name: str, factory: Callable[[], Awaitable[None]]
+    ) -> TaskHealth:
+        """Run ``factory()`` under supervision until it returns cleanly."""
+        if name in self._tasks and not self._tasks[name].done():
+            raise ConfigurationError(f"task {name!r} is already supervised")
+        health = TaskHealth(name=name)
+        self._health[name] = health
+        self._tasks[name] = asyncio.get_running_loop().create_task(
+            self._supervise(name, factory, health), name=f"supervise:{name}"
+        )
+        return health
+
+    async def _supervise(
+        self,
+        name: str,
+        factory: Callable[[], Awaitable[None]],
+        health: TaskHealth,
+    ) -> None:
+        while True:
+            health._streak_reset = False
+            try:
+                await factory()
+                health.state = "stopped"
+                return
+            except asyncio.CancelledError:
+                health.state = "stopped"
+                raise
+            except Exception as exc:  # noqa: BLE001 - supervision boundary
+                if health._streak_reset:
+                    health.failures = 0
+                health.failures += 1
+                health.total_failures += 1
+                health.last_error = f"{type(exc).__name__}: {exc}"
+                if obs.enabled():
+                    obs.count("service.task_failures")
+                if health.failures >= self.policy.max_failures:
+                    health.state = "quarantined"
+                    if obs.enabled():
+                        obs.count("service.quarantines")
+                    if self.on_quarantine is not None:
+                        self.on_quarantine(name, health)
+                    return
+                health.state = "backing_off"
+                await asyncio.sleep(self.policy.delay_s(name, health.failures))
+                health.state = "running"
+                health.restarts += 1
+                if obs.enabled():
+                    obs.count("service.restarts")
+
+    def note_progress(self, name: str) -> None:
+        """Report forward progress: resets the consecutive-failure streak.
+
+        The reset is applied lazily at the *next* failure so a task that
+        makes progress and then fails in the same incarnation still counts
+        that failure as the first of a new streak.
+        """
+        h = self._health.get(name)
+        if h is not None:
+            h._streak_reset = True
+
+    def health(self, name: str) -> TaskHealth:
+        return self._health[name]
+
+    def is_quarantined(self, name: str) -> bool:
+        h = self._health.get(name)
+        return h is not None and h.state == "quarantined"
+
+    async def stop(self) -> None:
+        """Cancel every live supervised task and wait them out."""
+        for task in self._tasks.values():
+            if not task.done():
+                task.cancel()
+        for task in self._tasks.values():
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
+        self._tasks.clear()

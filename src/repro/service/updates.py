@@ -1,0 +1,205 @@
+"""Typed topology updates and the seeded churn stream that feeds them.
+
+An update is pure data: it names an external node id and what happened to
+it.  ``to_dict``/``update_from_dict`` round-trip exactly (floats travel
+as JSON numbers, which Python serializes via ``repr`` — lossless for
+float64), which is what makes the write-ahead log replayable bit for bit.
+
+:class:`UpdateStream` generates the synthetic churn workload the CLI,
+benches, and chaos tests share.  Update ``i`` of a stream is a pure
+function of ``(seed, i)`` — the stream holds *no* RNG state between
+calls — so a service that recovered "``k`` updates applied" from its WAL
+can resume the identical stream at ``k`` and end bit-identical to an
+uninterrupted run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "Join",
+    "Leave",
+    "Move",
+    "Drain",
+    "Update",
+    "update_from_dict",
+    "UpdateStream",
+]
+
+
+@dataclass(frozen=True)
+class Join:
+    """A node appears at a position with a battery."""
+
+    node: int
+    x: float
+    y: float
+    energy: float = 100.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "op": "join", "node": self.node, "x": self.x, "y": self.y,
+            "energy": self.energy,
+        }
+
+
+@dataclass(frozen=True)
+class Leave:
+    """A node departs (switch-off, roam-away, battery death)."""
+
+    node: int
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"op": "leave", "node": self.node}
+
+
+@dataclass(frozen=True)
+class Move:
+    """A node reports a new position."""
+
+    node: int
+    x: float
+    y: float
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"op": "move", "node": self.node, "x": self.x, "y": self.y}
+
+
+@dataclass(frozen=True)
+class Drain:
+    """A node reports energy spent (relaying, sensing, ...)."""
+
+    node: int
+    amount: float
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"op": "drain", "node": self.node, "amount": self.amount}
+
+
+Update = Union[Join, Leave, Move, Drain]
+
+_OPS = {"join": Join, "leave": Leave, "move": Move, "drain": Drain}
+
+
+def update_from_dict(doc: dict[str, Any]) -> Update:
+    """Inverse of ``to_dict`` (used by WAL replay)."""
+    d = dict(doc)
+    op = d.pop("op", None)
+    cls = _OPS.get(op)
+    if cls is None:
+        raise ConfigurationError(f"unknown update op {op!r}")
+    return cls(**d)
+
+
+class UpdateStream:
+    """Deterministic churn: update ``i`` depends only on ``(seed, i)``.
+
+    The mix of operations models the paper's mobility regime plus churn:
+    mostly moves (random-waypoint-style jumps of bounded step), some
+    energy drains, and occasional join/leave pairs.  Node ids are drawn
+    from the initial population ``[0, n)`` plus ids handed out by joins;
+    the stream tracks nothing — it re-derives the live id set from the
+    prefix when it needs one, so ``at(i)`` is history-independent only in
+    *randomness*, not in semantics, and callers must apply updates in
+    order (which the service's per-tenant FIFO guarantees).
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        n_initial: int,
+        *,
+        side: float = 100.0,
+        max_step: float = 6.0,
+        p_move: float = 0.70,
+        p_drain: float = 0.20,
+        p_churn: float = 0.10,
+    ):
+        if n_initial < 1:
+            raise ConfigurationError(f"n_initial must be >= 1, got {n_initial}")
+        total = p_move + p_drain + p_churn
+        if abs(total - 1.0) > 1e-9:
+            raise ConfigurationError(
+                f"op probabilities must sum to 1, got {total}"
+            )
+        self.seed = seed
+        self.n_initial = n_initial
+        self.side = side
+        self.max_step = max_step
+        self.p_move = p_move
+        self.p_drain = p_drain
+        #: next id a join would hand out at step i is n_initial + joins(<i);
+        #: tracked incrementally by take()
+        self._next_join_id = n_initial
+        #: live ids as of the updates generated so far
+        self._live: set[int] = set(range(n_initial))
+        self._cursor = 0
+
+    def _rng(self, i: int) -> np.random.Generator:
+        return np.random.default_rng([self.seed & 0x7FFFFFFF, i])
+
+    def _gen_one(self, i: int) -> Update:
+        gen = self._rng(i)
+        u = float(gen.random())
+        live = sorted(self._live)
+        if u < self.p_move or len(live) <= 2:
+            node = int(live[int(gen.integers(len(live)))])
+            ang = float(gen.random()) * 2.0 * np.pi
+            step = float(gen.random()) * self.max_step
+            # anchor the walk on a per-(node, i) re-draw of position so the
+            # update is a pure function of (seed, i): absolute coordinates,
+            # not a delta against state the stream does not hold
+            x = float(gen.random()) * self.side
+            y = float(gen.random()) * self.side
+            return Move(
+                node,
+                min(self.side, max(0.0, x + step * np.cos(ang))),
+                min(self.side, max(0.0, y + step * np.sin(ang))),
+            )
+        if u < self.p_move + self.p_drain:
+            node = int(live[int(gen.integers(len(live)))])
+            return Drain(node, round(float(gen.random()) * 4.0 + 0.5, 6))
+        # churn: alternate join/leave by parity of a fresh draw, but never
+        # shrink below 3 live nodes (a 2-node network needs no backbone
+        # and makes the workload degenerate)
+        if float(gen.random()) < 0.5 and len(live) > 3:
+            node = int(live[int(gen.integers(len(live)))])
+            return Leave(node)
+        return Join(
+            self._next_join_id,
+            float(gen.random()) * self.side,
+            float(gen.random()) * self.side,
+            energy=round(60.0 + float(gen.random()) * 40.0, 6),
+        )
+
+    def take(self, count: int) -> list[Update]:
+        """The next ``count`` updates (advances the cursor)."""
+        out = []
+        for _ in range(count):
+            upd = self._gen_one(self._cursor)
+            self._cursor += 1
+            if isinstance(upd, Join):
+                self._live.add(upd.node)
+                self._next_join_id = max(self._next_join_id, upd.node + 1)
+            elif isinstance(upd, Leave):
+                self._live.discard(upd.node)
+            out.append(upd)
+        return out
+
+    def skip(self, count: int) -> None:
+        """Advance past ``count`` updates (replaying their semantics only).
+
+        Used on recovery: the WAL already applied these, the stream just
+        needs its live-set/cursor to march past them identically.
+        """
+        self.take(count)
+
+    @property
+    def position(self) -> int:
+        return self._cursor

@@ -1,0 +1,297 @@
+"""Per-tenant durability: write-ahead update log + fsync'd snapshots.
+
+Layout of one tenant's journal directory::
+
+    snapshot-000000000050.json   # checksummed state at seq 50
+    wal-000000000050.jsonl       # updates 51, 52, ... (one JSON line each)
+    snapshot-000000000100.json   # next generation
+    wal-000000000100.jsonl       # updates 101, ...
+
+Write discipline (the same idioms as :mod:`repro.exec.checkpoint`, made
+stricter):
+
+* WAL appends are flushed **and fsync'd** per record *before* the update
+  is applied in memory, so the durable prefix always covers the applied
+  prefix; ``kill -9`` can lose at most the line being written.
+* Snapshots are written to a temp file, fsync'd, then atomically renamed;
+  the document embeds a SHA-256 checksum of its payload, so a corrupt
+  snapshot (torn write, bit rot, hostile injection) is *detected*, never
+  trusted.
+* Each snapshot starts a fresh WAL generation.  The newest ``keep``
+  generations are retained; recovery walks generations newest-first and
+  falls back across corrupt snapshots, replaying every retained WAL with
+  base ≥ the chosen snapshot in order.
+
+Recovery tolerates a torn trailing line in the **final** WAL generation
+(that is the kill-mid-append signature).  A torn line followed by valid
+records, or a torn line in a non-final generation it needs, means the
+log was damaged rather than torn and raises
+:class:`~repro.errors.StateRecoveryError` — refusing to serve a silently
+wrong backbone is the whole point.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+from pathlib import Path
+from typing import IO
+
+from repro.errors import ConfigurationError, StateRecoveryError
+from repro.service.state import TenantState
+from repro.service.updates import Update, update_from_dict
+
+__all__ = ["TenantJournal"]
+
+_SNAP_RE = re.compile(r"^snapshot-(\d{12})\.json$")
+_WAL_RE = re.compile(r"^wal-(\d{12})\.jsonl$")
+
+
+def _fsync_dir(path: Path) -> None:
+    """Flush directory metadata so a rename/create survives power loss."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - exotic filesystems
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+class TenantJournal:
+    """One tenant's crash-safe journal (directory created on first use)."""
+
+    def __init__(self, directory: str | Path, *, keep: int = 2) -> None:
+        if keep < 1:
+            raise ConfigurationError(f"keep must be >= 1, got {keep}")
+        self.directory = Path(directory)
+        self.keep = keep
+        self._wal_fh: IO[str] | None = None
+        self._wal_base: int | None = None
+
+    # -- appending -----------------------------------------------------------
+
+    def _open_wal(self, base: int) -> None:
+        self.directory.mkdir(parents=True, exist_ok=True)
+        if self._wal_fh is not None:
+            self._wal_fh.close()
+        self._wal_base = base
+        self._wal_fh = (self.directory / f"wal-{base:012d}.jsonl").open(
+            "a", encoding="utf-8"
+        )
+
+    def append(self, seq: int, update: Update) -> None:
+        """Durably record "update ``seq`` is about to be applied"."""
+        if self._wal_fh is None:
+            # fresh journal (no snapshot yet): generation 0
+            self._open_wal(self._wal_base if self._wal_base is not None else 0)
+        assert self._wal_fh is not None
+        line = json.dumps(
+            {"seq": seq, "u": update.to_dict()}, sort_keys=True,
+            separators=(",", ":"),
+        )
+        self._wal_fh.write(line + "\n")
+        self._wal_fh.flush()
+        os.fsync(self._wal_fh.fileno())
+
+    # -- snapshots -----------------------------------------------------------
+
+    def snapshot(self, state: TenantState) -> Path:
+        """Checksummed snapshot at ``state.seq``; rotates the WAL."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(
+            state.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+        doc = json.dumps(
+            {
+                "checksum": hashlib.sha256(payload.encode("utf-8")).hexdigest(),
+                "state": payload,
+            },
+            sort_keys=True,
+        )
+        final = self.directory / f"snapshot-{state.seq:012d}.json"
+        tmp = final.with_suffix(".json.tmp")
+        with tmp.open("w", encoding="utf-8") as fh:
+            fh.write(doc)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, final)
+        _fsync_dir(self.directory)
+        self._open_wal(state.seq)
+        self._prune()
+        return final
+
+    def _generations(self) -> list[int]:
+        """Snapshot base seqs present on disk, ascending."""
+        if not self.directory.exists():
+            return []
+        bases = []
+        for name in os.listdir(self.directory):
+            m = _SNAP_RE.match(name)
+            if m:
+                bases.append(int(m.group(1)))
+        return sorted(bases)
+
+    def _wal_bases(self) -> list[int]:
+        if not self.directory.exists():
+            return []
+        bases = []
+        for name in os.listdir(self.directory):
+            m = _WAL_RE.match(name)
+            if m:
+                bases.append(int(m.group(1)))
+        return sorted(bases)
+
+    def _prune(self) -> None:
+        """Drop generations beyond the newest ``keep`` (snapshots + WALs
+        older than the oldest kept snapshot)."""
+        gens = self._generations()
+        if len(gens) <= self.keep:
+            return
+        cutoff = gens[-self.keep]
+        for base in gens:
+            if base < cutoff:
+                (self.directory / f"snapshot-{base:012d}.json").unlink(
+                    missing_ok=True
+                )
+        for base in self._wal_bases():
+            if base < cutoff:
+                (self.directory / f"wal-{base:012d}.jsonl").unlink(
+                    missing_ok=True
+                )
+
+    # -- recovery ------------------------------------------------------------
+
+    def _load_snapshot(self, base: int) -> TenantState | None:
+        """Parse + checksum-verify one snapshot; None when corrupt."""
+        path = self.directory / f"snapshot-{base:012d}.json"
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+            payload = doc["state"]
+            if hashlib.sha256(
+                payload.encode("utf-8")
+            ).hexdigest() != doc["checksum"]:
+                return None
+            return TenantState.from_dict(json.loads(payload))
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def _replay_wal(
+        self, state: TenantState, base: int, *, is_final: bool
+    ) -> None:
+        """Apply one WAL generation's records in order onto ``state``.
+
+        A torn *trailing* record in the final generation is tolerated —
+        and truncated away, so the reopened log never grows a new record
+        glued onto half of an old one.
+        """
+        path = self.directory / f"wal-{base:012d}.jsonl"
+        if not path.exists():
+            return
+        torn_at: int | None = None
+        torn_offset = 0
+        offset = 0
+        with path.open("rb") as fh:
+            for lineno, raw in enumerate(fh, start=1):
+                line_start = offset
+                offset += len(raw)
+                line = raw.decode("utf-8", errors="replace")
+                if not line.strip():
+                    continue
+                try:
+                    rec = json.loads(line)
+                    seq = int(rec["seq"])
+                    upd = update_from_dict(rec["u"])
+                except (ValueError, KeyError, TypeError):
+                    torn_at = lineno
+                    torn_offset = line_start
+                    continue
+                if torn_at is not None:
+                    raise StateRecoveryError(
+                        f"corrupt WAL record at {path}:{torn_at} is followed "
+                        "by valid records — the log was damaged, not torn; "
+                        "refusing to recover from it"
+                    )
+                if seq <= state.seq:
+                    continue  # already inside the snapshot
+                if seq != state.seq + 1:
+                    raise StateRecoveryError(
+                        f"WAL gap at {path}:{lineno}: expected seq "
+                        f"{state.seq + 1}, found {seq}"
+                    )
+                state.apply(upd)
+        if torn_at is not None:
+            if not is_final:
+                raise StateRecoveryError(
+                    f"torn record at {path}:{torn_at} in a non-final WAL "
+                    "generation — later updates would be skipped; refusing"
+                )
+            with path.open("r+b") as fh:
+                fh.truncate(torn_offset)
+                fh.flush()
+                os.fsync(fh.fileno())
+        elif is_final and offset > 0 and not raw.endswith(b"\n"):
+            # valid final record that lost its newline to the crash: restore
+            # the separator so the next append starts a fresh line
+            with path.open("ab") as fh:
+                fh.write(b"\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+
+    def recover(self) -> TenantState | None:
+        """Rebuild the tenant state from disk; ``None`` for a fresh journal.
+
+        Walks snapshot generations newest-first, skipping corrupt ones,
+        then replays every WAL generation at or after the chosen snapshot.
+        Raises :class:`StateRecoveryError` when nothing consistent exists.
+        """
+        gens = self._generations()
+        wals = self._wal_bases()
+        if not gens and not wals:
+            return None
+        candidates: list[int | None] = list(reversed(gens))
+        if 0 in wals and 0 not in gens:
+            candidates.append(None)  # gen-0 WAL with no snapshot yet
+        last_error: str | None = None
+        for base in candidates:
+            if base is None:
+                state: TenantState | None = None
+                start = 0
+            else:
+                state = self._load_snapshot(base)
+                if state is None:
+                    last_error = f"snapshot generation {base} is corrupt"
+                    continue
+                start = base
+            try:
+                replay = [b for b in wals if b >= start]
+                if state is None:
+                    raise StateRecoveryError(
+                        "generation-0 WAL exists but the service cannot "
+                        "rebuild a population without its seed snapshot"
+                    )
+                for b in replay:
+                    self._replay_wal(state, b, is_final=b == replay[-1])
+            except StateRecoveryError as exc:
+                last_error = str(exc)
+                continue
+            self._open_wal(replay[-1] if replay else (base or 0))
+            return state
+        raise StateRecoveryError(
+            f"no consistent (snapshot, WAL) chain in {self.directory}: "
+            f"{last_error or 'no generations found'}"
+        )
+
+    def close(self) -> None:
+        if self._wal_fh is not None:
+            self._wal_fh.close()
+            self._wal_fh = None
+
+    def __enter__(self) -> "TenantJournal":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

@@ -157,3 +157,42 @@ class TestCheckpointStore:
 
     def test_load_of_missing_store_is_empty(self, tmp_path):
         assert CheckpointStore(tmp_path / "nope").load() == {}
+
+
+class TestManifestDurability:
+    """The manifest write must be atomic and corruption must be loud."""
+
+    _BIND = dict(sweep_fp="abc", root_seed=1, trials=4, cells={"c": "fp"})
+
+    def test_bind_leaves_no_temp_file(self, tmp_path):
+        CheckpointStore(tmp_path).bind(**self._BIND)
+        assert (tmp_path / "manifest.json").exists()
+        assert not list(tmp_path.glob("*.tmp"))
+        # and the final file is complete, parseable JSON
+        doc = json.loads((tmp_path / "manifest.json").read_text())
+        assert doc["sweep_fp"] == "abc"
+
+    def test_truncated_manifest_refuses_resume(self, tmp_path):
+        """A torn manifest (the pre-hardening crash signature) must raise,
+        never silently rebind the directory to a new sweep."""
+        CheckpointStore(tmp_path).bind(**self._BIND)
+        path = tmp_path / "manifest.json"
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        with pytest.raises(CheckpointError, match="unreadable"):
+            CheckpointStore(tmp_path).bind(**self._BIND)
+
+    def test_garbage_manifest_refuses_resume(self, tmp_path):
+        CheckpointStore(tmp_path).bind(**self._BIND)
+        (tmp_path / "manifest.json").write_bytes(b"\x00\xff garbage \x00")
+        with pytest.raises(CheckpointError, match="unreadable"):
+            CheckpointStore(tmp_path).bind(**self._BIND)
+
+    def test_byte_flipped_fingerprint_refuses_resume(self, tmp_path):
+        """Valid JSON with a damaged fingerprint is a *foreign* sweep."""
+        CheckpointStore(tmp_path).bind(**self._BIND)
+        path = tmp_path / "manifest.json"
+        doc = json.loads(path.read_text())
+        doc["sweep_fp"] = "abd"
+        path.write_text(json.dumps(doc))
+        with pytest.raises(CheckpointError, match="different sweep"):
+            CheckpointStore(tmp_path).bind(**self._BIND)

@@ -208,3 +208,62 @@ class TestProgress:
         _run(SweepExecutor(processes=1, checkpoint=ck, progress=events.append))
         assert events[0].source == "restored"
         assert events[0].restored == 6
+
+
+class TestRetryBackoff:
+    """Same-seed retries back off exponentially with deterministic jitter."""
+
+    def test_delay_is_deterministic_bounded_and_growing(self):
+        from repro.exec.shards import ShardSpec
+
+        ex = SweepExecutor(retry_backoff_s=0.1, retry_backoff_max_s=1.0)
+        spec = ShardSpec("cell", CFG, 11, 0, "fp")
+        d1 = ex._retry_delay_s(spec, 1)
+        d2 = ex._retry_delay_s(spec, 2)
+        d5 = ex._retry_delay_s(spec, 5)
+        # replayable: pure function of (shard, attempt)
+        assert d1 == ex._retry_delay_s(spec, 1)
+        # jitter keeps each delay inside [raw/2, raw)
+        assert 0.05 <= d1 < 0.1
+        assert 0.1 <= d2 < 0.2
+        # capped by retry_backoff_max_s (raw would be 1.6)
+        assert d5 < 1.0
+
+    def test_different_shards_get_different_jitter(self):
+        from repro.exec.shards import ShardSpec
+
+        ex = SweepExecutor(retry_backoff_s=0.1)
+        a = ex._retry_delay_s(ShardSpec("cell", CFG, 11, 0, "fp"), 1)
+        b = ex._retry_delay_s(ShardSpec("cell", CFG, 11, 1, "fp"), 1)
+        assert a != b
+
+    def test_zero_disables_backoff(self):
+        from repro.exec.shards import ShardSpec
+
+        ex = SweepExecutor(retry_backoff_s=0.0)
+        assert ex._retry_delay_s(ShardSpec("cell", CFG, 11, 0, "fp"), 3) == 0.0
+
+    def test_negative_backoff_rejected(self):
+        with pytest.raises(ConfigurationError, match="backoff"):
+            SweepExecutor(retry_backoff_s=-0.1)
+
+    def test_retries_are_counted_in_obs(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXEC_FAULT", "raise:1:2")
+        with obs.capture() as reg:
+            out = _run(
+                SweepExecutor(
+                    processes=1, max_retries=3, retry_backoff_s=0.001
+                )
+            )
+        # trial 1 of BOTH cells hits the injected fault twice each
+        assert out.retried == 4
+        assert reg.counters["exec.retries"] == 4
+
+    def test_backoff_does_not_change_results(self, monkeypatch):
+        baseline = _run(SweepExecutor(processes=1))
+        monkeypatch.setenv("REPRO_EXEC_FAULT", "raise:1:2")
+        healed = _run(
+            SweepExecutor(processes=1, max_retries=3, retry_backoff_s=0.001)
+        )
+        monkeypatch.delenv("REPRO_EXEC_FAULT")
+        assert healed.cells == baseline.cells

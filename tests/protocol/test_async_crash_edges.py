@@ -1,0 +1,168 @@
+"""Async engine crash edge cases: crash *during* a broadcast, and
+quiescence detection when the silence cascades.
+
+These paths are the hardest to hit from the random fault sweeps, so they
+get handcrafted topologies with crashes pinned to exact protocol stages
+(see :func:`repro.protocol.async_sim._stage_index` for the stage order:
+nbrsets=0, marking=1, rule1=2, m:0=3, c:0=4, done follows last-sent).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import NodeCrashError
+from repro.faults import FaultPlan, evaluate_surviving
+from repro.graphs import bitset
+from repro.graphs.generators import from_edges, path_graph, random_gnp_connected
+from repro.protocol.async_sim import run_async_cds
+
+_DETECT_WINDOW_KW = dict(max_retries=2, retx_timeout=3.0)
+
+
+def _star(leaves: int):
+    return from_edges(leaves + 1, [(0, i) for i in range(1, leaves + 1)])
+
+
+class TestCrashDuringBroadcast:
+    """The sender dies at transmit time: that stage frame reaches nobody."""
+
+    def test_articulation_crash_mid_marking_degrades(self):
+        # P5: node 2 is the articulation point.  It transmits nbrsets
+        # (stage 0) and then crashes while broadcasting marking (stage 1):
+        # both sides of the path lose it and must time the silence out.
+        g = path_graph(5)
+        out = run_async_cds(
+            g, "id", rng=7,
+            fault_plan=FaultPlan(seed=1, crashes={2: 1}),
+            failure_policy="degrade", **_DETECT_WINDOW_KW,
+        )
+        assert out.crashed == frozenset({2})
+        assert 2 not in out.gateways
+        # the crashed host's silence is attributed to the crash, never to
+        # channel loss (live-but-blocked peers may still be suspected —
+        # degrade drops every correspondent a blocked host is waiting on)
+        assert 2 not in out.suspected
+        check = evaluate_surviving(
+            list(g.adjacency),
+            bitset.mask_from_ids(out.crashed),
+            bitset.mask_from_ids(out.gateways),
+        )
+        assert check.coverage_gap == 0
+
+    def test_articulation_crash_mid_marking_strict_raises(self):
+        with pytest.raises(NodeCrashError, match="crash"):
+            run_async_cds(
+                path_graph(5), "id", rng=7,
+                fault_plan=FaultPlan(seed=1, crashes={2: 1}),
+                failure_policy="strict", **_DETECT_WINDOW_KW,
+            )
+
+    def test_crash_on_the_done_frame_is_harmless(self):
+        # Star: every host finishes at wave 0, so the last stage anyone
+        # transmits is c:0 (index 4) and the done frame carries index 5.
+        # A leaf that crashes exactly there completed the whole protocol —
+        # nobody was waiting on its done frame, so the outcome matches the
+        # fault-free run while still reporting the crash.
+        g = _star(3)
+        clean = run_async_cds(g, "id", rng=11)
+        out = run_async_cds(
+            g, "id", rng=11,
+            fault_plan=FaultPlan(seed=2, crashes={1: 5}),
+            failure_policy="degrade", **_DETECT_WINDOW_KW,
+        )
+        assert out.crashed == frozenset({1})
+        assert out.gateways == clean.gateways == frozenset({0})
+        # the suppressed done frame is the only traffic difference, so the
+        # faulted run sends strictly fewer frames
+        assert out.messages_sent < clean.messages_sent
+
+    def test_crash_detection_charges_the_timeout_window(self):
+        # P3 with host 0 silent from rule1 (stage 2) on: host 1 must wait
+        # a full detection window before declaring it gone, and that
+        # window is charged to the makespan.
+        out = run_async_cds(
+            path_graph(3), "id", rng=3,
+            fault_plan=FaultPlan(seed=3, crashes={0: 2}),
+            failure_policy="degrade", **_DETECT_WINDOW_KW,
+        )
+        window = (_DETECT_WINDOW_KW["max_retries"] + 1) * \
+            _DETECT_WINDOW_KW["retx_timeout"]
+        assert out.crashed == frozenset({0})
+        assert out.makespan >= window
+
+
+class TestQuiescenceDetection:
+    """Blocked-forever resolution when the crash silence cascades."""
+
+    def test_cascaded_blockage_resolves_in_degrade(self):
+        # P3: host 0 crashes at rule1.  Host 1 blocks on 0 directly; host
+        # 2 blocks on *live* host 1 (a cascade).  Resolution must converge
+        # anyway, attributing 0's silence to the crash (not suspicion)
+        # while the stalled live link 1<->2 may be dropped as suspected.
+        out = run_async_cds(
+            path_graph(3), "id", rng=5,
+            fault_plan=FaultPlan(seed=4, crashes={0: 2}),
+            failure_policy="degrade", **_DETECT_WINDOW_KW,
+        )
+        assert out.crashed == frozenset({0})
+        assert 0 not in out.suspected
+        assert out.suspected <= frozenset({1, 2})
+
+    def test_cascaded_blockage_strict_names_the_crash_victim(self):
+        # Host 2 itself has no crashed neighbor — strict must still
+        # attribute the deadlock to host 0's crash, not to channel loss.
+        with pytest.raises(NodeCrashError, match=r"\[0\]"):
+            run_async_cds(
+                path_graph(3), "id", rng=5,
+                fault_plan=FaultPlan(seed=4, crashes={0: 2}),
+                failure_policy="strict", **_DETECT_WINDOW_KW,
+            )
+
+    def test_last_unfinished_host_loses_every_neighbor(self):
+        # P3 where BOTH endpoints crash while broadcasting c:0: the middle
+        # host is the last unfinished one, blocked with zero live
+        # correspondents.  It must freeze its own decision locally instead
+        # of waiting forever.
+        out = run_async_cds(
+            path_graph(3), "id", rng=9,
+            fault_plan=FaultPlan(seed=5, crashes={0: 4, 2: 4}),
+            failure_policy="degrade", **_DETECT_WINDOW_KW,
+        )
+        assert out.crashed == frozenset({0, 2})
+        assert out.gateways <= frozenset({1})
+
+    def test_crash_replay_is_deterministic(self):
+        # same plan + same rng seed => bit-identical outcome, including
+        # the degraded-resolution bookkeeping
+        kw = dict(
+            fault_plan=FaultPlan(seed=6, crashes={2: 1}),
+            failure_policy="degrade", **_DETECT_WINDOW_KW,
+        )
+        a = run_async_cds(path_graph(5), "nd", rng=13, **kw)
+        b = run_async_cds(path_graph(5), "nd", rng=13, **kw)
+        assert a == b
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_random_pinned_crashes_converge_and_cover(self, seed):
+        """Seeded sweep: random graphs + random pinned crashes always
+        terminate, exclude the victims, and keep survivors covered."""
+        rng = np.random.default_rng(seed)
+        g = random_gnp_connected(int(rng.integers(6, 16)), 0.35, rng=rng)
+        n = len(list(g.adjacency))
+        plan = FaultPlan.random(
+            n, seed=seed + 100, n_crashes=2, max_stage=6
+        )
+        out = run_async_cds(
+            g, "nd", rng=seed,
+            fault_plan=plan, failure_policy="degrade", **_DETECT_WINDOW_KW,
+        )
+        assert out.crashed == frozenset(plan.crashes)
+        assert not out.crashed & out.gateways
+        check = evaluate_surviving(
+            list(g.adjacency),
+            bitset.mask_from_ids(out.crashed),
+            bitset.mask_from_ids(out.gateways),
+        )
+        assert check.coverage_gap == 0

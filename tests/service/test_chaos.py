@@ -1,0 +1,112 @@
+"""ChaosSchedule: replayable injections, attempt-awareness, file damage."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults.plan import FaultPlan
+from repro.service.chaos import (
+    ChaosCrash,
+    ChaosSchedule,
+    corrupt_snapshot,
+    tear_wal_tail,
+)
+
+
+def _collect_events(schedule: ChaosSchedule, seqs: int) -> list[tuple]:
+    """Run a fixed call pattern against the hooks, swallowing crashes."""
+
+    async def go():
+        for k in range(1, seqs + 1):
+            try:
+                await schedule.before_apply("t", k)
+                await schedule.after_apply("t", k)
+            except ChaosCrash:
+                continue
+            schedule.recompute_delay_s("t", k)
+
+    asyncio.run(go())
+    return list(schedule.events)
+
+
+class TestReplayability:
+    def test_same_plan_same_injections(self):
+        plan = FaultPlan(seed=77, loss=0.3, delay=0.2)
+        a = _collect_events(ChaosSchedule(plan), 60)
+        b = _collect_events(ChaosSchedule(plan), 60)
+        assert a == b
+        assert a, "a 30% loss rate over 60 updates must inject something"
+
+    def test_different_seed_different_injections(self):
+        a = _collect_events(ChaosSchedule(FaultPlan(seed=1, loss=0.3)), 60)
+        b = _collect_events(ChaosSchedule(FaultPlan(seed=2, loss=0.3)), 60)
+        assert a != b
+
+    def test_zero_rates_inject_nothing(self):
+        assert _collect_events(ChaosSchedule(FaultPlan(seed=1)), 40) == []
+
+
+class TestAttemptAwareness:
+    def test_pinned_crash_fires_exactly_once(self):
+        async def go():
+            schedule = ChaosSchedule(pinned={"t": 5})
+            with pytest.raises(ChaosCrash, match="pinned"):
+                await schedule.before_apply("t", 5)
+            # the supervised retry of the same update sails through
+            await schedule.before_apply("t", 5)
+            assert schedule.counts() == {"pinned_crash": 1}
+
+        asyncio.run(go())
+
+    def test_retries_redraw_instead_of_looping(self):
+        # with loss < 1 every (tenant, seq) must eventually pass: each
+        # attempt gets a fresh coordinate, so a crash is never permanent
+        async def go():
+            schedule = ChaosSchedule(FaultPlan(seed=3, loss=0.9))
+            for k in range(1, 21):
+                for _ in range(200):  # absurdly generous retry budget
+                    try:
+                        await schedule.before_apply("t", k)
+                        await schedule.after_apply("t", k)
+                        break
+                    except ChaosCrash:
+                        continue
+                else:
+                    pytest.fail(f"update {k} crashed forever")
+
+        asyncio.run(go())
+
+    def test_delay_injection_scales_base_delay(self):
+        schedule = ChaosSchedule(
+            FaultPlan(seed=4, delay=0.99, delay_factor=8.0), base_delay_s=0.01
+        )
+        assert schedule.recompute_delay_s("t", 1) == pytest.approx(0.08)
+        quiet = ChaosSchedule(FaultPlan(seed=4, delay=0.0), base_delay_s=0.01)
+        assert quiet.recompute_delay_s("t", 1) == 0.0
+
+
+class TestFileDamage:
+    def test_corrupt_snapshot_flips_one_byte(self, tmp_path):
+        path = tmp_path / "snapshot-000000000001.json"
+        original = json.dumps({"checksum": "x", "state": "y"}).encode()
+        path.write_bytes(original)
+        corrupt_snapshot(path)
+        damaged = path.read_bytes()
+        assert len(damaged) == len(original)
+        assert sum(a != b for a, b in zip(damaged, original)) == 1
+
+    def test_tear_wal_tail_truncates(self, tmp_path):
+        path = tmp_path / "wal-000000000000.jsonl"
+        path.write_bytes(b'{"seq":1}\n{"seq":2}\n')
+        tear_wal_tail(path, drop_bytes=5)
+        assert path.read_bytes() == b'{"seq":1}\n{"seq'
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError, match="snapshot_corruption"):
+            ChaosSchedule(snapshot_corruption=1.5)
+        with pytest.raises(ConfigurationError, match="base_delay_s"):
+            ChaosSchedule(base_delay_s=-0.1)

@@ -1,0 +1,103 @@
+"""BackboneChecker: the hard publish gate + the statistical alarm."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.delta import DeltaCDSPipeline
+from repro.graphs import bitset
+from repro.graphs.generators import from_edges, path_graph
+from repro.graphs.unitdisk import unit_disk_adjacency
+from repro.service.invariants import BackboneChecker, expected_marked_count
+
+
+def _pipeline_mask(adj, n):
+    return DeltaCDSPipeline("el2").compute(adj, [100.0] * n).gateway_mask
+
+
+class TestHardInvariants:
+    def test_pipeline_output_passes(self):
+        rng = np.random.default_rng(17)
+        adj = unit_disk_adjacency(rng.uniform(0, 100, (40, 2)), 30.0)
+        mask = _pipeline_mask(adj, 40)
+        report = BackboneChecker().check(adj, mask)
+        assert report.ok
+        assert report.size == bitset.popcount(mask)
+
+    def test_missing_gateway_breaks_domination(self):
+        adj = list(path_graph(5).adjacency)
+        # only node 1 as gateway: node 4 has no gateway neighbor
+        report = BackboneChecker().check(adj, 1 << 1)
+        assert not report.dominating
+        assert not report.ok
+        assert "no gateway neighbor" in report.detail
+
+    def test_disconnected_gateways_break_connectivity(self):
+        adj = list(path_graph(7).adjacency)
+        # {1, 5} dominates P7 minus nothing... actually covers all but 3
+        # — use {1, 3, 5} minus the middle to break only connectivity
+        report = BackboneChecker().check(adj, (1 << 1) | (1 << 5))
+        assert not report.ok  # either domination (node 3) or connectivity
+
+    def test_empty_backbone_on_clique_is_legal(self):
+        # a clique marks nobody (every pair of neighbors is adjacent), so
+        # an empty backbone is exactly what compute_cds returns
+        k4 = from_edges(4, [(i, j) for i in range(4) for j in range(i + 1, 4)])
+        report = BackboneChecker().check(list(k4.adjacency), 0)
+        assert report.ok
+
+    def test_empty_backbone_on_path_is_not(self):
+        report = BackboneChecker().check(list(path_graph(5).adjacency), 0)
+        assert not report.ok
+        assert "empty backbone" in report.detail
+
+    def test_tiny_components_need_no_gateway(self):
+        # two isolated edges + one isolated node: nothing to relay anywhere
+        adj = list(from_edges(5, [(0, 1), (2, 3)]).adjacency)
+        assert BackboneChecker().check(adj, 0).ok
+
+    def test_mask_beyond_n_rejected(self):
+        report = BackboneChecker().check(list(path_graph(3).adjacency), 1 << 7)
+        assert not report.ok
+        assert "beyond n" in report.detail
+
+    def test_per_component_checks_on_fragmented_topology(self):
+        # two disjoint P3s: each needs its own middle gateway
+        adj = list(from_edges(6, [(0, 1), (1, 2), (3, 4), (4, 5)]).adjacency)
+        assert BackboneChecker().check(adj, (1 << 1) | (1 << 4)).ok
+        # covering only one component fails the other
+        assert not BackboneChecker().check(adj, 1 << 1).ok
+
+
+class TestStatisticalAlarm:
+    def test_oversized_backbone_trips_the_alarm(self):
+        # P30: degrees <= 2, expected marked count is small — publishing
+        # every node as a gateway is valid but statistically absurd
+        adj = list(path_graph(30).adjacency)
+        report = BackboneChecker().check(adj, (1 << 30) - 1)
+        assert report.ok  # hard invariants hold...
+        assert report.alarm  # ...but the tripwire fires
+        assert "expectation band" in report.detail
+
+    def test_normal_backbone_stays_quiet(self):
+        rng = np.random.default_rng(23)
+        adj = unit_disk_adjacency(rng.uniform(0, 100, (60, 2)), 25.0)
+        mask = _pipeline_mask(adj, 60)
+        report = BackboneChecker().check(adj, mask)
+        assert report.ok
+        assert not report.alarm
+
+    def test_expected_marked_count_grows_with_degree(self):
+        sparse = expected_marked_count(list(path_graph(20).adjacency))
+        k20 = from_edges(
+            20, [(i, j) for i in range(20) for j in range(i + 1, 20)]
+        )
+        dense = expected_marked_count(list(k20.adjacency))
+        assert 0.0 < sparse < dense
+        assert dense <= 20.0
+
+    def test_slack_widens_the_band(self):
+        adj = list(path_graph(30).adjacency)
+        tight = BackboneChecker(alarm_slack=0.0).check(adj, (1 << 18) - 1)
+        loose = BackboneChecker(alarm_slack=50.0).check(adj, (1 << 18) - 1)
+        assert tight.alarm and not loose.alarm

@@ -1,0 +1,158 @@
+"""Supervisor: restart-with-backoff, streak reset, quarantine escalation.
+
+No pytest-asyncio in the image: every async scenario runs under a plain
+``asyncio.run`` inside a synchronous test function.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service.supervisor import RestartPolicy, Supervisor
+
+_FAST = RestartPolicy(base_delay_s=0.0, max_delay_s=0.0, jitter=0.0)
+
+
+def _policy(**kw) -> RestartPolicy:
+    merged = dict(base_delay_s=0.0, max_delay_s=0.0, jitter=0.0)
+    merged.update(kw)
+    return RestartPolicy(**merged)
+
+
+class TestBackoffDelays:
+    def test_doubling_without_jitter(self):
+        pol = RestartPolicy(base_delay_s=0.02, max_delay_s=1.0, jitter=0.0)
+        assert pol.delay_s("t", 1) == 0.02
+        assert pol.delay_s("t", 2) == 0.04
+        assert pol.delay_s("t", 3) == 0.08
+
+    def test_capped_at_max_delay(self):
+        pol = RestartPolicy(base_delay_s=0.02, max_delay_s=0.1, jitter=0.0)
+        assert pol.delay_s("t", 10) == 0.1
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        pol = RestartPolicy(base_delay_s=0.08, max_delay_s=2.0, jitter=0.5, seed=9)
+        d = pol.delay_s("tenant-a", 1)
+        assert d == pol.delay_s("tenant-a", 1)  # replayable
+        assert 0.04 <= d <= 0.08  # within [raw*(1-jitter), raw]
+        assert d != pol.delay_s("tenant-b", 1)  # per-task streams differ
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError, match="base_delay_s"):
+            RestartPolicy(base_delay_s=1.0, max_delay_s=0.5)
+        with pytest.raises(ConfigurationError, match="max_failures"):
+            RestartPolicy(max_failures=0)
+        with pytest.raises(ConfigurationError, match="jitter"):
+            RestartPolicy(jitter=1.5)
+
+
+class TestSupervision:
+    def test_restarts_until_success(self):
+        async def go():
+            sup = Supervisor(_FAST)
+            attempts = 0
+
+            async def flaky():
+                nonlocal attempts
+                attempts += 1
+                if attempts < 3:
+                    raise RuntimeError(f"boom {attempts}")
+
+            health = sup.start("t", flaky)
+            await asyncio.sleep(0.05)
+            assert attempts == 3
+            assert health.state == "stopped"
+            assert health.restarts == 2
+            assert health.total_failures == 2
+            await sup.stop()
+
+        asyncio.run(go())
+
+    def test_quarantine_after_consecutive_failures(self):
+        async def go():
+            sup = Supervisor(_policy(max_failures=3))
+            seen = []
+            sup.on_quarantine = lambda name, h: seen.append((name, h.failures))
+
+            async def doomed():
+                raise RuntimeError("always")
+
+            health = sup.start("t", doomed)
+            await asyncio.sleep(0.05)
+            assert health.state == "quarantined"
+            assert sup.is_quarantined("t")
+            assert seen == [("t", 3)]
+            assert "always" in health.last_error
+            await sup.stop()
+
+        asyncio.run(go())
+
+    def test_progress_resets_the_failure_streak(self):
+        async def go():
+            sup = Supervisor(_policy(max_failures=2))
+            attempts = 0
+
+            async def flaky_but_progressing():
+                nonlocal attempts
+                attempts += 1
+                if attempts <= 4:
+                    sup.note_progress("t")  # work happened this incarnation
+                    raise RuntimeError("transient")
+
+            sup.start("t", flaky_but_progressing)
+            await asyncio.sleep(0.05)
+            # 4 failures, each the first of a fresh streak: never quarantined
+            assert not sup.is_quarantined("t")
+            assert sup.health("t").state == "stopped"
+            assert sup.health("t").total_failures == 4
+            await sup.stop()
+
+        asyncio.run(go())
+
+    def test_no_progress_means_streak_accumulates(self):
+        async def go():
+            sup = Supervisor(_policy(max_failures=2))
+
+            async def doomed():
+                raise RuntimeError("no progress made")
+
+            sup.start("t", doomed)
+            await asyncio.sleep(0.05)
+            assert sup.is_quarantined("t")
+            assert sup.health("t").failures == 2
+            await sup.stop()
+
+        asyncio.run(go())
+
+    def test_duplicate_start_rejected(self):
+        async def go():
+            sup = Supervisor(_FAST)
+
+            async def forever():
+                await asyncio.Event().wait()
+
+            sup.start("t", forever)
+            with pytest.raises(ConfigurationError, match="already supervised"):
+                sup.start("t", forever)
+            await sup.stop()
+
+        asyncio.run(go())
+
+    def test_stop_cancels_running_tasks(self):
+        async def go():
+            sup = Supervisor(_FAST)
+            started = asyncio.Event()
+
+            async def forever():
+                started.set()
+                await asyncio.Event().wait()
+
+            health = sup.start("t", forever)
+            await started.wait()
+            await sup.stop()
+            assert health.state == "stopped"
+
+        asyncio.run(go())

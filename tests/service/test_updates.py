@@ -1,0 +1,85 @@
+"""Updates: exact serialization round-trips and stream determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service.updates import (
+    Drain,
+    Join,
+    Leave,
+    Move,
+    UpdateStream,
+    update_from_dict,
+)
+
+
+class TestSerialization:
+    @pytest.mark.parametrize(
+        "upd",
+        [
+            Join(7, 12.25, 88.0, energy=63.5),
+            Leave(3),
+            Move(0, 0.1 + 0.2, 99.999999),  # non-representable float travels
+            Drain(5, 1.75),
+        ],
+    )
+    def test_round_trip_is_exact(self, upd):
+        assert update_from_dict(upd.to_dict()) == upd
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown update op"):
+            update_from_dict({"op": "teleport", "node": 1})
+
+
+class TestUpdateStream:
+    def test_same_seed_same_updates(self):
+        a = UpdateStream(seed=42, n_initial=10).take(50)
+        b = UpdateStream(seed=42, n_initial=10).take(50)
+        assert a == b
+
+    def test_different_seed_diverges(self):
+        a = UpdateStream(seed=42, n_initial=10).take(50)
+        b = UpdateStream(seed=43, n_initial=10).take(50)
+        assert a != b
+
+    def test_skip_resumes_the_identical_stream(self):
+        # this is the recovery contract: a restarted driver skips the
+        # recovered prefix and must generate the same suffix
+        full = UpdateStream(seed=7, n_initial=8).take(40)
+        resumed = UpdateStream(seed=7, n_initial=8)
+        resumed.skip(25)
+        assert resumed.position == 25
+        assert resumed.take(15) == full[25:]
+
+    def test_population_never_collapses(self):
+        # churn may only shrink the network while > 3 nodes are live
+        stream = UpdateStream(
+            seed=11, n_initial=4, p_move=0.0, p_drain=0.0, p_churn=1.0
+        )
+        live = set(range(4))
+        for upd in stream.take(200):
+            if isinstance(upd, Join):
+                live.add(upd.node)
+            elif isinstance(upd, Leave):
+                live.discard(upd.node)
+            assert len(live) >= 3
+
+    def test_join_ids_are_never_reused(self):
+        stream = UpdateStream(
+            seed=13, n_initial=5, p_move=0.0, p_drain=0.0, p_churn=1.0
+        )
+        seen: set[int] = set()
+        for upd in stream.take(300):
+            if isinstance(upd, Join):
+                assert upd.node not in seen
+                seen.add(upd.node)
+
+    def test_bad_probabilities_rejected(self):
+        with pytest.raises(ConfigurationError, match="sum to 1"):
+            UpdateStream(seed=0, n_initial=5, p_move=0.9, p_drain=0.9)
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(ConfigurationError, match="n_initial"):
+            UpdateStream(seed=0, n_initial=0)
