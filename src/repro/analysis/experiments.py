@@ -28,6 +28,7 @@ from repro.analysis.tables import render_table
 from repro.analysis.plots import ascii_chart
 from repro.core.priority import PAPER_SERIES_ORDER
 from repro.exec.executor import SweepExecutor, SweepProgress
+from repro.graphs.generators import scaled_side
 from repro.simulation.config import SimulationConfig
 
 __all__ = [
@@ -132,6 +133,7 @@ def _sweep(
     processes: int | None = None,
     checkpoint_dir: str | Path | None = None,
     progress: Callable[[SweepProgress], None] | None = None,
+    density_scaled: bool = False,
 ) -> tuple[dict[str, list[SeriesSummary]], dict[str, list[tuple[float, ...]]]]:
     """Run the whole figure as ONE executor sweep.
 
@@ -139,9 +141,22 @@ def _sweep(
     :class:`SweepExecutor` run: one persistent pool serves the entire
     figure (no per-cell pool churn), one checkpoint directory makes the
     entire figure resumable, and obs capture survives the fan-out.
+
+    ``density_scaled`` grows each cell's arena side as ``100·√(N/100)``
+    (:func:`repro.graphs.generators.scaled_side`), holding node density —
+    and therefore expected degree — at the paper's N=100 level.  This is
+    what makes N ≫ 100 scenario families meaningful: in the fixed 100×100
+    arena, N = 10k would be a near-clique.
     """
+
+    def overrides(n: int) -> dict:
+        out = {"n_hosts": n}
+        if density_scaled:
+            out["side"] = scaled_side(n)
+        return out
+
     cells = [
-        (_cell_name(n, scheme), base.with_overrides(n_hosts=n, scheme=scheme))
+        (_cell_name(n, scheme), base.with_overrides(scheme=scheme, **overrides(n)))
         for n in n_values
         for scheme in schemes
     ]
@@ -173,17 +188,22 @@ def run_figure10(
     processes: int | None = None,
     checkpoint_dir: str | Path | None = None,
     progress: Callable[[SweepProgress], None] | None = None,
+    backend: str = "scalar",
+    density_scaled: bool = False,
 ) -> ExperimentResult:
     """Figure 10: average |G'| per interval vs N for every scheme.
 
     ``checkpoint_dir`` makes the whole figure resumable: a killed run
     restarts from its completed (N, scheme, trial) shards bit-identically.
+    ``backend="vectorized"`` + ``density_scaled=True`` lift the sweep to
+    N = 10k scenario families (same masks; see EXPERIMENTS.md).
     """
-    base = SimulationConfig(scheme="id", drain_model=drain_model)
+    base = SimulationConfig(scheme="id", drain_model=drain_model, backend=backend)
     series, raw = _sweep(
         base, list(schemes), list(n_values), trials, root_seed,
         lambda m: m.mean_cds_size, parallel,
         processes=processes, checkpoint_dir=checkpoint_dir, progress=progress,
+        density_scaled=density_scaled,
     )
     return ExperimentResult(
         figure="Figure 10",
@@ -221,18 +241,23 @@ def run_lifespan_figure(
     processes: int | None = None,
     checkpoint_dir: str | Path | None = None,
     progress: Callable[[SweepProgress], None] | None = None,
+    backend: str = "scalar",
+    density_scaled: bool = False,
 ) -> ExperimentResult:
     """Figures 11/12/13: average lifespan vs N under one drain model.
 
     ``checkpoint_dir`` makes the whole figure resumable: a killed run
     restarts from its completed (N, scheme, trial) shards bit-identically.
+    ``backend="vectorized"`` + ``density_scaled=True`` lift the sweep to
+    N = 10k scenario families (same masks; see EXPERIMENTS.md).
     """
     figure, formula = _FIGURE_BY_MODEL.get(drain_model, (f"({drain_model})", ""))
-    base = SimulationConfig(scheme="id", drain_model=drain_model)
+    base = SimulationConfig(scheme="id", drain_model=drain_model, backend=backend)
     series, raw = _sweep(
         base, list(schemes), list(n_values), trials, root_seed,
         lambda m: float(m.lifespan), parallel,
         processes=processes, checkpoint_dir=checkpoint_dir, progress=progress,
+        density_scaled=density_scaled,
     )
     notes = {
         "constant": (

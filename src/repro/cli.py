@@ -84,6 +84,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--shadow-check", action="store_true",
         help="run both pipelines every interval and fail on any divergence",
     )
+    l.add_argument(
+        "--backend", default="scalar", choices=["scalar", "vectorized"],
+        help="CDS backend: scalar pipelines or the batched numpy kernels "
+        "(bit-identical results; vectorized wins at large N)",
+    )
 
     f = sub.add_parser("figure", help="regenerate a paper figure")
     f.add_argument("number", type=int, choices=[10, 11, 12, 13])
@@ -105,6 +110,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume", default=None, metavar="DIR",
         help="checkpoint directory: a killed figure run resumes from its "
         "completed (N, scheme, trial) shards bit-identically",
+    )
+    f.add_argument(
+        "--backend", default="scalar", choices=["scalar", "vectorized"],
+        help="CDS backend per shard (bit-identical results; use vectorized "
+        "for N >> 100 sweeps)",
+    )
+    f.add_argument(
+        "--density-scaled", action="store_true",
+        help="grow the arena side as 100*sqrt(N/100) so node density (and "
+        "degree) stays at the paper's level — required reading for N=10k "
+        "scenario families (see EXPERIMENTS.md)",
     )
 
     sub.add_parser("example", help="the paper's §3.3 worked example")
@@ -175,6 +191,15 @@ def build_parser() -> argparse.ArgumentParser:
     pr.add_argument(
         "--processes", type=int, default=None,
         help="pool size for --trials > 1 (default: cpu count)",
+    )
+    pr.add_argument(
+        "--backend", default="scalar", choices=["scalar", "vectorized"],
+        help="CDS backend to profile (bit-identical results)",
+    )
+    pr.add_argument(
+        "--density-scaled", action="store_true",
+        help="grow the arena side as 100*sqrt(N/100) — pair with "
+        "--hosts 10000 --backend vectorized to profile the 10k family",
     )
     pr.add_argument("--seed", type=int, default=2001)
 
@@ -307,6 +332,7 @@ def _cmd_lifespan(args) -> int:
                 drain_model=args.drain,
                 incremental=not args.scratch,
                 shadow_check=args.shadow_check,
+                backend=args.backend,
             ),
         )
         for scheme in schemes
@@ -347,6 +373,8 @@ def _cmd_figure(args) -> int:
         processes=args.processes,
         checkpoint_dir=args.resume,
         progress=progress_printer(),
+        backend=args.backend,
+        density_scaled=args.density_scaled,
     )
     if args.number == 10:
         result = run_figure10(**common)
@@ -458,8 +486,14 @@ def _cmd_profile(args) -> int:
     from repro.simulation.interval import run_interval
     from repro.simulation.lifespan import LifespanSimulator
 
+    from repro.graphs.generators import scaled_side
+
     cfg = SimulationConfig(
-        n_hosts=args.hosts, scheme=args.scheme, drain_model=args.drain
+        n_hosts=args.hosts,
+        scheme=args.scheme,
+        drain_model=args.drain,
+        backend=args.backend,
+        side=scaled_side(args.hosts) if args.density_scaled else 100.0,
     )
     if args.trials > 1:
         # profile the fan-out itself: trials run through the sharded

@@ -30,6 +30,12 @@ from repro.core.properties import (
 from repro.core.reduction import prune, PruneStats
 from repro.core.rule_k import compute_cds_rule_k, rule_k_pass
 from repro.core.components_cds import compute_cds_per_component
+from repro.core.vectorized import (
+    BatchCDSEngine,
+    VectorizedCDSPipeline,
+    compute_cds_batch,
+    compute_cds_rule_k_batch,
+)
 from repro.core.unidirectional import (
     compute_directed_cds,
     directed_marking,
@@ -59,4 +65,8 @@ __all__ = [
     "shortest_paths_use_gateways",
     "prune",
     "PruneStats",
+    "BatchCDSEngine",
+    "VectorizedCDSPipeline",
+    "compute_cds_batch",
+    "compute_cds_rule_k_batch",
 ]

@@ -60,6 +60,7 @@ from repro.core.marking import (
 from repro.core.priority import SCHEMES, PriorityScheme, scheme_by_name
 from repro.core.properties import verify_cds
 from repro.core.reduction import PruneStats
+from repro.core.vectorized import pair_index_arrays
 from repro.errors import ConfigurationError, InvariantViolation
 from repro.graphs import bitset
 
@@ -75,19 +76,6 @@ INCREMENTAL_MIN_HOSTS = 48
 
 _EMPTY_I32 = np.empty(0, dtype=np.int32)
 _EMPTY_BOOL = np.empty(0, dtype=bool)
-
-#: memoized upper-triangle index pairs per degree (shared across engines)
-_TRIU_CACHE: dict[int, tuple[np.ndarray, np.ndarray]] = {}
-
-
-def _triu(d: int) -> tuple[np.ndarray, np.ndarray]:
-    got = _TRIU_CACHE.get(d)
-    if got is None:
-        iu, iw = np.triu_indices(d, 1)
-        got = (iu.astype(np.int32), iw.astype(np.int32))
-        _TRIU_CACHE[d] = got
-    return got
-
 
 def _pack_rows(rows: list[int], W: int) -> np.ndarray:
     """Bitmask ints -> (len(rows), W) little-endian uint64 word matrix."""
@@ -315,8 +303,9 @@ class CachedRuleEngine:
 
         The per-node pair lists are never materialized: the neighbors of
         all nodes live concatenated in ``eU`` (grouped by ``v``), so node
-        ``v``'s pairs are two gathers through the upper-triangle index
-        template of its degree, shifted by ``v``'s offset into ``eU``.
+        ``v``'s pairs are two gathers through the closed-form pair-ordinal
+        decode (:func:`repro.core.vectorized.pair_index_arrays`), shifted
+        by ``v``'s offset into ``eU`` — no per-node Python loop.
         """
         n = self.n
         if n == 0:
@@ -341,17 +330,10 @@ class CachedRuleEngine:
         self._pcs = pcs
         self._tV = np.repeat(self._ids32, pcs)
         if len(self._tV):
-            offs = np.cumsum(degs, dtype=np.int32)
-            iu_parts = [_EMPTY_I32] * n
-            iw_parts = [_EMPTY_I32] * n
-            dl = degs.tolist()
-            for v in range(n):
-                iu_parts[v], iw_parts[v] = _triu(dl[v])
-            base = np.repeat(
-                np.concatenate((np.zeros(1, dtype=np.int32), offs[:-1])), pcs
-            )
-            self._tU = eU[np.concatenate(iu_parts) + base]
-            self._tW = eU[np.concatenate(iw_parts) + base]
+            iu, iw = pair_index_arrays(degs)
+            base = np.repeat(np.cumsum(degs) - degs, pcs)
+            self._tU = eU[iu + base]
+            self._tW = eU[iw + base]
         else:
             self._tU = self._tW = _EMPTY_I32
 
@@ -647,10 +629,15 @@ class DeltaCDSPipeline:
                 dirty = changed
             else:
                 prev_adj = engine.adjacency
-                changed = 0
-                for v in range(n):
-                    if adj[v] != prev_adj[v]:
-                        changed |= 1 << v
+                # object-dtype compare: one vectorized pass over the rows
+                # (arbitrary-width Python ints), packed back to a bitmask
+                neq = np.not_equal(
+                    np.asarray(adj, dtype=object),
+                    np.asarray(prev_adj, dtype=object),
+                ).astype(bool)
+                changed = int.from_bytes(
+                    np.packbits(neq, bitorder="little").tobytes(), "little"
+                )
                 dirty = 0
                 if changed:
                     m = changed

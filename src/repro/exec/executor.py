@@ -305,8 +305,21 @@ class SweepExecutor:
         pairs = list(cells.items()) if isinstance(cells, Mapping) else list(cells)
         if len({name for name, _ in pairs}) != len(pairs):
             raise ConfigurationError("duplicate cell names in sweep")
-        if trials < 1:
-            raise ConfigurationError(f"trials must be >= 1, got {trials}")
+        if trials < 0:
+            raise ConfigurationError(f"trials must be >= 0, got {trials}")
+        # degenerate sweeps (no cells, or zero trials) are valid and return
+        # an empty outcome — callers that generate their grid (figure
+        # drivers, ablation scripts) shouldn't have to special-case "this
+        # slice happened to be empty"
+        if not pairs or trials == 0:
+            return SweepOutcome(
+                cells={name: [] for name, _ in pairs},
+                trials=trials,
+                executed=0,
+                restored=0,
+                retried=0,
+                wall_s=0.0,
+            )
 
         t0 = time.perf_counter()
         fps = {name: config_fingerprint(cfg) for name, cfg in pairs}

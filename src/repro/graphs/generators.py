@@ -8,6 +8,7 @@ dense ids ``0..n-1``.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -26,9 +27,17 @@ __all__ = [
     "grid_graph",
     "random_gnp_connected",
     "random_connected_network",
+    "scaled_side",
     "PaperExample",
     "paper_example_graph",
 ]
+
+
+def scaled_side(hosts: int, *, reference_hosts: int = 100) -> float:
+    """Arena side keeping node density constant as N grows (the paper's
+    100x100 arena holds ~100 hosts; density drives degree, and degree
+    drives every cost downstream)."""
+    return 100.0 * math.sqrt(max(hosts, 1) / reference_hosts)
 
 
 def from_edges(n: int, edges) -> NeighborhoodView:

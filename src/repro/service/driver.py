@@ -15,7 +15,6 @@ the property the ``service-chaos`` CI job asserts.
 from __future__ import annotations
 
 import asyncio
-import math
 import time
 from dataclasses import dataclass, field
 from typing import Any
@@ -24,6 +23,7 @@ import numpy as np
 
 from repro.errors import TenantQuarantinedError
 from repro.faults.plan import mix64
+from repro.graphs.generators import scaled_side
 from repro.service.server import BackboneService
 from repro.service.updates import UpdateStream
 
@@ -48,13 +48,6 @@ def seed_positions(
     """The tenant's initial placement — pure function of its identity."""
     rng = np.random.default_rng([tenant_seed(root_seed, index), 0xB00])
     return rng.uniform(0.0, side, size=(hosts, 2))
-
-
-def scaled_side(hosts: int, *, reference_hosts: int = 100) -> float:
-    """Arena side keeping node density constant as N grows (the paper's
-    100x100 arena holds ~100 hosts; density drives degree, and degree
-    drives every cost downstream)."""
-    return 100.0 * math.sqrt(max(hosts, 1) / reference_hosts)
 
 
 @dataclass

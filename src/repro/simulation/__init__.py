@@ -7,6 +7,7 @@ condition); the runner fans trials out over processes with independent
 seed streams.
 """
 
+from repro.simulation.batch_lifespan import run_lifespan_batch
 from repro.simulation.config import SimulationConfig
 from repro.simulation.interval import IntervalOutcome, run_interval
 from repro.simulation.lifespan import LifespanResult, LifespanSimulator
@@ -29,6 +30,7 @@ __all__ = [
     "run_interval",
     "LifespanResult",
     "LifespanSimulator",
+    "run_lifespan_batch",
     "IntervalMetrics",
     "TrialMetrics",
     "spawn_generators",

@@ -1,0 +1,171 @@
+"""Lockstep batched lifespan trials: one array pass per interval.
+
+The sharded executor parallelizes trials across *processes*; this module
+parallelizes them across the *batch axis* of the vectorized CDS engine
+(:class:`repro.core.vectorized.BatchCDSEngine`).  All still-running trials
+of a cell advance in lockstep — each interval stacks their adjacencies
+into one ``(B, n, W)`` batch and runs marking + rules as a single numpy
+pass, then drains energy and roams hosts per trial exactly as
+:func:`repro.simulation.interval.run_interval` does.
+
+Bit-identical by construction: every trial owns its
+``generator_for_trial(root_seed, t)`` stream and its own network, battery
+bank, accountant, and mobility manager (built by
+:class:`~repro.simulation.lifespan.LifespanSimulator`); the only shared
+step is the CDS computation, which is deterministic and per-element
+equivalent to ``compute_cds``.  So the :class:`TrialMetrics` returned here
+equal the ones ``LifespanSimulator.run()`` produces trial by trial — the
+batch axis changes wall-clock, never results (pinned by
+``tests/simulation/test_batch_lifespan.py``).
+
+Trials die at different intervals; dead trials leave the batch, so the
+array pass narrows as the cell drains.  This wins when per-interval numpy
+overheads dominate (many small-n trials: one 200-wide batch at n = 100
+amortizes ~200 kernel launches into one) or when process fan-out is
+unavailable (``processes=1`` benches, pytest-benchmark).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import obs
+from repro.core.cds import CDSResult, compute_cds
+from repro.core.marking import marking_trivially_empty
+from repro.core.properties import verify_cds
+from repro.core.vectorized import BatchCDSEngine, flags_to_masks, pack_batch
+from repro.errors import ConfigurationError, InvariantViolation, SimulationError
+from repro.graphs import bitset
+from repro.simulation.config import SimulationConfig
+from repro.simulation.lifespan import LifespanResult, LifespanSimulator
+from repro.simulation.metrics import IntervalMetrics, TrialMetrics
+from repro.simulation.rng import generator_for_trial
+
+__all__ = ["run_lifespan_batch"]
+
+
+def run_lifespan_batch(
+    config: SimulationConfig,
+    trials: int,
+    *,
+    root_seed: int | None = None,
+    keep_intervals: bool = False,
+) -> list[LifespanResult]:
+    """Run ``trials`` lifespan trials of ``config`` as lockstep batches.
+
+    Returns one :class:`LifespanResult` per trial, index-aligned with the
+    ``generator_for_trial(root_seed, t)`` streams — the same metrics the
+    per-trial simulator (and therefore the sharded executor) produces.
+    """
+    if trials < 0:
+        raise ConfigurationError(f"trials must be >= 0, got {trials}")
+    if trials == 0:
+        return []
+    sims = [
+        LifespanSimulator(config, rng=generator_for_trial(root_seed, t))
+        for t in range(trials)
+    ]
+    scheme = sims[0].scheme
+    engine = BatchCDSEngine(scheme, fixed_point=config.fixed_point)
+    n = config.n_hosts
+
+    records: list[list[IntervalMetrics]] = [[] for _ in range(trials)]
+    gateway_counts = np.zeros((trials, n), dtype=np.int64)
+    alive = list(range(trials))
+    with obs.span("trial_batch"):
+        while alive:
+            packed = pack_batch(
+                [list(sims[t].network.adjacency) for t in alive]
+            )
+            energies = None
+            if scheme.needs_energy:
+                energies = np.stack(
+                    [np.asarray(sims[t].bank.levels) for t in alive]
+                )
+            flags, stats = engine.run(packed, energies)
+            masks = flags_to_masks(flags)
+
+            survivors: list[int] = []
+            for k, t in enumerate(alive):
+                sim = sims[t]
+                cds = CDSResult(
+                    scheme=scheme.name,
+                    gateway_mask=masks[k],
+                    n=n,
+                    stats=stats[k],
+                )
+                adj = sim.network.adjacency
+                if config.verify_invariants and (
+                    masks[k] or not marking_trivially_empty(adj)
+                ):
+                    verify_cds(
+                        adj, masks[k], context=f"batch trial {t}"
+                    )
+                if config.shadow_check:
+                    energy = (
+                        list(sim.bank.levels) if scheme.needs_energy else None
+                    )
+                    ref = compute_cds(
+                        list(adj),
+                        scheme,
+                        energy=energy,
+                        fixed_point=config.fixed_point,
+                    )
+                    if ref.gateway_mask != masks[k]:
+                        raise InvariantViolation(
+                            f"batched backend diverged from scratch on trial "
+                            f"{t} interval {len(records[t]) + 1}: "
+                            f"{masks[k]:#x} != {ref.gateway_mask:#x}"
+                        )
+                drain = sim.accountant.apply(cds.gateway_mask)
+                someone_died = bool(drain.died) or sim.bank.any_dead()
+                topology_changed = False
+                if not someone_died:
+                    topology_changed = sim.mobility.step()
+                records[t].append(
+                    IntervalMetrics(
+                        interval=len(records[t]) + 1,
+                        cds_size=cds.size,
+                        gateway_drain=drain.gateway_drain,
+                        min_energy_after=drain.min_level_after,
+                        topology_changed=topology_changed,
+                        removed_rule1=cds.stats.removed_rule1,
+                        removed_rule2=cds.stats.removed_rule2,
+                    )
+                )
+                gateways = bitset.ids_from_mask(masks[k])
+                if gateways:
+                    gateway_counts[t, np.asarray(gateways, dtype=np.intp)] += 1
+                if someone_died:
+                    continue
+                if (
+                    config.max_intervals is not None
+                    and len(records[t]) >= config.max_intervals
+                ):
+                    raise SimulationError(
+                        f"no host died within max_intervals="
+                        f"{config.max_intervals}; check the drain "
+                        "configuration (d'=0 with tiny d never terminates)"
+                    )
+                survivors.append(t)
+            alive = survivors
+        if obs.enabled():
+            obs.add("lifespan.trials", trials)
+            obs.add(
+                "lifespan.intervals", sum(len(r) for r in records)
+            )
+
+    results = []
+    for t, sim in enumerate(sims):
+        metrics = TrialMetrics.summarize(
+            records[t],
+            first_dead_host=sim.bank.first_death(),
+            total_gateway_drain=sim.accountant.total_gateway_drain,
+            total_non_gateway_drain=sim.accountant.total_non_gateway_drain,
+            frozen_intervals=sim.mobility.frozen_intervals,
+            final_levels=np.asarray(sim.bank.levels),
+            keep_intervals=keep_intervals,
+            gateway_counts=gateway_counts[t],
+        )
+        results.append(LifespanResult(config=config, metrics=metrics))
+    return results

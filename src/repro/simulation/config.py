@@ -68,6 +68,13 @@ class SimulationConfig:
     #: interval and raise on any gateway-mask divergence (debug/CI mode;
     #: pays for both paths; implies nothing unless ``incremental``).
     shadow_check: bool = False
+    #: CDS computation backend: ``scalar`` (the default — scratch or
+    #: delta pipeline per ``incremental``) or ``vectorized`` (the batched
+    #: numpy kernels of :mod:`repro.core.vectorized`; bit-identical masks,
+    #: built for n ≳ 1000 where the scalar paths cap out).  With
+    #: ``vectorized`` the ``incremental`` knob is ignored; ``shadow_check``
+    #: still cross-checks against the scratch oracle every interval.
+    backend: str = "scalar"
     #: hard cap on intervals (guards d' = 0 style configs; None = no cap).
     max_intervals: int | None = 100_000
     #: non-gateway drain d' (the paper's unit).
@@ -111,6 +118,10 @@ class SimulationConfig:
         if self.non_gateway_drain < 0:
             raise ConfigurationError(
                 f"non_gateway_drain must be >= 0, got {self.non_gateway_drain}"
+            )
+        if self.backend not in ("scalar", "vectorized"):
+            raise ConfigurationError(
+                f"backend must be scalar|vectorized, got {self.backend!r}"
             )
         # scheme and drain model names are validated by their registries at
         # simulator construction; doing it here too gives early errors

@@ -20,6 +20,7 @@ import numpy as np
 from repro import obs
 from repro.core.delta import INCREMENTAL_MIN_HOSTS, DeltaCDSPipeline
 from repro.core.priority import scheme_by_name
+from repro.core.vectorized import VectorizedCDSPipeline
 from repro.energy.accounting import EnergyAccountant
 from repro.energy.battery import BatteryBank
 from repro.energy.models import drain_model_by_name
@@ -65,22 +66,36 @@ class LifespanSimulator:
         self.rng = as_generator(rng)
         self.scheme = scheme_by_name(config.scheme)
         self.drain_model = drain_model_by_name(config.drain_model)
-        # the incremental pipeline carries cached state across intervals;
-        # one instance per trial so trials stay independent.  Networks below
-        # the measured crossover stay on the (there faster) scratch path —
-        # unless shadow checking was requested, which needs the pipeline.
-        self.pipeline = (
-            DeltaCDSPipeline(
+        # backend selection.  "vectorized" swaps in the batched numpy
+        # kernels (stateless across intervals; bit-identical masks).  On
+        # "scalar", the incremental pipeline carries cached state across
+        # intervals; one instance per trial so trials stay independent.
+        # Networks below the measured crossover stay on the (there faster)
+        # scratch path — unless shadow checking was requested, which needs
+        # the pipeline.
+        if config.backend == "vectorized" and cds_fn is None:
+            self.pipeline = VectorizedCDSPipeline(
                 self.scheme,
                 fixed_point=config.fixed_point,
                 verify=config.verify_invariants,
                 shadow_check=config.shadow_check,
             )
-            if config.incremental
-            and cds_fn is None
-            and (config.n_hosts >= INCREMENTAL_MIN_HOSTS or config.shadow_check)
-            else None
-        )
+        else:
+            self.pipeline = (
+                DeltaCDSPipeline(
+                    self.scheme,
+                    fixed_point=config.fixed_point,
+                    verify=config.verify_invariants,
+                    shadow_check=config.shadow_check,
+                )
+                if config.incremental
+                and cds_fn is None
+                and (
+                    config.n_hosts >= INCREMENTAL_MIN_HOSTS
+                    or config.shadow_check
+                )
+                else None
+            )
 
         self.network = random_connected_network(
             config.n_hosts,

@@ -180,3 +180,48 @@ class TestCachedRuleEngine:
         scheme_adj[v] ^= 1 << u
         engine.update(scheme_adj, (1 << u) | (1 << v), None)
         assert engine.adjacency == scheme_adj
+
+
+class TestWordBoundarySizes:
+    """Tail-word regression (ISSUE 7): the packed uint64 paths must be
+    exact when n is not a multiple of 64 — stray bits in the last word
+    would corrupt coverage verdicts and firing tables."""
+
+    @pytest.mark.parametrize("n", [63, 64, 65, 127])
+    def test_delta_pipeline_matches_scratch_across_moves(self, n):
+        import math
+
+        rng = np.random.default_rng(n)
+        side = 100.0 * math.sqrt(n / 100)
+        net = AdHocNetwork(
+            rng.uniform(0.0, side, size=(n, 2)), 25.0, side=side
+        )
+        net.adjacency
+        pipe = DeltaCDSPipeline("nd")
+        for _ in range(4):
+            got = pipe.compute(net)
+            want = compute_cds(net.snapshot(), "nd")
+            assert got.gateway_mask == want.gateway_mask
+            assert got.stats == want.stats
+            ids = rng.choice(n, size=max(1, n // 8), replace=False)
+            net.positions[ids] += rng.uniform(-8.0, 8.0, size=(len(ids), 2))
+            net.positions[:] = np.clip(net.positions, 0.0, side)
+            net.apply_moves(list(ids))
+
+    @pytest.mark.parametrize("n", [63, 64, 65, 127])
+    def test_changed_row_detection_at_boundary(self, n):
+        # the object-array row compare must see a single flipped edge on
+        # the highest row (the one living in the tail word)
+        adj = [0] * n
+        for i in range(n - 1):
+            adj[i] |= 1 << (i + 1)
+            adj[i + 1] |= 1 << i
+        pipe = DeltaCDSPipeline("id")
+        pipe.compute(adj)
+        adj2 = list(adj)
+        adj2[n - 1] ^= 1 << 0
+        adj2[0] ^= 1 << (n - 1)
+        got = pipe.compute(adj2)
+        want = compute_cds(adj2, "id")
+        assert got.gateway_mask == want.gateway_mask
+        assert got.stats == want.stats

@@ -1,0 +1,66 @@
+"""Regression: degenerate sweeps (zero trials / empty cell grid) return
+an empty outcome cleanly instead of raising (ISSUE 7 bugfix)."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.exec.executor import SweepExecutor, progress_printer
+from repro.simulation.config import SimulationConfig
+
+
+def _cfg() -> SimulationConfig:
+    return SimulationConfig(n_hosts=5, scheme="id")
+
+
+class TestDegenerateSweeps:
+    def test_zero_trials_returns_empty_cells(self):
+        out = SweepExecutor(processes=1).run(
+            [("a", _cfg()), ("b", _cfg())], 0, root_seed=1
+        )
+        assert out.cells == {"a": [], "b": []}
+        assert out.trials == 0
+        assert out.executed == 0
+        assert out.restored == 0
+        assert out.retried == 0
+
+    def test_empty_cell_grid_returns_empty_outcome(self):
+        out = SweepExecutor(processes=1).run([], 5, root_seed=1)
+        assert out.cells == {}
+        assert out.executed == 0
+        assert out.total_shards == 0
+
+    def test_both_degenerate(self):
+        out = SweepExecutor(processes=1).run([], 0)
+        assert out.cells == {}
+
+    def test_negative_trials_still_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SweepExecutor(processes=1).run([("a", _cfg())], -1)
+
+    def test_progress_printer_never_ticks_on_degenerate(self):
+        # the degenerate path returns before any shard exists, so the
+        # printer (which divides by total) must simply never be called
+        stream = io.StringIO()
+        ticks = []
+        printer = progress_printer(stream)
+
+        def spy(ev):
+            ticks.append(ev)
+            printer(ev)
+
+        SweepExecutor(processes=1, progress=spy).run([("a", _cfg())], 0)
+        SweepExecutor(processes=1, progress=spy).run([], 3)
+        assert ticks == []
+        assert stream.getvalue() == ""
+
+    def test_zero_trials_skips_checkpoint_binding(self, tmp_path):
+        # no shards -> nothing to checkpoint, and no store files created
+        out = SweepExecutor(processes=1, checkpoint=tmp_path / "ckpt").run(
+            [("a", _cfg())], 0
+        )
+        assert out.cells == {"a": []}
+        assert not (tmp_path / "ckpt").exists()

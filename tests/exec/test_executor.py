@@ -58,9 +58,11 @@ class TestValidation:
         with pytest.raises(ConfigurationError, match="start method"):
             SweepExecutor(start_method="teleport")
 
-    def test_bad_trials_rejected(self):
+    def test_negative_trials_rejected(self):
+        # zero trials is a valid degenerate sweep (empty outcome, see
+        # tests/exec/test_degenerate_sweep.py); only negatives are errors
         with pytest.raises(ConfigurationError, match="trials"):
-            SweepExecutor(processes=1).run(CELLS, 0, root_seed=1)
+            SweepExecutor(processes=1).run(CELLS, -1, root_seed=1)
 
 
 class TestCheckpointResume:
