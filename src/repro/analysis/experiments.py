@@ -32,7 +32,9 @@ from repro.graphs.generators import scaled_side
 from repro.simulation.config import SimulationConfig
 
 __all__ = [
+    "AlgorithmMatrixResult",
     "ExperimentResult",
+    "run_algorithm_matrix",
     "run_figure10",
     "run_lifespan_figure",
     "DEFAULT_SWEEP",
@@ -190,6 +192,7 @@ def run_figure10(
     progress: Callable[[SweepProgress], None] | None = None,
     backend: str = "scalar",
     density_scaled: bool = False,
+    algorithm: str = "wu_li",
 ) -> ExperimentResult:
     """Figure 10: average |G'| per interval vs N for every scheme.
 
@@ -197,8 +200,13 @@ def run_figure10(
     restarts from its completed (N, scheme, trial) shards bit-identically.
     ``backend="vectorized"`` + ``density_scaled=True`` lift the sweep to
     N = 10k scenario families (same masks; see EXPERIMENTS.md).
+    ``algorithm`` swaps the CDS construction for every cell (any name in
+    :func:`repro.core.registry.algorithm_names`).
     """
-    base = SimulationConfig(scheme="id", drain_model=drain_model, backend=backend)
+    base = SimulationConfig(
+        scheme="id", drain_model=drain_model, backend=backend,
+        algorithm=algorithm,
+    )
     series, raw = _sweep(
         base, list(schemes), list(n_values), trials, root_seed,
         lambda m: m.mean_cds_size, parallel,
@@ -243,6 +251,7 @@ def run_lifespan_figure(
     progress: Callable[[SweepProgress], None] | None = None,
     backend: str = "scalar",
     density_scaled: bool = False,
+    algorithm: str = "wu_li",
 ) -> ExperimentResult:
     """Figures 11/12/13: average lifespan vs N under one drain model.
 
@@ -250,9 +259,14 @@ def run_lifespan_figure(
     restarts from its completed (N, scheme, trial) shards bit-identically.
     ``backend="vectorized"`` + ``density_scaled=True`` lift the sweep to
     N = 10k scenario families (same masks; see EXPERIMENTS.md).
+    ``algorithm`` swaps the CDS construction for every cell (any name in
+    :func:`repro.core.registry.algorithm_names`).
     """
     figure, formula = _FIGURE_BY_MODEL.get(drain_model, (f"({drain_model})", ""))
-    base = SimulationConfig(scheme="id", drain_model=drain_model, backend=backend)
+    base = SimulationConfig(
+        scheme="id", drain_model=drain_model, backend=backend,
+        algorithm=algorithm,
+    )
     series, raw = _sweep(
         base, list(schemes), list(n_values), trials, root_seed,
         lambda m: float(m.lifespan), parallel,
@@ -295,4 +309,138 @@ def run_lifespan_figure(
         drain_model=drain_model,
         notes=notes,
         raw=raw,
+    )
+
+
+@dataclass(frozen=True)
+class AlgorithmMatrixResult:
+    """The algorithm × scheme competition at one network size.
+
+    ``cells[algorithm][scheme]`` holds the per-cell summaries:
+    ``size`` (mean |G'| per interval) and ``lifespan`` (intervals to
+    first death), each a :class:`SeriesSummary` over the trials.
+    Algorithms that ignore the priority scheme were run on a single
+    representative scheme (their output is scheme-invariant by
+    construction); ``schemes_of`` records which schemes each algorithm
+    actually ran.
+    """
+
+    n_hosts: int
+    trials: int
+    drain_model: str
+    schemes: tuple[str, ...]
+    cells: Mapping[str, Mapping[str, Mapping[str, SeriesSummary]]]
+    schemes_of: Mapping[str, tuple[str, ...]]
+
+    def to_table(self) -> str:
+        rows = []
+        for algo in self.cells:
+            for scheme in self.cells[algo]:
+                cell = self.cells[algo][scheme]
+                rows.append(
+                    [
+                        algo,
+                        scheme.upper(),
+                        f"{cell['size'].mean:.1f}",
+                        f"{cell['lifespan'].mean:.1f}",
+                        f"{cell['lifespan'].sem:.1f}",
+                    ]
+                )
+        return render_table(
+            ["algorithm", "scheme", "mean |G'|", "lifespan", "±sem"],
+            rows,
+            title=(
+                f"Algorithm matrix: N={self.n_hosts}, drain "
+                f"'{self.drain_model}', {self.trials} trials"
+            ),
+        )
+
+    def to_json(self) -> dict:
+        """The ``extra.algorithms`` payload for BENCH_pipeline.json."""
+        return {
+            "n_hosts": self.n_hosts,
+            "trials": self.trials,
+            "drain_model": self.drain_model,
+            "schemes": list(self.schemes),
+            "curves": {
+                algo: {
+                    scheme: {
+                        "mean_cds_size": cell["size"].mean,
+                        "sem_cds_size": cell["size"].sem,
+                        "mean_lifespan": cell["lifespan"].mean,
+                        "sem_lifespan": cell["lifespan"].sem,
+                    }
+                    for scheme, cell in by_scheme.items()
+                }
+                for algo, by_scheme in self.cells.items()
+            },
+        }
+
+
+def run_algorithm_matrix(
+    *,
+    algorithms: Sequence[str] | None = None,
+    schemes: Sequence[str] = PAPER_SERIES_ORDER,
+    n_hosts: int = 30,
+    trials: int = 5,
+    drain_model: str = "fixed",
+    root_seed: int | None = 2001,
+    parallel: bool = True,
+    processes: int | None = None,
+    checkpoint_dir: str | Path | None = None,
+    progress: Callable[[SweepProgress], None] | None = None,
+) -> AlgorithmMatrixResult:
+    """One executor sweep over the full algorithm × scheme grid.
+
+    The figure-10-style competition the registry exists for: every
+    registered construction (default: all of them) runs the same lifespan
+    trials, producing per-algorithm CDS-size and lifespan curves from one
+    resumable :class:`SweepExecutor` run.  Scheme-insensitive algorithms
+    run only under the first scheme of ``schemes`` — their masks are
+    scheme-invariant, so the other cells would be redundant compute.
+    """
+    from repro.core.registry import algorithm_by_name, algorithm_names
+
+    names = list(algorithms) if algorithms is not None else algorithm_names()
+    schemes_of = {
+        name: (
+            tuple(schemes)
+            if algorithm_by_name(name).uses_scheme
+            else tuple(schemes[:1])
+        )
+        for name in names
+    }
+    cells = [
+        (
+            f"{name}/{scheme}",
+            SimulationConfig(
+                n_hosts=n_hosts,
+                scheme=scheme,
+                drain_model=drain_model,
+                algorithm=name,
+            ),
+        )
+        for name in names
+        for scheme in schemes_of[name]
+    ]
+    executor = SweepExecutor(
+        processes=processes, checkpoint=checkpoint_dir, progress=progress
+    )
+    outcome = executor.run(cells, trials, root_seed=root_seed, parallel=parallel)
+    grid: dict[str, dict[str, dict[str, SeriesSummary]]] = {}
+    for name in names:
+        grid[name] = {}
+        for scheme in schemes_of[name]:
+            metrics = outcome.cell(f"{name}/{scheme}")
+            grid[name][scheme] = {
+                "size": summarize([m.mean_cds_size for m in metrics]),
+                "lifespan": summarize([float(m.lifespan) for m in metrics]),
+            }
+    return AlgorithmMatrixResult(
+        n_hosts=n_hosts,
+        trials=trials,
+        drain_model=drain_model,
+        schemes=tuple(schemes),
+        cells=grid,
+        schemes_of=schemes_of,
     )

@@ -13,10 +13,16 @@ implementations let the comparison bench quantify that claim:
   the clustering approach underlying spine/cluster-based routing [2, 6],
 * :mod:`repro.baselines.pure_dominating` — greedy dominating set followed
   by Steiner-style connection (what you get if you ignore connectivity
-  during selection).
+  during selection),
+* :mod:`repro.baselines.two_connected` — Aneja-style (2,2)-connected
+  greedy (backbone survives any single non-cut-vertex gateway loss),
+* :mod:`repro.baselines.weighted_mcds` — Zhou-style minimum-weight
+  (1, m)-CDS with energy keys as node weights.
 
-All return plain gateway sets verified against the same
-:mod:`repro.core.properties` invariants as the paper's algorithms.
+All return plain gateway sets (or bitmasks) verified against the same
+:mod:`repro.core.properties` invariants as the paper's algorithms, and
+all are registered in :mod:`repro.core.registry` so every campaign can
+swap them in via ``algorithm=...``.
 """
 
 from repro.baselines.greedy_mcds import guha_khuller_cds
@@ -24,12 +30,16 @@ from repro.baselines.pieces_mcds import pieces_cds
 from repro.baselines.mis_cds import mis_cds
 from repro.baselines.pure_dominating import greedy_dominating_set, connected_greedy_ds
 from repro.baselines.energy_greedy import energy_aware_greedy_cds
+from repro.baselines.two_connected import aneja_two_connected_cds
+from repro.baselines.weighted_mcds import zhou_min_weight_cds
 
 __all__ = [
+    "aneja_two_connected_cds",
     "energy_aware_greedy_cds",
     "guha_khuller_cds",
     "pieces_cds",
     "mis_cds",
     "greedy_dominating_set",
     "connected_greedy_ds",
+    "zhou_min_weight_cds",
 ]

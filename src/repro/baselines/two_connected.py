@@ -1,0 +1,215 @@
+"""Aneja-style (2,2)-connected dominating set (greedy approximation).
+
+A plain CDS is a single-point-of-failure backbone: lose one gateway and
+routing may partition even though the physical network survived.  The
+(k, m)-CDS literature (Aneja et al. in PAPERS.md) hardens it: every
+outside host should see *m* gateways, and the backbone should stay a CDS
+after the loss of any ``k - 1`` of its members.  This module implements
+the greedy (2,2) variant on top of the repo's bitmask graphs:
+
+1. **Seed** with a small CDS — Guha–Khuller tree growth, energy-aware
+   when levels are supplied (high-energy gateways survive longer, which
+   is what makes the redundancy worth paying for in the power-aware
+   setting).
+2. **2-dominate**: every host outside the set whose physical degree
+   allows it gets a second gateway neighbor (hosts with degree 1 can
+   never have two — they are covered as well as the topology permits).
+3. **Survive single loss**: for every gateway ``g`` that is *not* a cut
+   vertex of G, require that ``S − g`` is still a CDS of ``G − g``;
+   repair domination gaps by adding a neighbor of the orphaned host and
+   connectivity splits by adding the interior of a shortest bypass path
+   in ``G − g``.  Cut vertices are excluded because no backbone can
+   survive losing one — the *graph itself* partitions.
+
+Each repair strictly grows the set and ``S = V`` always satisfies every
+requirement, so the loop terminates.  The output is a valid CDS (it
+contains the seed) and additionally passes the service publish gate's
+2-connected check (:class:`repro.service.invariants.BackboneChecker`
+with ``connectivity=2``).
+
+Centralized and O(n·m) bitmask sweeps per candidate — an oracle for the
+campaigns, not a distributed protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.baselines.energy_greedy import energy_aware_greedy_cds
+from repro.baselines.greedy_mcds import guha_khuller_cds
+from repro.errors import DisconnectedGraphError
+from repro.graphs import bitset
+from repro.graphs.neighborhoods import connected_within, is_connected
+
+__all__ = ["aneja_two_connected_cds", "non_cut_vertices", "survives_loss"]
+
+
+def non_cut_vertices(adj: Sequence[int], members: int | None = None) -> int:
+    """Mask of nodes (within ``members``, default all) that are not cut
+    vertices of the graph induced by ``members``.
+
+    Simple remove-and-BFS per candidate — O(n) BFS sweeps per node, fine
+    at oracle scale (the campaigns run these constructions at N ≤ a few
+    hundred).
+    """
+    n = len(adj)
+    scope = (1 << n) - 1 if members is None else members
+    out = 0
+    for v in bitset.iter_bits(scope):
+        rest = scope & ~(1 << v)
+        if connected_within(adj, rest):
+            out |= 1 << v
+    return out
+
+
+def survives_loss(adj: Sequence[int], members: int, lost: int) -> bool:
+    """True iff ``members − lost`` is still a CDS of the graph minus
+    ``lost`` (domination of every surviving node + induced connectivity).
+    """
+    n = len(adj)
+    alive = ((1 << n) - 1) & ~(1 << lost)
+    rest = members & alive
+    if not connected_within(adj, rest):
+        return False
+    covered = rest
+    for g in bitset.iter_bits(rest):
+        covered |= adj[g]
+    return covered & alive == alive
+
+
+def aneja_two_connected_cds(
+    adjacency: Sequence[int], energy: Sequence[float] | None = None
+) -> int:
+    """Greedy (2,2)-connected dominating set of a connected graph; bitmask.
+
+    Degenerate shapes: ``n == 0`` → empty, ``n == 1`` → the node itself,
+    ``n == 2`` → both nodes (each is the other's only fallback).
+    Disconnected graphs raise (the registry decomposes per component).
+    """
+    adj = list(adjacency)
+    n = len(adj)
+    if n == 0:
+        return 0
+    if n == 1:
+        return 1
+    if not is_connected(adj):
+        raise DisconnectedGraphError("(2,2)-CDS needs a connected graph")
+    if n == 2:
+        return 0b11
+
+    full = (1 << n) - 1
+    levels = list(energy) if energy is not None else None
+
+    def gain(v: int, need: int) -> tuple:
+        # prefer candidates fixing many deficits, then fresh batteries,
+        # then low id (the repo-wide deterministic tiebreak)
+        e = levels[v] if levels is not None else 0.0
+        return (bitset.popcount(adj[v] & need), e, -v)
+
+    if levels is not None:
+        members = energy_aware_greedy_cds(adj, levels)
+    else:
+        members = bitset.mask_from_ids(guha_khuller_cds(adj))
+
+    # -- phase 2: 2-domination -------------------------------------------
+    # every outside host with degree >= 2 must see two gateways
+    changed = True
+    while changed:
+        changed = False
+        deficient = 0
+        for v in bitset.iter_bits(full & ~members):
+            if bitset.popcount(adj[v]) >= 2 and bitset.popcount(adj[v] & members) < 2:
+                deficient |= 1 << v
+        if not deficient:
+            break
+        # candidates: non-members adjacent to some deficient host
+        best = max(
+            (
+                v
+                for v in bitset.iter_bits(full & ~members)
+                if adj[v] & deficient
+            ),
+            key=lambda v: gain(v, deficient),
+        )
+        members |= 1 << best
+        changed = True
+
+    # -- phase 3: survive any single non-cut-vertex gateway loss ---------
+    while True:
+        testable = members & non_cut_vertices(adj)
+        broken = next(
+            (
+                g
+                for g in bitset.iter_bits(testable)
+                if not survives_loss(adj, members, g)
+            ),
+            None,
+        )
+        if broken is None:
+            return members
+        members |= 1 << _repair(adj, members, broken, gain)
+
+
+def _repair(adj, members: int, lost: int, gain) -> int:
+    """Pick one node whose addition moves ``members − lost`` toward being
+    a CDS of ``G − lost``.  Called only when a repair is needed, and the
+    caller re-checks, so fixing *one* deficiency per call suffices.
+    """
+    n = len(adj)
+    alive = ((1 << n) - 1) & ~(1 << lost)
+    rest = members & alive
+
+    covered = rest
+    for g in bitset.iter_bits(rest):
+        covered |= adj[g]
+    orphans = alive & ~covered
+    if orphans:
+        # any surviving neighbor of an orphan; prefer one touching the
+        # backbone (repairs domination and connectivity in one move)
+        v = (orphans & -orphans).bit_length() - 1
+        cands = adj[v] & alive & ~members
+        touching = [u for u in bitset.iter_bits(cands) if adj[u] & rest]
+        pool = touching or list(bitset.iter_bits(cands))
+        return max(pool, key=lambda u: gain(u, orphans))
+
+    # domination holds, so the backbone remainder must be split: bridge
+    # the piece containing some member to the rest via a shortest path
+    # in G − lost whose interior we add
+    start = (rest & -rest).bit_length() - 1
+    piece = 1 << start
+    frontier = piece
+    while frontier:
+        nxt = 0
+        for v in bitset.iter_bits(frontier):
+            nxt |= adj[v]
+        nxt &= rest & ~piece
+        piece |= nxt
+        frontier = nxt
+    other = rest & ~piece
+
+    # BFS from the piece through alive non-lost nodes toward the rest
+    parent: dict[int, int] = {}
+    seen = piece
+    frontier = piece
+    while frontier:
+        nxt = 0
+        for v in bitset.iter_bits(frontier):
+            reach = adj[v] & alive & ~seen
+            for u in bitset.iter_bits(reach):
+                parent[u] = v
+            nxt |= reach
+        seen |= nxt
+        hit = nxt & other
+        if hit:
+            # walk back from the first reached far-side member; return the
+            # first path-interior node not yet in the backbone
+            v = (hit & -hit).bit_length() - 1
+            while v in parent:
+                v = parent[v]
+                if not members >> v & 1:
+                    return v
+            break
+        frontier = nxt
+    raise DisconnectedGraphError(
+        "no bypass path exists; lost node was a cut vertex"
+    )

@@ -7,6 +7,10 @@ Commands
 ``lifespan``  run lifespan trials for one or all schemes;
 ``figure``    regenerate one of the paper's figures (10, 11, 12, 13);
 ``example``   print the §3.3 worked example results for every scheme;
+``compare``   run every registered CDS algorithm on one generated
+              network and print a size/runtime/verified table (the
+              centralized-oracle comparison the lifespan docstring
+              promises);
 ``faults``    run the fault-injected distributed protocol and report
               convergence + retransmission overhead;
 ``profile``   run an instrumented simulation (and optionally the
@@ -35,6 +39,7 @@ from repro.analysis.stats import summarize
 from repro.analysis.tables import render_table
 from repro.core.cds import compute_cds
 from repro.core.priority import PAPER_SERIES_ORDER
+from repro.core.registry import algorithm_names
 from repro.graphs.generators import paper_example_graph, random_connected_network
 from repro.io.topology_io import load_network
 from repro.simulation.config import SimulationConfig
@@ -89,6 +94,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="CDS backend: scalar pipelines or the batched numpy kernels "
         "(bit-identical results; vectorized wins at large N)",
     )
+    l.add_argument(
+        "--algorithm", default="wu_li", choices=algorithm_names(),
+        help="CDS construction from the repro.core.registry catalog "
+        "(default: the paper's marking + pruning path)",
+    )
 
     f = sub.add_parser("figure", help="regenerate a paper figure")
     f.add_argument("number", type=int, choices=[10, 11, 12, 13])
@@ -122,8 +132,31 @@ def build_parser() -> argparse.ArgumentParser:
         "degree) stays at the paper's level — required reading for N=10k "
         "scenario families (see EXPERIMENTS.md)",
     )
+    f.add_argument(
+        "--algorithm", default="wu_li", choices=algorithm_names(),
+        help="CDS construction for every cell of the figure sweep",
+    )
 
     sub.add_parser("example", help="the paper's §3.3 worked example")
+
+    cp = sub.add_parser(
+        "compare",
+        help="run every registered CDS algorithm on one network and print "
+        "a size/runtime/verified table",
+    )
+    cp.add_argument("--hosts", type=int, default=40)
+    cp.add_argument("--radius", type=float, default=25.0)
+    cp.add_argument("--side", type=float, default=100.0)
+    cp.add_argument(
+        "--scheme", default="el2", choices=list(PAPER_SERIES_ORDER),
+        help="priority scheme fed to scheme-aware algorithms",
+    )
+    cp.add_argument("--seed", type=int, default=2001)
+    cp.add_argument(
+        "--jitter", type=float, default=0.3,
+        help="energy heterogeneity: levels uniform in 100*(1±jitter) — "
+        "what separates the energy-aware constructions",
+    )
 
     ft = sub.add_parser(
         "faults", help="fault-injected distributed CDS (loss, crashes, repair)"
@@ -201,6 +234,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="grow the arena side as 100*sqrt(N/100) — pair with "
         "--hosts 10000 --backend vectorized to profile the 10k family",
     )
+    pr.add_argument(
+        "--algorithm", default="wu_li", choices=algorithm_names(),
+        help="CDS construction to profile",
+    )
     pr.add_argument("--seed", type=int, default=2001)
 
     sv = sub.add_parser(
@@ -213,6 +250,11 @@ def build_parser() -> argparse.ArgumentParser:
     sv.add_argument("--updates", type=int, default=100, help="updates per tenant")
     sv.add_argument("--seed", type=int, default=2001)
     sv.add_argument("--scheme", default="el2", choices=list(PAPER_SERIES_ORDER))
+    sv.add_argument(
+        "--algorithm", default="wu_li", choices=algorithm_names(),
+        help="backbone construction; 2-connected algorithms arm the "
+        "stronger publish gate (survives any single gateway loss)",
+    )
     sv.add_argument("--radius", type=float, default=25.0)
     sv.add_argument("--side", type=float, default=100.0)
     sv.add_argument(
@@ -333,6 +375,7 @@ def _cmd_lifespan(args) -> int:
                 incremental=not args.scratch,
                 shadow_check=args.shadow_check,
                 backend=args.backend,
+                algorithm=args.algorithm,
             ),
         )
         for scheme in schemes
@@ -375,6 +418,7 @@ def _cmd_figure(args) -> int:
         progress=progress_printer(),
         backend=args.backend,
         density_scaled=args.density_scaled,
+        algorithm=args.algorithm,
     )
     if args.number == 10:
         result = run_figure10(**common)
@@ -396,6 +440,62 @@ def _cmd_example(args) -> int:
             f"  {scheme.upper():>3}: {r.size:2d} gateways "
             f"{sorted(ex.labels(r.gateways))}"
         )
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    import time as _time
+
+    from repro.core.marking import marking_trivially_empty
+    from repro.core.properties import is_cds
+    from repro.core.registry import ALGORITHMS
+
+    net = random_connected_network(
+        args.hosts, side=args.side, radius=args.radius, rng=args.seed
+    )
+    rng = np.random.default_rng(args.seed)
+    lo = 100.0 * (1.0 - args.jitter)
+    hi = 100.0 * (1.0 + args.jitter)
+    energy = list(rng.uniform(lo, hi, size=net.n))
+    rows = []
+    for name in sorted(ALGORITHMS):
+        algo = ALGORITHMS[name]
+        t0 = _time.perf_counter()
+        result = algo.compute(net, args.scheme, energy)
+        ms = (_time.perf_counter() - t0) * 1e3
+        mask = result.gateway_mask
+        valid = (
+            is_cds(net.adjacency, mask)
+            if mask
+            else marking_trivially_empty(net.adjacency)
+        )
+        flags = []
+        if algo.connectivity >= 2:
+            flags.append("2-conn")
+        if algo.supports_delta:
+            flags.append("delta")
+        if algo.supports_vectorized:
+            flags.append("vec")
+        rows.append(
+            [
+                name,
+                result.size,
+                f"{ms:.2f}",
+                "yes" if valid else "NO",
+                ",".join(flags) or "-",
+            ]
+        )
+    print(
+        render_table(
+            ["algorithm", "|G'|", "runtime ms", "verified", "capabilities"],
+            rows,
+            title=(
+                f"CDS constructions on one network: N={args.hosts}, "
+                f"radius {args.radius}, scheme {args.scheme.upper()}, "
+                f"energy jitter ±{args.jitter:.0%}, seed {args.seed}"
+            ),
+        )
+    )
     return 0
 
 
@@ -493,6 +593,7 @@ def _cmd_profile(args) -> int:
         scheme=args.scheme,
         drain_model=args.drain,
         backend=args.backend,
+        algorithm=args.algorithm,
         side=scaled_side(args.hosts) if args.density_scaled else 100.0,
     )
     if args.trials > 1:
@@ -530,6 +631,7 @@ def _cmd_profile(args) -> int:
                     sim.mobility,
                     interval_index=i + 1,
                     pipeline=sim.pipeline,
+                    algorithm=sim.algorithm,
                 )
                 intervals += 1
                 if outcome.someone_died:
@@ -587,6 +689,7 @@ def _cmd_serve(args) -> int:
         radius=args.radius,
         side=args.side,
         scheme=args.scheme,
+        algorithm=args.algorithm,
         snapshot_every=args.snapshot_every,
         recompute_timeout_s=args.recompute_timeout,
         restart=RestartPolicy(
@@ -756,6 +859,7 @@ def main(argv: list[str] | None = None) -> int:
         "lifespan": _cmd_lifespan,
         "figure": _cmd_figure,
         "example": _cmd_example,
+        "compare": _cmd_compare,
         "faults": _cmd_faults,
         "directed": _cmd_directed,
         "profile": _cmd_profile,

@@ -41,8 +41,24 @@ from repro.core.unidirectional import (
     directed_marking,
     is_dominating_and_absorbing,
 )
+from repro.core.registry import (
+    ALGORITHMS,
+    EXECUTION_BACKENDS,
+    AlgorithmPipeline,
+    CDSAlgorithm,
+    algorithm_by_name,
+    algorithm_names,
+    register_algorithm,
+)
 
 __all__ = [
+    "ALGORITHMS",
+    "EXECUTION_BACKENDS",
+    "AlgorithmPipeline",
+    "CDSAlgorithm",
+    "algorithm_by_name",
+    "algorithm_names",
+    "register_algorithm",
     "compute_directed_cds",
     "directed_marking",
     "is_dominating_and_absorbing",

@@ -56,6 +56,7 @@ def localized_repair(
     energy: Sequence[float] | None = None,
     *,
     hops: int = 2,
+    algorithm: str = "wu_li",
 ) -> tuple[int, int]:
     """Re-decide the 2-hop ball around crashed hosts; freeze the rest.
 
@@ -63,7 +64,21 @@ def localized_repair(
     marking predicate on the surviving topology and then one Rule-1 +
     Rule-2 pass in which only ball members may unmark; hosts outside the
     ball keep their prior status.
+
+    The 2-hop locality theorem is a *marking-process* property; for any
+    other registered ``algorithm`` (whose selections are global) the call
+    escalates straight to :func:`full_recompute`, still reporting the
+    ball it would have repaired so callers can log blast radii uniformly.
     """
+    from repro.core.registry import algorithm_by_name
+
+    algo = algorithm_by_name(algorithm)
+    if algo.name != "wu_li":
+        ball = repair_ball(adj, crashed_mask, hops)
+        return (
+            full_recompute(adj, crashed_mask, scheme, energy, algorithm=algorithm),
+            ball,
+        )
     sch = scheme_by_name(scheme) if isinstance(scheme, str) else scheme
     n = len(adj)
     alive = ((1 << n) - 1) & ~crashed_mask
@@ -90,13 +105,17 @@ def full_recompute(
     crashed_mask: int,
     scheme: str | PriorityScheme,
     energy: Sequence[float] | None = None,
+    *,
+    algorithm: str = "wu_li",
 ) -> int:
     """Recompute the CDS from scratch, per surviving component.
 
     The escalation path when localized repair cannot restore the
-    invariants: run the full marking + pruning pipeline independently on
-    each connected component of the surviving graph (the pipeline assumes
-    a connected input) and union the results.
+    invariants: run the configured construction independently on each
+    connected component of the surviving graph (the pipelines assume a
+    connected input) and union the results.  Non-``wu_li`` algorithms go
+    through the registry's own per-component decomposition (crashed hosts
+    are isolated singletons there and contribute nothing).
     """
     from repro.faults.outcome import _alive_components
 
@@ -104,6 +123,11 @@ def full_recompute(
     n = len(adj)
     alive = ((1 << n) - 1) & ~crashed_mask
     sub = surviving_adjacency(adj, crashed_mask)
+    if algorithm != "wu_li":
+        from repro.core.registry import algorithm_by_name
+
+        algo = algorithm_by_name(algorithm)
+        return algo.compute(sub, sch, energy).gateway_mask
     out = 0
     for comp in _alive_components(sub, alive):
         if bitset.popcount(comp) <= 2:

@@ -90,10 +90,36 @@ class BackboneChecker:
     ``size > expected_marked + alarm_slack * sqrt(expected_marked) + 3``
     — a ~3-sigma-style band on the Poisson-ish marked count, offset so
     tiny networks never alarm on ±1 noise.
+
+    ``connectivity >= 2`` arms the stronger gate for 2-connected
+    constructions (:mod:`repro.core.registry` algorithms with that flag):
+    within each component, dropping any single gateway that is not a cut
+    vertex of the component must leave a set that still dominates and
+    stays connected on the remaining hosts.  Cut vertices are exempt — if
+    the *topology* hinges on one node, no backbone survives losing it.
     """
 
-    def __init__(self, *, alarm_slack: float = 4.0):
+    def __init__(self, *, alarm_slack: float = 4.0, connectivity: int = 1):
         self.alarm_slack = alarm_slack
+        self.connectivity = connectivity
+
+    def _survivability_gap(
+        self, sub: Sequence[int], comp: int, members: int
+    ) -> str:
+        """First gateway whose loss breaks the backbone ('' = none)."""
+        for g in bitset.iter_bits(members):
+            rest_nodes = comp & ~(1 << g)
+            if not connected_within(sub, rest_nodes):
+                continue  # g is a cut vertex of the component itself
+            rest = members & ~(1 << g)
+            if not connected_within(sub, rest):
+                return f"losing gateway {g} disconnects the backbone"
+            covered = rest
+            for u in bitset.iter_bits(rest):
+                covered |= sub[u]
+            if covered & rest_nodes != rest_nodes:
+                return f"losing gateway {g} uncovers a host"
+        return ""
 
     def check(self, adj: Sequence[int], gateway_mask: int) -> CheckReport:
         n = len(adj)
@@ -132,6 +158,11 @@ class BackboneChecker:
             if not connected_within(sub, members):
                 connected = False
                 detail = detail or "gateways do not induce a connected set"
+            elif self.connectivity >= 2:
+                gap = self._survivability_gap(sub, comp, members)
+                if gap:
+                    connected = False
+                    detail = detail or gap
         expected = expected_marked_count(adj)
         band = expected + self.alarm_slack * math.sqrt(max(expected, 1.0)) + 3.0
         alarm = size > band

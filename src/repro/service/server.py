@@ -42,6 +42,7 @@ import numpy as np
 
 from repro import obs
 from repro.core.delta import DeltaCDSPipeline
+from repro.core.registry import AlgorithmPipeline, algorithm_by_name
 from repro.errors import (
     ConfigurationError,
     DeadlineExceeded,
@@ -67,6 +68,13 @@ class ServiceConfig:
     radius: float = 25.0
     side: float = 100.0
     scheme: str = "el2"
+    #: CDS construction from :mod:`repro.core.registry`.  ``wu_li`` keeps
+    #: the incremental delta pipeline; any other registered algorithm is
+    #: recomputed from scratch per update via
+    #: :class:`repro.core.registry.AlgorithmPipeline`.  Algorithms with
+    #: ``connectivity >= 2`` get the stronger publish gate (the backbone
+    #: must survive any single non-cut-vertex gateway loss).
+    algorithm: str = "wu_li"
     #: update-queue depth past which non-blocking submission sheds load.
     queue_high_water: int = 256
     #: snapshot (and rotate the WAL) every this many applied updates.
@@ -93,6 +101,20 @@ class ServiceConfig:
             raise ConfigurationError(
                 f"snapshot_every must be >= 1, got {self.snapshot_every}"
             )
+        algorithm_by_name(self.algorithm)  # fail fast with the catalog
+
+    def fresh_pipeline(self, scheme: str):
+        """A new pipeline honoring the configured construction.
+
+        Called at tenant creation, post-crash recovery, and after a
+        recompute timeout/failure — every site that previously hardcoded
+        ``DeltaCDSPipeline`` — so the choice of algorithm cannot drift
+        between the cold-start and recovery paths.
+        """
+        algo = algorithm_by_name(self.algorithm)
+        if algo.supports_delta:
+            return DeltaCDSPipeline(scheme)
+        return AlgorithmPipeline(algo, scheme)
 
 
 @dataclass(frozen=True)
@@ -174,7 +196,7 @@ class _TenantCtx:
         name: str,
         state: TenantState,
         journal: TenantJournal | None,
-        pipeline: DeltaCDSPipeline,
+        pipeline: DeltaCDSPipeline | AlgorithmPipeline,
         checker: BackboneChecker,
     ):
         self.name = name
@@ -262,8 +284,11 @@ class BackboneService:
             name,
             state,
             journal,
-            DeltaCDSPipeline(state.scheme),
-            BackboneChecker(alarm_slack=cfg.alarm_slack),
+            cfg.fresh_pipeline(state.scheme),
+            BackboneChecker(
+                alarm_slack=cfg.alarm_slack,
+                connectivity=algorithm_by_name(cfg.algorithm).connectivity,
+            ),
         )
         self._tenants[name] = ctx
         self.supervisor.start(name, lambda: self._maintain(name))
@@ -355,7 +380,7 @@ class BackboneService:
             recovered = ctx.journal.recover()
             if recovered is not None:
                 ctx.state = recovered
-            ctx.pipeline = DeltaCDSPipeline(ctx.state.scheme)
+            ctx.pipeline = self.config.fresh_pipeline(ctx.state.scheme)
             ctx.needs_recovery = False
             if obs.enabled():
                 obs.count("service.recoveries")
@@ -446,14 +471,14 @@ class BackboneService:
         except (asyncio.TimeoutError, TimeoutError):
             # the orphaned thread keeps the old pipeline object; the next
             # recompute starts cold on a fresh one
-            ctx.pipeline = DeltaCDSPipeline(state.scheme)
+            ctx.pipeline = cfg.fresh_pipeline(state.scheme)
             ctx.counters["recompute_timeouts"] += 1
             if obs.enabled():
                 obs.count("service.recompute_timeouts")
             ctx.mark_stale()
             return
         except Exception:  # noqa: BLE001 - degrade, don't die
-            ctx.pipeline = DeltaCDSPipeline(state.scheme)
+            ctx.pipeline = cfg.fresh_pipeline(state.scheme)
             ctx.counters["recompute_failures"] += 1
             if obs.enabled():
                 obs.count("service.recompute_failures")

@@ -33,6 +33,7 @@ from repro import obs
 from repro.core.cds import CDSResult, compute_cds
 from repro.core.marking import marking_trivially_empty
 from repro.core.properties import verify_cds
+from repro.core.registry import algorithm_by_name
 from repro.core.vectorized import BatchCDSEngine, flags_to_masks, pack_batch
 from repro.errors import ConfigurationError, InvariantViolation, SimulationError
 from repro.graphs import bitset
@@ -61,6 +62,16 @@ def run_lifespan_batch(
         raise ConfigurationError(f"trials must be >= 0, got {trials}")
     if trials == 0:
         return []
+    if not algorithm_by_name(config.algorithm).supports_vectorized:
+        # no batched kernels for this construction: fall back to driving
+        # the per-trial simulators sequentially on the same rng streams,
+        # so results stay index-aligned with the executor's
+        return [
+            LifespanSimulator(
+                config, rng=generator_for_trial(root_seed, t)
+            ).run(keep_intervals=keep_intervals)
+            for t in range(trials)
+        ]
     sims = [
         LifespanSimulator(config, rng=generator_for_trial(root_seed, t))
         for t in range(trials)

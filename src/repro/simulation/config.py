@@ -75,6 +75,14 @@ class SimulationConfig:
     #: ``vectorized`` the ``incremental`` knob is ignored; ``shadow_check``
     #: still cross-checks against the scratch oracle every interval.
     backend: str = "scalar"
+    #: CDS construction algorithm, one of :func:`repro.core.registry.
+    #: algorithm_names` — ``wu_li`` is the paper's marking + pruning path
+    #: (the only one with delta/vectorized execution backends); the rest
+    #: are the centralized constructions of :mod:`repro.baselines`.
+    #: Orthogonal to ``scheme`` (algorithms that ignore the priority key
+    #: simply produce the same mask for every scheme) and to ``backend``
+    #: (which only selects how ``wu_li`` is executed).
+    algorithm: str = "wu_li"
     #: hard cap on intervals (guards d' = 0 style configs; None = no cap).
     max_intervals: int | None = 100_000
     #: non-gateway drain d' (the paper's unit).
@@ -119,15 +127,25 @@ class SimulationConfig:
             raise ConfigurationError(
                 f"non_gateway_drain must be >= 0, got {self.non_gateway_drain}"
             )
-        if self.backend not in ("scalar", "vectorized"):
-            raise ConfigurationError(
-                f"backend must be scalar|vectorized, got {self.backend!r}"
-            )
-        # scheme and drain model names are validated by their registries at
-        # simulator construction; doing it here too gives early errors
+        # scheme, algorithm, backend, and drain-model names are validated
+        # by their registries at simulator construction; doing it here too
+        # gives early errors, and sourcing the messages from the registries
+        # keeps them from drifting as entries are added
+        from repro.core.registry import EXECUTION_BACKENDS, algorithm_by_name
         from repro.core.priority import scheme_by_name
         from repro.energy.models import drain_model_by_name
 
+        if self.backend not in EXECUTION_BACKENDS:
+            raise ConfigurationError(
+                f"unknown backend {self.backend!r}; choose from "
+                f"{sorted(EXECUTION_BACKENDS)}"
+            )
+        algo = algorithm_by_name(self.algorithm)
+        if self.backend == "vectorized" and not algo.supports_vectorized:
+            raise ConfigurationError(
+                f"algorithm {algo.name!r} has no vectorized backend; "
+                "use backend='scalar'"
+            )
         scheme_by_name(self.scheme)
         drain_model_by_name(self.drain_model)
 

@@ -48,6 +48,7 @@ def run_interval(
     verify: bool = False,
     cds_fn=None,
     pipeline=None,
+    algorithm=None,
 ) -> IntervalOutcome:
     """Execute one update interval; moves hosts only if nobody died.
 
@@ -66,9 +67,25 @@ def run_interval(
     (the keyword arguments here apply to the scratch path only), so the
     caller must construct it consistently.  Mutually exclusive with
     ``cds_fn``.
+
+    ``algorithm`` (a :class:`repro.core.registry.CDSAlgorithm`) swaps the
+    backbone construction entirely; non-``wu_li`` algorithms always see
+    the current battery levels (the energy-weighted constructions consult
+    them regardless of the scheme key).  ``wu_li`` itself falls through to
+    the scratch/pipeline paths below, so the default configuration is
+    bit-identical to the pre-registry code.
     """
     with obs.span("interval"):
-        if cds_fn is not None:
+        if algorithm is not None and cds_fn is None and algorithm.name != "wu_li":
+            snap = network.snapshot()
+            cds = algorithm.compute(
+                snap,
+                scheme,
+                accountant.bank.levels,
+                fixed_point=fixed_point,
+                verify=verify,
+            )
+        elif cds_fn is not None:
             from repro.core.reduction import PruneStats
             from repro.graphs import bitset
 

@@ -6,9 +6,16 @@ battery."  The full §4 procedure:
 
 1. place hosts uniformly in the region, resampling until connected, with
    uniform initial energy;
-2. each interval: marking process + rules → record |G'| → drain by status;
+2. each interval: compute the backbone (the paper's marking process +
+   rules by default; any :mod:`repro.core.registry` algorithm via
+   ``config.algorithm``) → record |G'| → drain by status;
 3. if some host hit zero, stop and report the interval count; otherwise
    roam hosts per the mobility model and repeat.
+
+The centralized-oracle comparison lives one level up: ``repro compare``
+runs every registered construction on one network, and
+:func:`repro.analysis.experiments.run_algorithm_matrix` runs the full
+algorithm × scheme lifespan grid.
 """
 
 from __future__ import annotations
@@ -20,6 +27,7 @@ import numpy as np
 from repro import obs
 from repro.core.delta import INCREMENTAL_MIN_HOSTS, DeltaCDSPipeline
 from repro.core.priority import scheme_by_name
+from repro.core.registry import algorithm_by_name
 from repro.core.vectorized import VectorizedCDSPipeline
 from repro.energy.accounting import EnergyAccountant
 from repro.energy.battery import BatteryBank
@@ -53,9 +61,13 @@ class LifespanResult:
 class LifespanSimulator:
     """Owns one trial's state; ``run()`` drives it to the first death.
 
-    ``cds_fn`` optionally replaces the paper's pipeline with any selector
-    ``f(adjacency, energy) -> gateway bitmask`` — used by the benches to
-    compare against centralized oracle baselines.
+    ``config.algorithm`` selects the backbone construction from
+    :mod:`repro.core.registry` — any registered algorithm, not just the
+    paper's marking path, so the lifespan campaigns genuinely compare
+    constructions (``repro compare`` prints the one-network version of
+    that comparison).  ``cds_fn`` optionally replaces the pipeline with a
+    raw selector ``f(adjacency, energy) -> gateway bitmask`` and wins
+    over ``config.algorithm`` when both are given.
     """
 
     def __init__(
@@ -66,14 +78,19 @@ class LifespanSimulator:
         self.rng = as_generator(rng)
         self.scheme = scheme_by_name(config.scheme)
         self.drain_model = drain_model_by_name(config.drain_model)
-        # backend selection.  "vectorized" swaps in the batched numpy
+        self.algorithm = algorithm_by_name(config.algorithm)
+        # backend selection.  Non-wu_li algorithms recompute from the live
+        # snapshot every interval (run_interval routes around the marking
+        # pipelines).  For wu_li, "vectorized" swaps in the batched numpy
         # kernels (stateless across intervals; bit-identical masks).  On
         # "scalar", the incremental pipeline carries cached state across
         # intervals; one instance per trial so trials stay independent.
         # Networks below the measured crossover stay on the (there faster)
         # scratch path — unless shadow checking was requested, which needs
         # the pipeline.
-        if config.backend == "vectorized" and cds_fn is None:
+        if self.algorithm.name != "wu_li":
+            self.pipeline = None
+        elif config.backend == "vectorized" and cds_fn is None:
             self.pipeline = VectorizedCDSPipeline(
                 self.scheme,
                 fixed_point=config.fixed_point,
@@ -160,6 +177,7 @@ class LifespanSimulator:
                     verify=cfg.verify_invariants,
                     cds_fn=self.cds_fn,
                     pipeline=self.pipeline,
+                    algorithm=self.algorithm,
                 )
                 records.append(outcome.metrics)
                 gateways = bitset.ids_from_mask(outcome.cds.gateway_mask)

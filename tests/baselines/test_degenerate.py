@@ -1,0 +1,106 @@
+"""Degenerate and word-boundary sizes for every registered construction.
+
+The bitmask kernels pack adjacency rows into machine words, so n = 63,
+64, 65 are the sizes where an off-by-one in tail-word handling shows up.
+n = 1 and n = 2 are where "a CDS can legitimately be empty" kicks in.
+Every algorithm in the registry must survive all of them, plus
+disconnected inputs (where the registry decomposes per component while
+the raw centralized baselines refuse loudly).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    aneja_two_connected_cds,
+    connected_greedy_ds,
+    guha_khuller_cds,
+    mis_cds,
+    pieces_cds,
+    zhou_min_weight_cds,
+)
+from repro.core.registry import ALGORITHMS
+from repro.errors import DisconnectedGraphError
+from repro.graphs import bitset
+from repro.graphs.generators import cycle_graph, from_edges, path_graph
+
+WORD_BOUNDARY_SIZES = [1, 2, 63, 64, 65]
+
+
+class TestWordBoundarySizes:
+    @pytest.mark.parametrize("name", sorted(ALGORITHMS))
+    @pytest.mark.parametrize("n", WORD_BOUNDARY_SIZES)
+    def test_path(self, name, n):
+        g = path_graph(n)
+        result = ALGORITHMS[name].compute(g, "id", None, verify=True)
+        assert result.n == n
+        assert result.gateway_mask >> n == 0
+        if n >= 63:
+            # a path's CDS is its interior — nothing can shrink below that
+            assert bitset.popcount(result.gateway_mask) >= n - 2
+
+    @pytest.mark.parametrize("name", sorted(ALGORITHMS))
+    @pytest.mark.parametrize("n", [63, 64, 65])
+    def test_cycle(self, name, n):
+        g = cycle_graph(n)
+        result = ALGORITHMS[name].compute(g, "el2", [100.0] * n, verify=True)
+        assert result.gateway_mask >> n == 0
+        assert bitset.popcount(result.gateway_mask) >= n - 2
+
+    @pytest.mark.parametrize("name", sorted(ALGORITHMS))
+    @pytest.mark.parametrize("n", WORD_BOUNDARY_SIZES)
+    def test_energy_slicing_matches_size(self, name, n):
+        """Energy vectors are validated/sliced per component — the tail
+        host's level must not be dropped."""
+        g = path_graph(n)
+        energy = [float(10 + i) for i in range(n)]
+        result = ALGORITHMS[name].compute(g, "el1", energy, verify=True)
+        assert result.n == n
+
+
+class TestDisconnectedInputs:
+    # two squares joined at nothing, plus a lone host
+    DISCONNECTED = from_edges(
+        9, [(0, 1), (1, 2), (2, 3), (3, 0), (4, 5), (5, 6), (6, 7), (7, 4)]
+    )
+
+    @pytest.mark.parametrize(
+        "algo",
+        [guha_khuller_cds, pieces_cds, mis_cds, connected_greedy_ds],
+    )
+    def test_centralized_baselines_refuse(self, algo):
+        with pytest.raises(DisconnectedGraphError):
+            algo(self.DISCONNECTED.adjacency)
+
+    def test_mask_baselines_refuse(self):
+        adj = list(self.DISCONNECTED.adjacency)
+        with pytest.raises(DisconnectedGraphError):
+            aneja_two_connected_cds(adj)
+        with pytest.raises(DisconnectedGraphError):
+            zhou_min_weight_cds(adj)
+
+    @pytest.mark.parametrize("name", sorted(ALGORITHMS))
+    def test_registry_decomposes_per_component(self, name):
+        result = ALGORITHMS[name].compute(
+            self.DISCONNECTED, "nd", None, verify=True
+        )
+        mask = result.gateway_mask
+        # each 4-cycle needs in-component gateways; the isolate gets none
+        assert mask >> 8 == 0
+        if name != "wu_li":  # marking may legitimately empty a near-clique
+            assert mask & 0b00001111
+            assert mask & 0b11110000
+
+    @pytest.mark.parametrize("name", sorted(ALGORITHMS))
+    def test_all_components_at_word_boundary(self, name):
+        """64-node path + 64-node cycle in one id space: the second
+        component's ids live entirely above bit 63."""
+        edges = [(i, i + 1) for i in range(63)]
+        edges += [(64 + i, 64 + (i + 1) % 64) for i in range(64)]
+        g = from_edges(128, edges)
+        result = ALGORITHMS[name].compute(g, "id", None, verify=True)
+        lo = result.gateway_mask & ((1 << 64) - 1)
+        hi = result.gateway_mask >> 64
+        assert bitset.popcount(lo) >= 62  # path interior
+        assert bitset.popcount(hi) >= 62  # cycle minus at most 2

@@ -1,0 +1,72 @@
+"""Property-based checks over the whole algorithm registry.
+
+One law for every registered construction: on any connected graph with
+any energy assignment, ``compute(..., verify=True)`` must not raise —
+i.e. the result passes the shared :func:`repro.core.properties.verify_cds`
+invariants (domination + induced connectivity, with the empty-CDS
+exemption for graphs whose marking is trivially empty).  The registry's
+per-component decomposition gets the same treatment on disconnected
+inputs built by stacking two drawn graphs into one id space.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.registry import ALGORITHMS
+from repro.graphs import bitset
+from repro.graphs.neighborhoods import NeighborhoodView
+
+from tests.property.test_cds_invariants import connected_graphs
+
+
+@st.composite
+def graph_energy_scheme(draw):
+    g = draw(connected_graphs(min_nodes=2, max_nodes=16))
+    energy = draw(
+        st.lists(
+            st.integers(1, 200).map(float), min_size=g.n, max_size=g.n
+        )
+    )
+    scheme = draw(st.sampled_from(["nr", "id", "nd", "el1", "el2"]))
+    return g, energy, scheme
+
+
+@st.composite
+def two_component_graphs(draw):
+    a = draw(connected_graphs(min_nodes=2, max_nodes=10))
+    b = draw(connected_graphs(min_nodes=2, max_nodes=10))
+    shift = a.n
+    adj = list(a.adjacency) + [row << shift for row in b.adjacency]
+    return NeighborhoodView(adj), a.n
+
+
+@pytest.mark.parametrize("name", sorted(ALGORITHMS))
+class TestEveryAlgorithmSatisfiesTheInvariants:
+    @given(ges=graph_energy_scheme())
+    @settings(max_examples=40, deadline=None)
+    def test_verifies_on_connected_graphs(self, name, ges):
+        g, energy, scheme = ges
+        result = ALGORITHMS[name].compute(g, scheme, energy, verify=True)
+        assert result.gateway_mask >> g.n == 0
+        assert result.n == g.n
+        if result.stats is not None:
+            assert result.stats.initial_marked >= bitset.popcount(
+                result.gateway_mask
+            ) - result.stats.removed_rule1 - result.stats.removed_rule2
+
+    @given(gs=two_component_graphs())
+    @settings(max_examples=25, deadline=None)
+    def test_verifies_per_component_when_disconnected(self, name, gs):
+        g, split = gs
+        result = ALGORITHMS[name].compute(g, "nd", None, verify=True)
+        # gateways never leak across the component boundary: each row of
+        # the adjacency confines a gateway's usefulness to its side
+        lo_mask = (1 << split) - 1
+        lo = result.gateway_mask & lo_mask
+        hi = result.gateway_mask & ~lo_mask
+        for v in bitset.iter_bits(lo):
+            assert g.adjacency[v] & ~lo_mask == 0
+        for v in bitset.iter_bits(hi):
+            assert g.adjacency[v] & lo_mask == 0

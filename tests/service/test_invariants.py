@@ -101,3 +101,39 @@ class TestStatisticalAlarm:
         tight = BackboneChecker(alarm_slack=0.0).check(adj, (1 << 18) - 1)
         loose = BackboneChecker(alarm_slack=50.0).check(adj, (1 << 18) - 1)
         assert tight.alarm and not loose.alarm
+
+
+class TestTwoConnectedGate:
+    """connectivity=2 arms the survivability gate: the backbone must also
+    survive the loss of any single non-cut-vertex gateway."""
+
+    def test_one_connected_backbone_fails_stronger_gate(self):
+        from repro.graphs.generators import cycle_graph
+
+        adj = list(cycle_graph(6).adjacency)
+        mask = 0b001111  # valid CDS of C6, but losing 0 orphans host 5
+        assert BackboneChecker().check(adj, mask).ok
+        report = BackboneChecker(connectivity=2).check(adj, mask)
+        assert not report.ok
+        assert "losing gateway" in report.detail
+
+    def test_aneja_output_passes_stronger_gate(self):
+        from repro.core.registry import ALGORITHMS
+        from repro.graphs.unitdisk import unit_disk_adjacency
+
+        rng = np.random.default_rng(23)
+        for _ in range(4):
+            adj = unit_disk_adjacency(rng.uniform(0, 80, (25, 2)), 30.0)
+            mask = ALGORITHMS["aneja_2conn"].compute(adj, "id", None).gateway_mask
+            report = BackboneChecker(connectivity=2).check(list(adj), mask)
+            assert report.dominating and report.connected, report.detail
+
+    def test_cut_vertex_gateways_are_exempt(self):
+        # two triangles joined through host 2: losing 2 splits the graph
+        # itself, so the gate must not blame the backbone for it
+        adj = list(
+            from_edges(5, [(0, 1), (0, 2), (1, 2), (2, 3), (2, 4), (3, 4)]).adjacency
+        )
+        mask = 0b00100  # {2} dominates and connects everything
+        report = BackboneChecker(connectivity=2).check(adj, mask)
+        assert report.ok, report.detail

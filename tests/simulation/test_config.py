@@ -39,6 +39,9 @@ class TestValidation:
             {"non_gateway_drain": -1.0},
             {"scheme": "unknown"},
             {"drain_model": "unknown"},
+            {"algorithm": "unknown"},
+            {"backend": "gpu"},
+            {"algorithm": "greedy_mcds", "backend": "vectorized"},
         ],
     )
     def test_invalid_configs_rejected(self, kwargs):
@@ -50,6 +53,40 @@ class TestValidation:
 
     def test_none_max_intervals_allowed(self):
         assert SimulationConfig(max_intervals=None).max_intervals is None
+
+    def test_error_messages_enumerate_registries(self):
+        """Validation errors list the valid names from the live registries
+        instead of hardcoding them (so new entries appear automatically)."""
+        from repro.core.priority import SCHEMES
+        from repro.core.registry import ALGORITHMS, EXECUTION_BACKENDS
+
+        with pytest.raises(ConfigurationError) as exc:
+            SimulationConfig(scheme="bogus")
+        for name in SCHEMES:
+            assert name in str(exc.value)
+
+        with pytest.raises(ConfigurationError) as exc:
+            SimulationConfig(backend="bogus")
+        for name in EXECUTION_BACKENDS:
+            assert name in str(exc.value)
+
+        with pytest.raises(ConfigurationError) as exc:
+            SimulationConfig(algorithm="bogus")
+        for name in ALGORITHMS:
+            assert name in str(exc.value)
+
+    def test_vectorized_requires_capable_algorithm(self):
+        with pytest.raises(ConfigurationError, match="no vectorized backend"):
+            SimulationConfig(algorithm="mis_cds", backend="vectorized")
+        # wu_li has the flag, so the combination is legal
+        cfg = SimulationConfig(algorithm="wu_li", backend="vectorized")
+        assert cfg.backend == "vectorized"
+
+    def test_all_registered_algorithms_accepted(self):
+        from repro.core.registry import algorithm_names
+
+        for name in algorithm_names():
+            assert SimulationConfig(algorithm=name).algorithm == name
 
 
 class TestOverrides:
