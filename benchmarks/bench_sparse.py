@@ -1,0 +1,340 @@
+"""Sparse streaming CDS engine: equivalence smoke + the N=100k point.
+
+The sparse engine (:mod:`repro.core.sparse`) is the scale path: CSR
+adjacency, per-connected-component decomposition, and chunked streaming
+kernels that never allocate an ``n``-bit row — built for N = 100k..1M
+where the dense packed batch (N² bits per element) caps out.
+
+pytest mode times the engine at N = 1024/4096 against the dense batch
+engine on identical graphs (groups ``sparse-engine``) and pins
+bit-identity.  Script modes mirror ``bench_vectorized.py``::
+
+    python benchmarks/bench_sparse.py --smoke     # CI equivalence gate
+    python benchmarks/bench_sparse.py --record    # N=100k timing point
+
+``--smoke`` asserts sparse == scratch == vectorized masks + PruneStats
+over a seeded grid: word-boundary sizes, disconnected multi-component
+batches, a forced-CSR tier (``dense_cutoff=2``), and a tiny memory
+budget.  ``--record`` builds an N = 100k (default; ``--hosts`` scales)
+unit-disk graph straight from positions, runs one full interval per
+scheme under ``tracemalloc``, and merges latency + peak memory into
+``BENCH_pipeline.json`` under ``extra.sparse_100k`` (read-modify-write —
+the pytest session owns the rest of the file) and appends the headline
+numbers to ``BENCH_trajectory.json``.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+import tracemalloc
+from pathlib import Path
+
+import numpy as np
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # plain-script mode without an installed package
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import pytest
+
+from repro.core.cds import compute_cds
+from repro.core.sparse import CSRBatch, SparseCDSEngine, compute_cds_sparse
+from repro.core.vectorized import (
+    BatchCDSEngine,
+    compute_cds_batch,
+    pack_batch,
+)
+from repro.graphs.adhoc import AdHocNetwork
+from repro.graphs.generators import random_connected_network, scaled_side
+
+RADIUS = 25.0
+SCHEMES = ("nr", "id", "nd", "el1", "el2")
+BIG_HOSTS = 100_000
+#: --record asserts the tracemalloc peak stays under this multiple of
+#: ``max(CSR bytes, chunk budget)``.  Measured behavior: each streamed
+#: chunk materializes ~7-8 budget-sized int64 temporaries (miss lists,
+#: coverage probes, rank gathers), so peak ≈ 8x the chunk budget once
+#: edges overflow one chunk; 16x covers that with headroom while still
+#: catching a densification bug (a dense N=100k row table would be
+#: ~1.25 GB per 64 MB of budget — far past the limit).
+PEAK_OVER_BUDGET_LIMIT = 16.0
+
+
+def _positions(n: int, seed: int) -> tuple[np.ndarray, float]:
+    """Density-constant uniform placements (no connectivity resampling —
+    at 100k that would never converge, and components are the point)."""
+    side = scaled_side(n)
+    rng = np.random.default_rng(seed)
+    return rng.uniform(0.0, side, size=(n, 2)), side
+
+
+def _graphs(seed: int):
+    """The --smoke equivalence grid: adjacency batches + energies."""
+    rng = np.random.default_rng(seed)
+    batches = []
+    # word-boundary sizes, connected
+    for n in (63, 64, 65, 100):
+        net = random_connected_network(
+            n, side=scaled_side(n), radius=RADIUS, rng=rng
+        )
+        batches.append(([list(net.adjacency)], f"connected n={n}"))
+    # disconnected multi-component batches (uniform, no resampling)
+    for n in (90, 140):
+        side = 2.2 * scaled_side(n)
+        pos = rng.uniform(0.0, side, size=(n, 2))
+        net = AdHocNetwork(pos, RADIUS, side=side)
+        batches.append(([list(net.adjacency)], f"scattered n={n}"))
+    # a stacked batch of mixed sizes is not possible (one n per batch),
+    # but B > 1 is: three independent connected graphs of one size
+    n = 72
+    multi = [
+        list(
+            random_connected_network(
+                n, side=scaled_side(n), radius=RADIUS, rng=rng
+            ).adjacency
+        )
+        for _ in range(3)
+    ]
+    batches.append((multi, f"B=3 n={n}"))
+    return batches
+
+
+def _assert_equivalent(
+    adjacencies, label: str, seed: int, **sparse_kwargs
+) -> None:
+    rng = np.random.default_rng(seed)
+    n = len(adjacencies[0])
+    energies = rng.uniform(50.0, 150.0, size=(len(adjacencies), n))
+    for scheme in SCHEMES:
+        for fixed_point in (False, True):
+            sparse = compute_cds_sparse(
+                adjacencies, scheme, energies=energies,
+                fixed_point=fixed_point, **sparse_kwargs,
+            )
+            dense = compute_cds_batch(
+                adjacencies, scheme, energies=energies,
+                fixed_point=fixed_point,
+            )
+            for b, adj in enumerate(adjacencies):
+                ref = compute_cds(
+                    adj, scheme, energy=list(energies[b]),
+                    fixed_point=fixed_point,
+                )
+                got = sparse[b]
+                assert got.gateway_mask == ref.gateway_mask, (
+                    f"{label} scheme={scheme} fp={fixed_point} b={b}: "
+                    f"sparse mask != scratch"
+                )
+                assert got.stats == ref.stats, (
+                    f"{label} scheme={scheme} fp={fixed_point} b={b}: "
+                    f"sparse stats != scratch"
+                )
+                assert dense[b].gateway_mask == ref.gateway_mask, (
+                    f"{label} scheme={scheme} fp={fixed_point} b={b}: "
+                    f"vectorized mask != scratch"
+                )
+
+
+# -- pytest benches ----------------------------------------------------------
+
+
+@pytest.fixture(scope="module", params=(1024, 4096))
+def sized_graph(request):
+    from conftest import bench_seed
+
+    n = request.param
+    pos, side = _positions(n, bench_seed() + n)
+    net = AdHocNetwork(pos.copy(), RADIUS, side=side)
+    energy = np.random.default_rng(bench_seed()).uniform(
+        50.0, 150.0, size=(1, n)
+    )
+    return n, pos, [list(net.adjacency)], energy
+
+
+@pytest.mark.benchmark(group="sparse-engine")
+def test_interval_sparse(benchmark, sized_graph):
+    n, pos, adjacencies, energy = sized_graph
+    engine = SparseCDSEngine("el2")
+
+    def run():
+        csr = CSRBatch.from_positions(pos, RADIUS)
+        return engine.run(csr, energy)
+
+    flags, stats = benchmark(run)
+    assert stats[0].final_size > 0
+
+
+@pytest.mark.benchmark(group="sparse-engine")
+def test_interval_dense(benchmark, sized_graph):
+    n, pos, adjacencies, energy = sized_graph
+    engine = BatchCDSEngine("el2")
+    flags, stats = benchmark(lambda: engine.run(pack_batch(adjacencies), energy))
+    assert stats[0].final_size > 0
+
+
+def test_sparse_matches_dense(sized_graph):
+    n, pos, adjacencies, energy = sized_graph
+    csr = CSRBatch.from_positions(pos, RADIUS)
+    sflags, sstats = SparseCDSEngine("el2").run(csr, energy)
+    dflags, dstats = BatchCDSEngine("el2").run(pack_batch(adjacencies), energy)
+    assert np.array_equal(sflags, dflags)
+    assert list(sstats) == list(dstats)
+
+
+# -- CI script modes ---------------------------------------------------------
+
+
+def _smoke(seed: int) -> int:
+    for adjacencies, label in _graphs(seed):
+        _assert_equivalent(adjacencies, label, seed)
+        print(f"equivalence ok: {label} x {len(SCHEMES)} schemes x fp")
+    # force the streaming CSR tier (every component > cutoff=2) and a
+    # tiny chunk budget; results must not move
+    scattered, label = _graphs(seed)[4]
+    _assert_equivalent(scattered, label + " [csr tier]", seed, dense_cutoff=2)
+    _assert_equivalent(
+        scattered, label + " [tiny budget]", seed,
+        dense_cutoff=2, memory_budget_mb=0.25,
+    )
+    print("equivalence ok: forced CSR tier + 0.25 MB budget")
+    # from_positions == adjacency-derived CSR on one uniform field
+    pos, side = _positions(600, seed)
+    net = AdHocNetwork(pos.copy(), RADIUS, side=side)
+    a = CSRBatch.from_positions(pos, RADIUS)
+    b = CSRBatch.from_adjacency([list(net.adjacency)])
+    assert np.array_equal(a.indptr, b.indptr) and np.array_equal(a.dst, b.dst)
+    print("from_positions CSR == adjacency CSR (n=600)")
+    print("smoke ok")
+    return 0
+
+
+def _record(seed: int, output: str, hosts: int) -> int:
+    """The scale point: one full N=hosts interval per scheme, with peaks."""
+    import json
+
+    import perf_trajectory
+
+    n = hosts
+    print(f"building N={n} unit-disk CSR from positions ...")
+    pos, side = _positions(n, seed)
+    t0 = time.perf_counter()
+    csr = CSRBatch.from_positions(pos, RADIUS)
+    t_build = time.perf_counter() - t0
+    print(
+        f"csr: {csr.nnz} directed edges, {csr.nbytes / 1e6:.1f} MB, "
+        f"built in {t_build:.2f}s"
+    )
+    energy = np.random.default_rng(seed).uniform(50.0, 150.0, size=(1, n))
+    per_scheme = {}
+    peak_bytes = 0
+    for scheme in ("nd", "el2"):
+        engine = SparseCDSEngine(scheme)
+        tracemalloc.start()
+        t0 = time.perf_counter()
+        flags, stats = engine.run(csr, energy)
+        dt = time.perf_counter() - t0
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        peak_bytes = max(peak_bytes, peak)
+        per_scheme[scheme] = {
+            "interval_s": dt,
+            "peak_mb": peak / 1e6,
+            "cds_size": int(stats[0].final_size),
+        }
+        print(
+            f"  {scheme}: {dt:.2f} s/interval, peak {peak / 1e6:.0f} MB, "
+            f"{stats[0].final_size} gateways"
+        )
+    from repro.core.vectorized import resolve_memory_budget_mb
+
+    budget_bytes = resolve_memory_budget_mb(None) * 2**20
+    denom = max(csr.nbytes, budget_bytes)
+    peak_over_budget = peak_bytes / denom
+    print(
+        f"max peak / max(csr, budget) = {peak_over_budget:.1f}x "
+        f"(csr {csr.nbytes / 1e6:.1f} MB, budget {budget_bytes / 1e6:.0f} MB)"
+    )
+    record = {
+        "n_hosts": n,
+        "side": side,
+        "radius": RADIUS,
+        "seed": seed,
+        "csr_edges": int(csr.nnz),
+        "csr_mb": csr.nbytes / 1e6,
+        "csr_build_s": t_build,
+        "memory_budget_mb": budget_bytes / 2**20,
+        "per_scheme": per_scheme,
+        "peak_over_budget": peak_over_budget,
+        "peak_over_budget_limit": PEAK_OVER_BUDGET_LIMIT,
+        "created_unix": time.time(),
+    }
+    if output != "-":
+        out = Path(output)
+        if out.exists():
+            payload = json.loads(out.read_text(encoding="utf-8"))
+        else:
+            payload = {"schema": "repro-bench-pipeline/1", "benchmarks": []}
+        payload.setdefault("extra", {})["sparse_100k"] = record
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"merged N={n} numbers into {out} (extra.sparse_100k)")
+        perf_trajectory.append_run(
+            f"sparse_interval_n{n}_el2", per_scheme["el2"]["interval_s"],
+            "s", meta={"seed": seed, "peak_mb": per_scheme["el2"]["peak_mb"]},
+        )
+        perf_trajectory.append_run(
+            f"sparse_peak_over_budget_n{n}", peak_over_budget, "x",
+            meta={"seed": seed},
+        )
+        print(f"appended trajectory runs to {perf_trajectory.TRAJECTORY_JSON}")
+    if peak_over_budget > PEAK_OVER_BUDGET_LIMIT:
+        print(
+            f"FAIL: peak memory is {peak_over_budget:.0f}x "
+            f"max(csr, chunk budget) (limit {PEAK_OVER_BUDGET_LIMIT:.0f}x) "
+            "— a kernel is densifying"
+        )
+        return 1
+    print("record ok")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    p.add_argument(
+        "--smoke", action="store_true",
+        help="assert sparse == vectorized == scratch (masks + stats) on "
+        "the seeded grid, incl. forced-CSR tier and tiny budgets",
+    )
+    p.add_argument(
+        "--record", action="store_true",
+        help="measure the N=100k interval (latency + tracemalloc peak) "
+        "and merge into the bench JSON under extra.sparse_100k",
+    )
+    p.add_argument("--seed", type=int, default=2001)
+    p.add_argument(
+        "--hosts", type=int, default=BIG_HOSTS,
+        help="scale point for --record (default 100000)",
+    )
+    p.add_argument(
+        "--output", default="benchmarks/results/BENCH_pipeline.json",
+        help="bench JSON to merge --record numbers into (under "
+        "extra.sparse_100k); '-' skips writing",
+    )
+    args = p.parse_args(argv)
+    if not (args.smoke or args.record):
+        p.error("run under pytest for timings, or pass --smoke / --record")
+    rc = 0
+    if args.smoke:
+        rc = _smoke(args.seed)
+    if rc == 0 and args.record:
+        rc = _record(args.seed, args.output, args.hosts)
+    return rc
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -366,6 +366,17 @@ def _record(seed: int, output: str, scalar_intervals: int) -> int:
         out.parent.mkdir(parents=True, exist_ok=True)
         out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
         print(f"merged N=10k numbers into {out} (extra.vectorized_10k)")
+        sys.path.insert(0, str(Path(__file__).resolve().parent))
+        import perf_trajectory
+
+        perf_trajectory.append_run(
+            "vectorized_interval_n10k_nd", t_vec, "s", meta={"seed": seed}
+        )
+        perf_trajectory.append_run(
+            "vectorized_10k_speedup_vs_scalar", speedup, "x",
+            meta={"seed": seed, "scalar_intervals": len(short)},
+        )
+        print(f"appended trajectory runs to {perf_trajectory.TRAJECTORY_JSON}")
     if speedup < 10.0:
         print(
             "FAIL: vectorized speedup vs the scalar-backend pipeline is "

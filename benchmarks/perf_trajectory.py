@@ -1,0 +1,124 @@
+"""Append-only perf-trajectory store: ``BENCH_trajectory.json``.
+
+``BENCH_pipeline.json`` is a *snapshot* — rewritten wholesale at the end
+of every benchmark session, so it can only be diffed against a copy you
+remembered to keep.  This module is the longitudinal complement: a small
+append-only log of named measurements (one JSON object per run, stamped
+with time + platform) that the perf gate (:mod:`perf_gate`) compares new
+measurements against.  ``bench_vectorized.py --record`` and
+``bench_sparse.py --record`` both append their headline numbers here.
+
+Schema (``repro-bench-trajectory/1``)::
+
+    {
+      "schema": "repro-bench-trajectory/1",
+      "runs": [
+        {"name": "vec_interval_n1000_nd", "value": 0.062, "unit": "s",
+         "platform": "Linux-...", "python": "3.12.3",
+         "created_unix": 1754660000.0, "meta": {...}},
+        ...
+      ]
+    }
+
+Two kinds of measurement live side by side and the gate treats them
+differently (see :mod:`perf_gate`):
+
+* **ratios** (speedups, relative costs) — machine-independent, compared
+  against the full recorded history;
+* **absolute times** — only comparable on the machine that recorded
+  them, so the gate filters history to runs with the same
+  platform/python signature before judging.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Any
+
+SCHEMA = "repro-bench-trajectory/1"
+TRAJECTORY_JSON = Path(__file__).parent / "results" / "BENCH_trajectory.json"
+
+__all__ = [
+    "SCHEMA",
+    "TRAJECTORY_JSON",
+    "append_run",
+    "load",
+    "platform_signature",
+    "series",
+]
+
+
+def platform_signature() -> tuple[str, str]:
+    """(platform, python) pair that makes absolute timings comparable."""
+    return platform.platform(), platform.python_version()
+
+
+def load(path: str | Path | None = None) -> dict[str, Any]:
+    """Read the trajectory log (an empty, valid payload if absent)."""
+    p = Path(path) if path is not None else TRAJECTORY_JSON
+    if not p.exists():
+        return {"schema": SCHEMA, "runs": []}
+    payload = json.loads(p.read_text(encoding="utf-8"))
+    if payload.get("schema") != SCHEMA:
+        raise ValueError(
+            f"{p}: unknown trajectory schema {payload.get('schema')!r} "
+            f"(expected {SCHEMA!r})"
+        )
+    payload.setdefault("runs", [])
+    return payload
+
+
+def append_run(
+    name: str,
+    value: float,
+    unit: str,
+    *,
+    meta: dict[str, Any] | None = None,
+    path: str | Path | None = None,
+) -> dict[str, Any]:
+    """Append one timestamped measurement; returns the stored record."""
+    p = Path(path) if path is not None else TRAJECTORY_JSON
+    payload = load(p)
+    plat, py = platform_signature()
+    run = {
+        "name": name,
+        "value": float(value),
+        "unit": unit,
+        "platform": plat,
+        "python": py,
+        "created_unix": time.time(),
+    }
+    if meta:
+        run["meta"] = meta
+    payload["runs"].append(run)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    p.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return run
+
+
+def series(
+    payload: dict[str, Any],
+    name: str,
+    *,
+    same_platform_only: bool = False,
+) -> list[float]:
+    """All recorded values of ``name``, oldest first.
+
+    ``same_platform_only`` keeps only runs whose (platform, python)
+    signature matches this interpreter — required before judging
+    absolute wall-clock numbers.
+    """
+    plat, py = platform_signature()
+    out = []
+    for run in payload.get("runs", []):
+        if run.get("name") != name:
+            continue
+        if same_platform_only and (
+            run.get("platform") != plat or run.get("python") != py
+        ):
+            continue
+        out.append(float(run["value"]))
+    return out

@@ -136,6 +136,7 @@ def _sweep(
     checkpoint_dir: str | Path | None = None,
     progress: Callable[[SweepProgress], None] | None = None,
     density_scaled: bool = False,
+    batch_cells: bool | None = None,
 ) -> tuple[dict[str, list[SeriesSummary]], dict[str, list[tuple[float, ...]]]]:
     """Run the whole figure as ONE executor sweep.
 
@@ -149,7 +150,16 @@ def _sweep(
     and therefore expected degree — at the paper's N=100 level.  This is
     what makes N ≫ 100 scenario families meaningful: in the fixed 100×100
     arena, N = 10k would be a near-clique.
+
+    ``batch_cells`` routes the sweep through
+    :meth:`SweepExecutor.run_batched` — each cell's trials become ONE
+    lockstep :func:`repro.simulation.batch_lifespan.run_lifespan_batch`
+    pass instead of per-trial pool tasks (bit-identical metrics; same
+    checkpoint records, so the two modes resume each other).  ``None``
+    auto-enables it exactly when the backend has batched kernels.
     """
+    if batch_cells is None:
+        batch_cells = base.backend in ("vectorized", "sparse")
 
     def overrides(n: int) -> dict:
         out = {"n_hosts": n}
@@ -165,7 +175,8 @@ def _sweep(
     executor = SweepExecutor(
         processes=processes, checkpoint=checkpoint_dir, progress=progress
     )
-    outcome = executor.run(
+    run = executor.run_batched if batch_cells else executor.run
+    outcome = run(
         cells, trials, root_seed=root_seed, parallel=parallel
     )
     out: dict[str, list[SeriesSummary]] = {s: [] for s in schemes}
@@ -193,6 +204,8 @@ def run_figure10(
     backend: str = "scalar",
     density_scaled: bool = False,
     algorithm: str = "wu_li",
+    batch_cells: bool | None = None,
+    memory_budget_mb: float | None = None,
 ) -> ExperimentResult:
     """Figure 10: average |G'| per interval vs N for every scheme.
 
@@ -201,17 +214,19 @@ def run_figure10(
     ``backend="vectorized"`` + ``density_scaled=True`` lift the sweep to
     N = 10k scenario families (same masks; see EXPERIMENTS.md).
     ``algorithm`` swaps the CDS construction for every cell (any name in
-    :func:`repro.core.registry.algorithm_names`).
+    :func:`repro.core.registry.algorithm_names`).  ``batch_cells`` (auto
+    for the batched backends) runs each cell's trials as one stacked
+    engine pass — see :func:`_sweep`.
     """
     base = SimulationConfig(
         scheme="id", drain_model=drain_model, backend=backend,
-        algorithm=algorithm,
+        algorithm=algorithm, memory_budget_mb=memory_budget_mb,
     )
     series, raw = _sweep(
         base, list(schemes), list(n_values), trials, root_seed,
         lambda m: m.mean_cds_size, parallel,
         processes=processes, checkpoint_dir=checkpoint_dir, progress=progress,
-        density_scaled=density_scaled,
+        density_scaled=density_scaled, batch_cells=batch_cells,
     )
     return ExperimentResult(
         figure="Figure 10",
@@ -252,6 +267,8 @@ def run_lifespan_figure(
     backend: str = "scalar",
     density_scaled: bool = False,
     algorithm: str = "wu_li",
+    batch_cells: bool | None = None,
+    memory_budget_mb: float | None = None,
 ) -> ExperimentResult:
     """Figures 11/12/13: average lifespan vs N under one drain model.
 
@@ -260,18 +277,20 @@ def run_lifespan_figure(
     ``backend="vectorized"`` + ``density_scaled=True`` lift the sweep to
     N = 10k scenario families (same masks; see EXPERIMENTS.md).
     ``algorithm`` swaps the CDS construction for every cell (any name in
-    :func:`repro.core.registry.algorithm_names`).
+    :func:`repro.core.registry.algorithm_names`).  ``batch_cells`` (auto
+    for the batched backends) runs each cell's trials as one stacked
+    engine pass — see :func:`_sweep`.
     """
     figure, formula = _FIGURE_BY_MODEL.get(drain_model, (f"({drain_model})", ""))
     base = SimulationConfig(
         scheme="id", drain_model=drain_model, backend=backend,
-        algorithm=algorithm,
+        algorithm=algorithm, memory_budget_mb=memory_budget_mb,
     )
     series, raw = _sweep(
         base, list(schemes), list(n_values), trials, root_seed,
         lambda m: float(m.lifespan), parallel,
         processes=processes, checkpoint_dir=checkpoint_dir, progress=progress,
-        density_scaled=density_scaled,
+        density_scaled=density_scaled, batch_cells=batch_cells,
     )
     notes = {
         "constant": (

@@ -39,7 +39,7 @@ from repro.analysis.stats import summarize
 from repro.analysis.tables import render_table
 from repro.core.cds import compute_cds
 from repro.core.priority import PAPER_SERIES_ORDER
-from repro.core.registry import algorithm_names
+from repro.core.registry import EXECUTION_BACKENDS, algorithm_names
 from repro.graphs.generators import paper_example_graph, random_connected_network
 from repro.io.topology_io import load_network
 from repro.simulation.config import SimulationConfig
@@ -90,14 +90,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="run both pipelines every interval and fail on any divergence",
     )
     l.add_argument(
-        "--backend", default="scalar", choices=["scalar", "vectorized"],
-        help="CDS backend: scalar pipelines or the batched numpy kernels "
-        "(bit-identical results; vectorized wins at large N)",
+        "--backend", default="scalar", choices=list(EXECUTION_BACKENDS),
+        help="CDS backend: scalar/delta pipelines, the batched numpy "
+        "kernels (vectorized), or the streaming CSR engine (sparse) — "
+        "bit-identical results; vectorized wins at large N, sparse at "
+        "N >> 10k",
+    )
+    l.add_argument(
+        "--memory-budget-mb", type=float, default=None, metavar="MB",
+        help="chunking budget for the vectorized/sparse engines "
+        "(bit-identical at any positive value; default: "
+        "REPRO_MEMORY_BUDGET_MB or 64)",
     )
     l.add_argument(
         "--algorithm", default="wu_li", choices=algorithm_names(),
         help="CDS construction from the repro.core.registry catalog "
         "(default: the paper's marking + pruning path)",
+    )
+    l.add_argument(
+        "--no-batch-cells", action="store_true",
+        help="force per-trial shards even on the batched backends "
+        "(default: each scheme's trials run as one stacked engine pass "
+        "when the backend is vectorized/sparse; results are identical)",
     )
 
     f = sub.add_parser("figure", help="regenerate a paper figure")
@@ -122,9 +136,20 @@ def build_parser() -> argparse.ArgumentParser:
         "completed (N, scheme, trial) shards bit-identically",
     )
     f.add_argument(
-        "--backend", default="scalar", choices=["scalar", "vectorized"],
+        "--backend", default="scalar", choices=list(EXECUTION_BACKENDS),
         help="CDS backend per shard (bit-identical results; use vectorized "
-        "for N >> 100 sweeps)",
+        "for N >> 100 sweeps, sparse for N >> 10k)",
+    )
+    f.add_argument(
+        "--memory-budget-mb", type=float, default=None, metavar="MB",
+        help="chunking budget for the vectorized/sparse engines "
+        "(bit-identical at any positive value)",
+    )
+    f.add_argument(
+        "--no-batch-cells", action="store_true",
+        help="force per-trial shards even on the batched backends "
+        "(default: each cell's trials run as one stacked engine pass "
+        "when the backend is vectorized/sparse; results are identical)",
     )
     f.add_argument(
         "--density-scaled", action="store_true",
@@ -226,8 +251,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="pool size for --trials > 1 (default: cpu count)",
     )
     pr.add_argument(
-        "--backend", default="scalar", choices=["scalar", "vectorized"],
+        "--backend", default="scalar", choices=list(EXECUTION_BACKENDS),
         help="CDS backend to profile (bit-identical results)",
+    )
+    pr.add_argument(
+        "--memory-budget-mb", type=float, default=None, metavar="MB",
+        help="chunking budget for the vectorized/sparse engines",
     )
     pr.add_argument(
         "--density-scaled", action="store_true",
@@ -376,6 +405,7 @@ def _cmd_lifespan(args) -> int:
                 shadow_check=args.shadow_check,
                 backend=args.backend,
                 algorithm=args.algorithm,
+                memory_budget_mb=args.memory_budget_mb,
             ),
         )
         for scheme in schemes
@@ -385,7 +415,9 @@ def _cmd_lifespan(args) -> int:
         checkpoint=args.resume,
         progress=progress_printer(),
     )
-    outcome = executor.run(cells, args.trials, root_seed=args.seed)
+    batch = args.backend in ("vectorized", "sparse") and not args.no_batch_cells
+    run = executor.run_batched if batch else executor.run
+    outcome = run(cells, args.trials, root_seed=args.seed)
     rows = []
     for scheme in schemes:
         metrics = outcome.cell(scheme)
@@ -419,6 +451,8 @@ def _cmd_figure(args) -> int:
         backend=args.backend,
         density_scaled=args.density_scaled,
         algorithm=args.algorithm,
+        memory_budget_mb=args.memory_budget_mb,
+        batch_cells=False if args.no_batch_cells else None,
     )
     if args.number == 10:
         result = run_figure10(**common)
@@ -595,6 +629,7 @@ def _cmd_profile(args) -> int:
         backend=args.backend,
         algorithm=args.algorithm,
         side=scaled_side(args.hosts) if args.density_scaled else 100.0,
+        memory_budget_mb=args.memory_budget_mb,
     )
     if args.trials > 1:
         # profile the fan-out itself: trials run through the sharded

@@ -36,6 +36,12 @@ from repro.core.vectorized import (
     compute_cds_batch,
     compute_cds_rule_k_batch,
 )
+from repro.core.sparse import (
+    CSRBatch,
+    SparseCDSEngine,
+    SparseCDSPipeline,
+    compute_cds_sparse,
+)
 from repro.core.unidirectional import (
     compute_directed_cds,
     directed_marking,
@@ -82,7 +88,11 @@ __all__ = [
     "prune",
     "PruneStats",
     "BatchCDSEngine",
+    "CSRBatch",
+    "SparseCDSEngine",
+    "SparseCDSPipeline",
     "VectorizedCDSPipeline",
+    "compute_cds_sparse",
     "compute_cds_batch",
     "compute_cds_rule_k_batch",
 ]

@@ -88,8 +88,15 @@ __all__ = [
 #: Execution backends of the Wu–Li marking path (how the same pipeline is
 #: evaluated, not which construction runs).  ``SimulationConfig.backend``
 #: validates against this so its error message can never drift from the
-#: actual choices again.
-EXECUTION_BACKENDS: tuple[str, ...] = ("scalar", "vectorized")
+#: actual choices again.  ``scalar`` auto-selects delta-vs-scratch by
+#: host count; ``delta`` forces the incremental pipeline; ``vectorized``
+#: is the dense batch engine; ``sparse`` the streaming CSR engine.
+EXECUTION_BACKENDS: tuple[str, ...] = (
+    "scalar",
+    "delta",
+    "vectorized",
+    "sparse",
+)
 
 #: fn(adjacency, scheme, energy, fixed_point) -> (gateway_mask, stats|None)
 ConstructFn = Callable[
@@ -108,6 +115,8 @@ class CDSAlgorithm:
     supports_delta: bool = False
     #: batched numpy kernels available for this construction.
     supports_vectorized: bool = False
+    #: streaming CSR / per-component kernels available (``backend="sparse"``).
+    supports_sparse: bool = False
     #: 2 for constructions that survive any single (non-cut) gateway loss.
     connectivity: int = 1
     #: the priority scheme changes the output (marking family).
@@ -238,6 +247,7 @@ def register_algorithm(
     name: str,
     supports_delta: bool = False,
     supports_vectorized: bool = False,
+    supports_sparse: bool = False,
     connectivity: int = 1,
     uses_scheme: bool = False,
     uses_energy: bool = False,
@@ -255,6 +265,7 @@ def register_algorithm(
             fn=fn,
             supports_delta=supports_delta,
             supports_vectorized=supports_vectorized,
+            supports_sparse=supports_sparse,
             connectivity=connectivity,
             uses_scheme=uses_scheme,
             uses_energy=uses_energy,
@@ -324,12 +335,13 @@ class AlgorithmPipeline:
     name="wu_li",
     supports_delta=True,
     supports_vectorized=True,
+    supports_sparse=True,
     uses_scheme=True,
     uses_energy=True,
     description=(
         "the paper's marking process + Rule 1/2 pruning under the "
-        "configured priority scheme (scalar, delta, and vectorized "
-        "execution backends)"
+        "configured priority scheme (scalar, delta, vectorized, and "
+        "sparse execution backends)"
     ),
 )
 def _wu_li(adj, scheme, energy, fixed_point):

@@ -66,6 +66,7 @@ never over nodes.
 
 from __future__ import annotations
 
+import os
 from typing import Sequence
 
 import numpy as np
@@ -87,6 +88,12 @@ __all__ = [
     "popcount_rows",
     "pair_index_arrays",
     "flags_to_masks",
+    "edge_table",
+    "resolve_memory_budget_mb",
+    "chunk_words",
+    "chunk_bits",
+    "MEMORY_BUDGET_ENV",
+    "DEFAULT_MEMORY_BUDGET_MB",
     "BatchCDSEngine",
     "compute_cds_batch",
     "compute_cds_rule_k_batch",
@@ -98,10 +105,54 @@ _U64_63 = np.uint64(63)
 _ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
 _I32MAX = np.int32(np.iinfo(np.int32).max)
 
+#: env var overriding the per-engine chunking budget (megabytes, float).
+MEMORY_BUDGET_ENV = "REPRO_MEMORY_BUDGET_MB"
+#: default budget.  ``chunk_words``/``chunk_bits`` at this value reproduce
+#: the historical hardcoded constants exactly (32 MiB of gathered uint64
+#: words per sweep chunk, 64 Mib of unpacked bits per edge-table chunk).
+DEFAULT_MEMORY_BUDGET_MB = 64.0
+
+
+def resolve_memory_budget_mb(explicit: float | None = None) -> float:
+    """Chunking budget in MB: explicit arg > env var > default."""
+    if explicit is None:
+        raw = os.environ.get(MEMORY_BUDGET_ENV)
+        if raw is not None:
+            try:
+                explicit = float(raw)
+            except ValueError:
+                raise ConfigurationError(
+                    f"{MEMORY_BUDGET_ENV}={raw!r} is not a number"
+                ) from None
+    if explicit is None:
+        return DEFAULT_MEMORY_BUDGET_MB
+    if not explicit > 0:
+        raise ConfigurationError(
+            f"memory_budget_mb must be positive, got {explicit!r}"
+        )
+    return float(explicit)
+
+
+def chunk_words(budget_mb: float | None = None) -> int:
+    """Gathered-word budget per chunked sweep (the old ``_CHUNK_WORDS``).
+
+    Scales linearly with the budget; floored so degenerate budgets still
+    make progress (tiny chunks change only speed, never results).
+    """
+    mb = resolve_memory_budget_mb(budget_mb)
+    return max(1 << 12, int(mb * (1 << 22) / DEFAULT_MEMORY_BUDGET_MB))
+
+
+def chunk_bits(budget_mb: float | None = None) -> int:
+    """Unpacked-bit budget per edge-table chunk (the old ``_CHUNK_BITS``)."""
+    mb = resolve_memory_budget_mb(budget_mb)
+    return max(1 << 15, int(mb * (1 << 26) / DEFAULT_MEMORY_BUDGET_MB))
+
+
 #: word budget per gathered operand in a chunked sweep (32 MiB of uint64).
-_CHUNK_WORDS = 1 << 22
+_CHUNK_WORDS = chunk_words(DEFAULT_MEMORY_BUDGET_MB)
 #: unpacked-bit budget per chunk of the edge-table builder (64 MiB).
-_CHUNK_BITS = 1 << 26
+_CHUNK_BITS = chunk_bits(DEFAULT_MEMORY_BUDGET_MB)
 
 _HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
 
@@ -222,6 +273,7 @@ def _covered_expand(
     table: np.ndarray,
     probe_a: np.ndarray,
     probe_b: np.ndarray | None = None,
+    chunk: int | None = None,
 ) -> np.ndarray:
     """Batched subset test: is every member of CSR list ``keys[k]`` a set
     bit of ``table[a[k]]`` (∪ ``table[b[k]]``)?
@@ -238,9 +290,11 @@ def _covered_expand(
     out = np.empty(K, dtype=bool)
     if K == 0:
         return out
+    if chunk is None:
+        chunk = _CHUNK_WORDS
     counts_all = counts[keys]
     avg = max(1.0, float(counts_all.mean()))
-    step = max(1, int(_CHUNK_WORDS / avg))
+    step = max(1, int(chunk / avg))
     for lo in range(0, K, step):
         hi = min(K, lo + step)
         cnt = counts_all[lo:hi]
@@ -268,6 +322,39 @@ def _scatter_any(hits: np.ndarray, size: int) -> np.ndarray:
     return np.bincount(hits, minlength=size).astype(bool)
 
 
+def edge_table(
+    rows_flat: np.ndarray, n: int, chunk: int | None = None
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Directed edge table of a flat ``(R, W)`` packed-row batch.
+
+    Returns ``(eS, eD, eDf)``: flat source row, *local* destination node
+    id, flat destination row — grouped by ascending source (and, within a
+    source, ascending destination).  Chunked over flat rows so the
+    unpacked bit matrix never exceeds ``chunk`` bits (defaults to the
+    module budget); the sparse CSR path reuses this builder directly.
+    """
+    if chunk is None:
+        chunk = _CHUNK_BITS
+    R, W = rows_flat.shape
+    ncols = W * 64
+    rows_per = max(1, chunk // ncols)
+    src_parts: list[np.ndarray] = []
+    dst_parts: list[np.ndarray] = []
+    for lo in range(0, R, rows_per):
+        blk = rows_flat[lo : lo + rows_per]
+        bits = np.unpackbits(blk.view(np.uint8), axis=1, bitorder="little")
+        flat = np.flatnonzero(bits)
+        src_parts.append(flat // ncols + lo)
+        dst_parts.append((flat % ncols).astype(np.int64))
+    if not src_parts:
+        e = np.empty(0, dtype=np.int64)
+        return e, e, e
+    eS = np.concatenate(src_parts)
+    eD = np.concatenate(dst_parts)
+    eDf = eS - eS % n + eD  # same element: flat row of the neighbor
+    return eS, eD, eDf
+
+
 class BatchCDSEngine:
     """Batched marking + Rule 1/2 engine, bit-identical to ``compute_cds``.
 
@@ -283,12 +370,16 @@ class BatchCDSEngine:
         *,
         fixed_point: bool = False,
         max_rounds: int = 1_000,
+        memory_budget_mb: float | None = None,
     ):
         self.scheme = (
             scheme_by_name(scheme) if isinstance(scheme, str) else scheme
         )
         self.fixed_point = fixed_point
         self.max_rounds = max_rounds
+        self.memory_budget_mb = resolve_memory_budget_mb(memory_budget_mb)
+        self._chunk_words = chunk_words(self.memory_budget_mb)
+        self._chunk_bits = chunk_bits(self.memory_budget_mb)
         # registry schemes rank via one batched lexsort; a custom key_fn
         # falls back to exact per-element tuple keys
         self._fast_keys = SCHEMES.get(self.scheme.name) is self.scheme
@@ -296,31 +387,8 @@ class BatchCDSEngine:
     # -- structure ---------------------------------------------------------
 
     def _edge_table(self, rows_flat: np.ndarray, n: int):
-        """Directed edge table of the whole batch.
-
-        Returns ``(eS, eD, eDf)``: flat source row, *local* destination
-        node id, flat destination row — grouped by ascending source (and,
-        within a source, ascending destination).  Chunked over flat rows so
-        the unpacked bit matrix never exceeds ``_CHUNK_BITS``.
-        """
-        R, W = rows_flat.shape
-        ncols = W * 64
-        rows_per = max(1, _CHUNK_BITS // ncols)
-        src_parts: list[np.ndarray] = []
-        dst_parts: list[np.ndarray] = []
-        for lo in range(0, R, rows_per):
-            blk = rows_flat[lo : lo + rows_per]
-            bits = np.unpackbits(blk.view(np.uint8), axis=1, bitorder="little")
-            flat = np.flatnonzero(bits)
-            src_parts.append(flat // ncols + lo)
-            dst_parts.append((flat % ncols).astype(np.int64))
-        if not src_parts:
-            e = np.empty(0, dtype=np.int64)
-            return e, e, e
-        eS = np.concatenate(src_parts)
-        eD = np.concatenate(dst_parts)
-        eDf = eS - eS % n + eD  # same element: flat row of the neighbor
-        return eS, eD, eDf
+        """Directed edge table of the whole batch (see :func:`edge_table`)."""
+        return edge_table(rows_flat, n, self._chunk_bits)
 
     def _ranks(
         self,
@@ -386,7 +454,7 @@ class BatchCDSEngine:
             return z, z, z
         counts_all = deg_flat[eS]
         avg = max(1.0, float(counts_all.mean()))
-        step = max(1, int(_CHUNK_WORDS / avg))
+        step = max(1, int(self._chunk_words / avg))
         list_parts: list[np.ndarray] = []
         owner_parts: list[np.ndarray] = []
         for lo in range(0, E, step):
@@ -463,7 +531,8 @@ class BatchCDSEngine:
         # exact primary coverage: N(v) ⊆ N(u) ∪ N(w) ⟺ miss(v→u) ⊆ N(w)
         # (u ∈ miss(v→u) always hits: the prefilter guarantees u ∈ N(w))
         cov = _covered_expand(
-            misslist, missoff, misscnt, gU, rows_flat, tWf
+            misslist, missoff, misscnt, gU, rows_flat, tWf,
+            chunk=self._chunk_words,
         )
         cV, cUf, cWf = tV[cov], tUf[cov], tWf[cov]
         if len(cV) == 0:
@@ -481,10 +550,12 @@ class BatchCDSEngine:
             # N(u) ⊆ N(v) ∪ N(w) ⟺ miss(u→v) ⊆ N(w) (v ∈ N(w) since w, v
             # are adjacent through the triple)
             ccu = _covered_expand(
-                misslist, missoff, misscnt, rev[gU], rows_flat, cWf
+                misslist, missoff, misscnt, rev[gU], rows_flat, cWf,
+                chunk=self._chunk_words,
             )
             ccw = _covered_expand(
-                misslist, missoff, misscnt, rev[gW], rows_flat, cUf
+                misslist, missoff, misscnt, rev[gW], rows_flat, cUf,
+                chunk=self._chunk_words,
             )
             lu |= ~ccu
             lw |= ~ccw
@@ -651,6 +722,7 @@ def compute_cds_batch(
     *,
     fixed_point: bool = False,
     verify: bool = False,
+    memory_budget_mb: float | None = None,
 ) -> list[CDSResult]:
     """Batched :func:`repro.core.cds.compute_cds` over same-size topologies.
 
@@ -670,7 +742,9 @@ def compute_cds_batch(
     n = len(adjs[0])
     energy_arr = _validate_energy(sch, energies, B, n)
     packed = pack_batch(adjs)
-    engine = BatchCDSEngine(sch, fixed_point=fixed_point)
+    engine = BatchCDSEngine(
+        sch, fixed_point=fixed_point, memory_budget_mb=memory_budget_mb
+    )
     flags, stats = engine.run(packed, energy_arr)
     masks = flags_to_masks(flags)
     results = []
@@ -773,6 +847,7 @@ class VectorizedCDSPipeline:
         fixed_point: bool = False,
         verify: bool = False,
         shadow_check: bool = False,
+        memory_budget_mb: float | None = None,
     ):
         self.scheme = (
             scheme_by_name(scheme) if isinstance(scheme, str) else scheme
@@ -780,7 +855,11 @@ class VectorizedCDSPipeline:
         self.fixed_point = fixed_point
         self.verify = verify
         self.shadow_check = shadow_check
-        self.engine = BatchCDSEngine(self.scheme, fixed_point=fixed_point)
+        self.engine = BatchCDSEngine(
+            self.scheme,
+            fixed_point=fixed_point,
+            memory_budget_mb=memory_budget_mb,
+        )
 
     def reset(self) -> None:
         """No cached state to drop; present for pipeline-API parity."""

@@ -1,11 +1,12 @@
 """Lockstep batched lifespan trials: one array pass per interval.
 
 The sharded executor parallelizes trials across *processes*; this module
-parallelizes them across the *batch axis* of the vectorized CDS engine
-(:class:`repro.core.vectorized.BatchCDSEngine`).  All still-running trials
-of a cell advance in lockstep — each interval stacks their adjacencies
-into one ``(B, n, W)`` batch and runs marking + rules as a single numpy
-pass, then drains energy and roams hosts per trial exactly as
+parallelizes them across the *batch axis* of the batched CDS engines
+(:class:`repro.core.vectorized.BatchCDSEngine` or, for
+``config.backend == "sparse"``, :class:`repro.core.sparse.SparseCDSEngine`).
+All still-running trials of a cell advance in lockstep — each interval
+stacks their adjacencies into one batch and runs marking + rules as a
+single numpy pass, then drains energy and roams hosts per trial exactly as
 :func:`repro.simulation.interval.run_interval` does.
 
 Bit-identical by construction: every trial owns its
@@ -23,9 +24,18 @@ array pass narrows as the cell drains.  This wins when per-interval numpy
 overheads dominate (many small-n trials: one 200-wide batch at n = 100
 amortizes ~200 kernel launches into one) or when process fan-out is
 unavailable (``processes=1`` benches, pytest-benchmark).
+
+``trial_ids`` lets a caller run an arbitrary subset of a cell's trials
+(the batched figure drivers use it to fill only the shards a checkpoint
+is missing); ``progress`` receives a :class:`BatchProgress` heartbeat per
+interval so long stacked passes stay visible.
 """
 
 from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import Callable, Sequence, TextIO
 
 import numpy as np
 
@@ -34,6 +44,7 @@ from repro.core.cds import CDSResult, compute_cds
 from repro.core.marking import marking_trivially_empty
 from repro.core.properties import verify_cds
 from repro.core.registry import algorithm_by_name
+from repro.core.sparse import CSRBatch, SparseCDSEngine
 from repro.core.vectorized import BatchCDSEngine, flags_to_masks, pack_batch
 from repro.errors import ConfigurationError, InvariantViolation, SimulationError
 from repro.graphs import bitset
@@ -42,7 +53,53 @@ from repro.simulation.lifespan import LifespanResult, LifespanSimulator
 from repro.simulation.metrics import IntervalMetrics, TrialMetrics
 from repro.simulation.rng import generator_for_trial
 
-__all__ = ["run_lifespan_batch"]
+__all__ = ["BatchProgress", "batch_progress_printer", "run_lifespan_batch"]
+
+
+@dataclass(frozen=True)
+class BatchProgress:
+    """One heartbeat, emitted after every lockstep interval."""
+
+    #: free-form label for the batch (the figure drivers pass the cell).
+    label: str
+    #: 1-based interval index just completed.
+    interval: int
+    #: trials still alive after this interval.
+    alive: int
+    #: trials the batch started with.
+    trials: int
+
+
+def batch_progress_printer(
+    stream: TextIO | None = None,
+) -> Callable[[BatchProgress], None]:
+    """A heartbeat callback mirroring :func:`repro.exec.progress_printer`.
+
+    On a TTY every interval redraws one status line; otherwise a line is
+    printed every 25 intervals and whenever a trial dies (the narrowing
+    batch is the interesting part of a log).
+    """
+    out = stream if stream is not None else sys.stderr
+    is_tty = hasattr(out, "isatty") and out.isatty()
+    last_alive = [-1]
+
+    def emit(ev: BatchProgress) -> None:
+        if is_tty:
+            end = "\n" if ev.alive == 0 else "\r"
+            print(
+                f"  batch {ev.label}: interval {ev.interval} "
+                f"({ev.alive}/{ev.trials} trials alive)",
+                end=end, file=out, flush=True,
+            )
+        elif ev.interval % 25 == 0 or ev.alive != last_alive[0]:
+            print(
+                f"  batch {ev.label}: interval {ev.interval} "
+                f"({ev.alive}/{ev.trials} trials alive)",
+                file=out, flush=True,
+            )
+        last_alive[0] = ev.alive
+
+    return emit
 
 
 def run_lifespan_batch(
@@ -51,18 +108,34 @@ def run_lifespan_batch(
     *,
     root_seed: int | None = None,
     keep_intervals: bool = False,
+    trial_ids: Sequence[int] | None = None,
+    progress: Callable[[BatchProgress], None] | None = None,
+    label: str = "",
 ) -> list[LifespanResult]:
-    """Run ``trials`` lifespan trials of ``config`` as lockstep batches.
+    """Run lifespan trials of ``config`` as lockstep batches.
 
-    Returns one :class:`LifespanResult` per trial, index-aligned with the
-    ``generator_for_trial(root_seed, t)`` streams — the same metrics the
-    per-trial simulator (and therefore the sharded executor) produces.
+    Returns one :class:`LifespanResult` per trial, index-aligned with
+    ``trial_ids`` (default ``range(trials)``) — trial ``t`` uses the
+    ``generator_for_trial(root_seed, t)`` stream, so the metrics equal
+    what the per-trial simulator (and therefore the sharded executor)
+    produces for the same ids.
     """
     if trials < 0:
         raise ConfigurationError(f"trials must be >= 0, got {trials}")
+    if trial_ids is None:
+        trial_ids = range(trials)
+    else:
+        trial_ids = list(trial_ids)
+        if len(trial_ids) != trials:
+            raise ConfigurationError(
+                f"trial_ids has {len(trial_ids)} entries for trials={trials}"
+            )
     if trials == 0:
         return []
-    if not algorithm_by_name(config.algorithm).supports_vectorized:
+    algo = algorithm_by_name(config.algorithm)
+    sparse = config.backend == "sparse"
+    supported = algo.supports_sparse if sparse else algo.supports_vectorized
+    if not supported:
         # no batched kernels for this construction: fall back to driving
         # the per-trial simulators sequentially on the same rng streams,
         # so results stay index-aligned with the executor's
@@ -70,31 +143,51 @@ def run_lifespan_batch(
             LifespanSimulator(
                 config, rng=generator_for_trial(root_seed, t)
             ).run(keep_intervals=keep_intervals)
-            for t in range(trials)
+            for t in trial_ids
         ]
     sims = [
         LifespanSimulator(config, rng=generator_for_trial(root_seed, t))
-        for t in range(trials)
+        for t in trial_ids
     ]
     scheme = sims[0].scheme
-    engine = BatchCDSEngine(scheme, fixed_point=config.fixed_point)
+    if sparse:
+        engine: SparseCDSEngine | BatchCDSEngine = SparseCDSEngine(
+            scheme,
+            fixed_point=config.fixed_point,
+            memory_budget_mb=config.memory_budget_mb,
+        )
+    else:
+        engine = BatchCDSEngine(
+            scheme,
+            fixed_point=config.fixed_point,
+            memory_budget_mb=config.memory_budget_mb,
+        )
     n = config.n_hosts
 
     records: list[list[IntervalMetrics]] = [[] for _ in range(trials)]
     gateway_counts = np.zeros((trials, n), dtype=np.int64)
     alive = list(range(trials))
+    interval_no = 0
     with obs.span("trial_batch"):
         while alive:
-            packed = pack_batch(
-                [list(sims[t].network.adjacency) for t in alive]
-            )
+            adjacencies = [list(sims[t].network.adjacency) for t in alive]
             energies = None
             if scheme.needs_energy:
                 energies = np.stack(
                     [np.asarray(sims[t].bank.levels) for t in alive]
                 )
-            flags, stats = engine.run(packed, energies)
+            if sparse:
+                csr = CSRBatch.from_adjacency(
+                    adjacencies, memory_budget_mb=config.memory_budget_mb
+                )
+                flags, stats = engine.run(csr, energies)
+            else:
+                flags, stats = engine.run(pack_batch(adjacencies), energies)
             masks = flags_to_masks(flags)
+            interval_no += 1
+            if obs.enabled():
+                obs.count("vectorized.batch_intervals")
+                obs.add("vectorized.batch_elements", len(alive))
 
             survivors: list[int] = []
             for k, t in enumerate(alive):
@@ -110,7 +203,7 @@ def run_lifespan_batch(
                     masks[k] or not marking_trivially_empty(adj)
                 ):
                     verify_cds(
-                        adj, masks[k], context=f"batch trial {t}"
+                        adj, masks[k], context=f"batch trial {trial_ids[t]}"
                     )
                 if config.shadow_check:
                     energy = (
@@ -125,7 +218,7 @@ def run_lifespan_batch(
                     if ref.gateway_mask != masks[k]:
                         raise InvariantViolation(
                             f"batched backend diverged from scratch on trial "
-                            f"{t} interval {len(records[t]) + 1}: "
+                            f"{trial_ids[t]} interval {len(records[t]) + 1}: "
                             f"{masks[k]:#x} != {ref.gateway_mask:#x}"
                         )
                 drain = sim.accountant.apply(cds.gateway_mask)
@@ -160,6 +253,15 @@ def run_lifespan_batch(
                     )
                 survivors.append(t)
             alive = survivors
+            if progress is not None:
+                progress(
+                    BatchProgress(
+                        label=label,
+                        interval=interval_no,
+                        alive=len(alive),
+                        trials=trials,
+                    )
+                )
         if obs.enabled():
             obs.add("lifespan.trials", trials)
             obs.add(

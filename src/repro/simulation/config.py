@@ -69,11 +69,15 @@ class SimulationConfig:
     #: pays for both paths; implies nothing unless ``incremental``).
     shadow_check: bool = False
     #: CDS computation backend: ``scalar`` (the default — scratch or
-    #: delta pipeline per ``incremental``) or ``vectorized`` (the batched
-    #: numpy kernels of :mod:`repro.core.vectorized`; bit-identical masks,
-    #: built for n ≳ 1000 where the scalar paths cap out).  With
-    #: ``vectorized`` the ``incremental`` knob is ignored; ``shadow_check``
-    #: still cross-checks against the scratch oracle every interval.
+    #: delta pipeline per ``incremental``), ``delta`` (force the
+    #: incremental pipeline regardless of host count), ``vectorized``
+    #: (the batched numpy kernels of :mod:`repro.core.vectorized`; built
+    #: for n ≳ 1000 where the scalar paths cap out), or ``sparse`` (the
+    #: streaming CSR / per-component engine of :mod:`repro.core.sparse`;
+    #: built for n ≳ 10k where dense packed rows cap out).  All backends
+    #: produce bit-identical masks.  With ``vectorized``/``sparse`` the
+    #: ``incremental`` knob is ignored; ``shadow_check`` still
+    #: cross-checks against the scratch oracle every interval.
     backend: str = "scalar"
     #: CDS construction algorithm, one of :func:`repro.core.registry.
     #: algorithm_names` — ``wu_li`` is the paper's marking + pruning path
@@ -87,6 +91,11 @@ class SimulationConfig:
     max_intervals: int | None = 100_000
     #: non-gateway drain d' (the paper's unit).
     non_gateway_drain: float = 1.0
+    #: chunking budget (MB) for the vectorized/sparse engines' streamed
+    #: table builders — results are bit-identical at any positive value,
+    #: only peak temporary memory and speed change.  ``None`` defers to
+    #: the ``REPRO_MEMORY_BUDGET_MB`` env var, then the engine default.
+    memory_budget_mb: float | None = None
 
     def __post_init__(self) -> None:
         if self.n_hosts < 1:
@@ -145,6 +154,21 @@ class SimulationConfig:
             raise ConfigurationError(
                 f"algorithm {algo.name!r} has no vectorized backend; "
                 "use backend='scalar'"
+            )
+        if self.backend == "sparse" and not algo.supports_sparse:
+            raise ConfigurationError(
+                f"algorithm {algo.name!r} has no sparse backend; "
+                "use backend='scalar'"
+            )
+        if self.backend == "delta" and not algo.supports_delta:
+            raise ConfigurationError(
+                f"algorithm {algo.name!r} has no delta backend; "
+                "use backend='scalar'"
+            )
+        if self.memory_budget_mb is not None and not self.memory_budget_mb > 0:
+            raise ConfigurationError(
+                "memory_budget_mb must be positive or None, got "
+                f"{self.memory_budget_mb}"
             )
         scheme_by_name(self.scheme)
         drain_model_by_name(self.drain_model)

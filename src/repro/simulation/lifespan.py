@@ -28,6 +28,7 @@ from repro import obs
 from repro.core.delta import INCREMENTAL_MIN_HOSTS, DeltaCDSPipeline
 from repro.core.priority import scheme_by_name
 from repro.core.registry import algorithm_by_name
+from repro.core.sparse import SparseCDSPipeline
 from repro.core.vectorized import VectorizedCDSPipeline
 from repro.energy.accounting import EnergyAccountant
 from repro.energy.battery import BatteryBank
@@ -82,16 +83,34 @@ class LifespanSimulator:
         # backend selection.  Non-wu_li algorithms recompute from the live
         # snapshot every interval (run_interval routes around the marking
         # pipelines).  For wu_li, "vectorized" swaps in the batched numpy
-        # kernels (stateless across intervals; bit-identical masks).  On
-        # "scalar", the incremental pipeline carries cached state across
-        # intervals; one instance per trial so trials stay independent.
-        # Networks below the measured crossover stay on the (there faster)
-        # scratch path — unless shadow checking was requested, which needs
-        # the pipeline.
+        # kernels and "sparse" the streaming CSR engine (both stateless
+        # across intervals; bit-identical masks); "delta" forces the
+        # incremental pipeline regardless of host count.  On "scalar",
+        # the incremental pipeline carries cached state across intervals;
+        # one instance per trial so trials stay independent.  Networks
+        # below the measured crossover stay on the (there faster) scratch
+        # path — unless shadow checking was requested, which needs the
+        # pipeline.
         if self.algorithm.name != "wu_li":
             self.pipeline = None
         elif config.backend == "vectorized" and cds_fn is None:
             self.pipeline = VectorizedCDSPipeline(
+                self.scheme,
+                fixed_point=config.fixed_point,
+                verify=config.verify_invariants,
+                shadow_check=config.shadow_check,
+                memory_budget_mb=config.memory_budget_mb,
+            )
+        elif config.backend == "sparse" and cds_fn is None:
+            self.pipeline = SparseCDSPipeline(
+                self.scheme,
+                fixed_point=config.fixed_point,
+                verify=config.verify_invariants,
+                shadow_check=config.shadow_check,
+                memory_budget_mb=config.memory_budget_mb,
+            )
+        elif config.backend == "delta" and cds_fn is None:
+            self.pipeline = DeltaCDSPipeline(
                 self.scheme,
                 fixed_point=config.fixed_point,
                 verify=config.verify_invariants,

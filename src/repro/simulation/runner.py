@@ -69,13 +69,24 @@ class TrialRunner:
         parallel: bool = True,
         checkpoint_dir: str | Path | None = None,
         progress: Callable[[SweepProgress], None] | None = None,
+        batch_cells: bool | None = None,
     ) -> list[TrialMetrics]:
-        """Execute ``trials`` independent lifespan runs of ``config``."""
+        """Execute ``trials`` independent lifespan runs of ``config``.
+
+        ``batch_cells`` routes the cell through
+        :meth:`SweepExecutor.run_batched` — all trials advance as ONE
+        lockstep batched-engine pass per interval instead of per-trial
+        pool tasks (bit-identical metrics, interchangeable checkpoints).
+        ``None`` auto-enables it for the batched backends
+        (``vectorized``/``sparse``).
+        """
         # deferred so ``repro.exec`` and ``repro.simulation`` can be
         # imported in either order (exec's modules import simulation
         # submodules, whose package init imports this module)
         from repro.exec.executor import SweepExecutor
 
+        if batch_cells is None:
+            batch_cells = config.backend in ("vectorized", "sparse")
         executor = SweepExecutor(
             processes=self.processes,
             start_method=self.start_method,
@@ -84,7 +95,8 @@ class TrialRunner:
             checkpoint=checkpoint_dir,
             progress=progress,
         )
-        outcome = executor.run(
+        run = executor.run_batched if batch_cells else executor.run
+        outcome = run(
             [(_SINGLE_CELL, config)],
             trials,
             root_seed=self.root_seed,
@@ -103,6 +115,7 @@ def run_trials(
     start_method: str | None = None,
     checkpoint_dir: str | Path | None = None,
     progress: Callable[[SweepProgress], None] | None = None,
+    batch_cells: bool | None = None,
 ) -> list[TrialMetrics]:
     """Functional one-shot form of :class:`TrialRunner`."""
     return TrialRunner(
@@ -115,4 +128,5 @@ def run_trials(
         parallel=parallel,
         checkpoint_dir=checkpoint_dir,
         progress=progress,
+        batch_cells=batch_cells,
     )

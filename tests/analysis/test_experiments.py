@@ -95,3 +95,60 @@ class TestSignificance:
         with pytest.raises(ValueError):
             bare.welch_t("el1", "id", 0)
         assert "not kept" in bare.significance_lines()[0]
+
+
+class TestBatchedCells:
+    """ISSUE 9: figure drivers route batchable backends through
+    ``run_lifespan_batch`` (one stacked engine pass per sweep cell).
+    The batched path must be bit-identical to the per-trial path, and
+    the auto rule (``batch_cells=None``) must pick batching exactly for
+    the vectorized/sparse backends."""
+
+    @pytest.mark.parametrize("backend", ["vectorized", "sparse"])
+    def test_batched_figure_equals_per_trial(self, backend):
+        kwargs = dict(
+            n_values=[10, 16], trials=3, schemes=["nd", "el2"],
+            root_seed=41, parallel=False, backend=backend,
+        )
+        batched = run_lifespan_figure("linear", batch_cells=True, **kwargs)
+        per_trial = run_lifespan_figure("linear", batch_cells=False, **kwargs)
+        assert batched.raw == per_trial.raw
+        assert batched.series == per_trial.series
+
+    def test_auto_rule_matches_explicit(self):
+        kwargs = dict(
+            n_values=[12], trials=2, schemes=["id"],
+            root_seed=43, parallel=False, backend="sparse",
+        )
+        auto = run_lifespan_figure("quadratic", **kwargs)
+        explicit = run_lifespan_figure(
+            "quadratic", batch_cells=True, **kwargs
+        )
+        assert auto.raw == explicit.raw
+
+    def test_scalar_backend_unchanged_by_auto_rule(self):
+        kwargs = dict(
+            n_values=[12], trials=2, schemes=["id"],
+            root_seed=43, parallel=False, backend="scalar",
+        )
+        auto = run_lifespan_figure("linear", **kwargs)
+        per_trial = run_lifespan_figure("linear", batch_cells=False, **kwargs)
+        assert auto.raw == per_trial.raw
+
+    def test_figure10_batched_equals_per_trial(self):
+        kwargs = dict(
+            n_values=[8, 14], trials=3, root_seed=45,
+            parallel=False, backend="vectorized",
+        )
+        batched = run_figure10(batch_cells=True, **kwargs)
+        per_trial = run_figure10(batch_cells=False, **kwargs)
+        assert batched.series == per_trial.series
+
+    def test_memory_budget_threads_through_figures(self):
+        kwargs = dict(
+            n_values=[14], trials=2, schemes=["el2"],
+            root_seed=47, parallel=False, backend="sparse",
+        )
+        tiny = run_lifespan_figure("linear", memory_budget_mb=0.01, **kwargs)
+        default = run_lifespan_figure("linear", **kwargs)
+        assert tiny.raw == default.raw

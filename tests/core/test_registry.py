@@ -64,9 +64,12 @@ class TestCatalog:
             if name != "wu_li":
                 assert not algo.supports_delta
                 assert not algo.supports_vectorized
+                assert not algo.supports_sparse
 
     def test_execution_backends_are_not_algorithms(self):
-        assert set(EXECUTION_BACKENDS) == {"scalar", "vectorized"}
+        assert set(EXECUTION_BACKENDS) == {
+            "scalar", "delta", "vectorized", "sparse",
+        }
         assert not set(EXECUTION_BACKENDS) & set(ALGORITHMS)
 
     def test_lookup_and_names(self):

@@ -1,0 +1,82 @@
+"""Property tests for the sparse streaming CDS engine (ISSUE 9).
+
+Random *possibly-disconnected* adjacency batches — drawn to produce many
+small components, the regime the per-component decomposition must get
+right — are run through :func:`repro.core.sparse.compute_cds_sparse`
+under every priority scheme, both rule modes, every execution-tier
+forcing (``dense_cutoff`` 0/2/8/huge) and a tiny chunk budget, and every
+element's gateway mask AND :class:`PruneStats` must equal the scalar
+oracle :func:`repro.core.cds.compute_cds`.
+
+This subsumes the dense engine's equivalence property: the sparse engine
+routes small components through :class:`BatchCDSEngine` sub-batches and
+large ones through the streamed CSR kernels, so a passing run pins both
+tiers and their stats aggregation (removals add across components,
+rounds max)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cds import compute_cds
+from repro.core.priority import SCHEMES
+from repro.core.sparse import compute_cds_sparse
+
+
+@st.composite
+def sparse_batches(draw):
+    """Batches of 1-3 sparse graphs: n crossing the word boundary, edge
+    probability low enough that disconnection is the common case."""
+    n = draw(st.sampled_from([3, 9, 16, 31, 63, 64, 65, 90]))
+    b = draw(st.integers(1, 3))
+    p_milli = draw(st.integers(10, 120))  # edge probability 1%..12%
+    batch = []
+    for _ in range(b):
+        adj = [0] * n
+        for i in range(n):
+            for j in range(i + 1, n):
+                if draw(st.integers(0, 999)) < p_milli:
+                    adj[i] |= 1 << j
+                    adj[j] |= 1 << i
+        batch.append(adj)
+    energies = [
+        [float(draw(st.integers(1, 1000))) / 10.0 for _ in range(n)]
+        for _ in range(b)
+    ]
+    return batch, energies
+
+
+class TestSparseEngineEquivalence:
+    @given(
+        sparse_batches(),
+        st.sampled_from(sorted(SCHEMES)),
+        st.booleans(),
+        st.sampled_from([0, 2, 8, 10**6]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_bit_identical_to_scalar(
+        self, payload, scheme_name, fixed_point, dense_cutoff
+    ):
+        batch, energies = payload
+        res = compute_cds_sparse(
+            batch, scheme_name, energies=energies,
+            fixed_point=fixed_point, dense_cutoff=dense_cutoff,
+        )
+        for b, adj in enumerate(batch):
+            want = compute_cds(
+                adj, scheme_name, energy=energies[b], fixed_point=fixed_point
+            )
+            assert res[b].gateway_mask == want.gateway_mask
+            assert res[b].stats == want.stats
+
+    @given(sparse_batches(), st.sampled_from(sorted(SCHEMES)))
+    @settings(max_examples=20, deadline=None)
+    def test_budget_never_changes_results(self, payload, scheme_name):
+        batch, energies = payload
+        default = compute_cds_sparse(batch, scheme_name, energies=energies)
+        tiny = compute_cds_sparse(
+            batch, scheme_name, energies=energies, memory_budget_mb=0.001
+        )
+        for a, b in zip(default, tiny):
+            assert a.gateway_mask == b.gateway_mask
+            assert a.stats == b.stats
