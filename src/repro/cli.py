@@ -83,7 +83,8 @@ def build_parser() -> argparse.ArgumentParser:
     l.add_argument(
         "--scratch", action="store_true",
         help="recompute the CDS from scratch each interval instead of the "
-        "incremental delta pipeline (results are bit-identical)",
+        "backend's incremental pipeline (results are bit-identical; "
+        "rejected for --backend delta, which is inherently incremental)",
     )
     l.add_argument(
         "--shadow-check", action="store_true",
@@ -321,6 +322,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="print one machine-readable 'digest <tenant> <sha256>' line "
         "per tenant (what the CI chaos job compares)",
     )
+    sv.add_argument(
+        "--backend", default="delta", choices=["delta", "sparse"],
+        help="recompute backend for wu_li tenants: the packed-word delta "
+        "pipeline (default) or the persistent-CSR incremental sparse "
+        "pipeline (bit-identical; for very large tenants)",
+    )
+    sv.add_argument(
+        "--memory-budget-mb", type=float, default=None, metavar="MB",
+        help="chunking budget for the sparse backend's streamed builders "
+        "(bit-identical at any positive value; default: "
+        "REPRO_MEMORY_BUDGET_MB or 64)",
+    )
 
     sb = sub.add_parser(
         "serve-bench",
@@ -360,6 +373,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume", default=None, metavar="DIR",
         help="checkpoint directory: a killed sweep resumes from its "
         "completed (value, scheme, trial) shards bit-identically",
+    )
+    s.add_argument(
+        "--memory-budget-mb", type=float, default=None, metavar="MB",
+        help="chunking budget for the vectorized/sparse engines "
+        "(bit-identical at any positive value; default: "
+        "REPRO_MEMORY_BUDGET_MB or 64)",
     )
     return p
 
@@ -401,7 +420,7 @@ def _cmd_lifespan(args) -> int:
                 n_hosts=args.hosts,
                 scheme=scheme,
                 drain_model=args.drain,
-                incremental=not args.scratch,
+                incremental=False if args.scratch else None,
                 shadow_check=args.shadow_check,
                 backend=args.backend,
                 algorithm=args.algorithm,
@@ -731,6 +750,8 @@ def _cmd_serve(args) -> int:
             max_failures=args.max_failures, seed=args.seed
         ),
         data_dir=args.data_dir,
+        backend=args.backend,
+        memory_budget_mb=args.memory_budget_mb,
     )
 
     async def run():
@@ -877,7 +898,11 @@ def _cmd_sweep(args) -> int:
 
     caster = int if args.knob == "n_hosts" else float
     values = tuple(caster(x) for x in args.values.split(","))
-    base = SimulationConfig(n_hosts=args.hosts, drain_model=args.drain)
+    base = SimulationConfig(
+        n_hosts=args.hosts,
+        drain_model=args.drain,
+        memory_budget_mb=args.memory_budget_mb,
+    )
     result = sweep_parameter(
         args.knob, values, base=base, trials=args.trials,
         root_seed=args.seed, processes=args.processes,

@@ -64,7 +64,28 @@ from repro.core.vectorized import pair_index_arrays
 from repro.errors import ConfigurationError, InvariantViolation
 from repro.graphs import bitset
 
-__all__ = ["CachedRuleEngine", "DeltaCDSPipeline", "INCREMENTAL_MIN_HOSTS"]
+__all__ = [
+    "CachedRuleEngine",
+    "DeltaCDSPipeline",
+    "INCREMENTAL_MIN_HOSTS",
+    "changed_row_flags",
+]
+
+
+def changed_row_flags(rows, prev_rows) -> "np.ndarray":
+    """Per-node boolean flags of adjacency rows that differ.
+
+    One vectorized object-dtype compare over arbitrary-width Python-int
+    bitmask rows — the row-diff primitive behind
+    :class:`DeltaCDSPipeline`'s dirty-set marking, shared with the
+    incremental sparse pipeline's adjacency fallback path
+    (:mod:`repro.core.sparse_delta`).  Both sequences must have the same
+    length; callers handle the size-change (cold start) case first.
+    """
+    return np.not_equal(
+        np.asarray(rows, dtype=object),
+        np.asarray(prev_rows, dtype=object),
+    ).astype(bool)
 
 #: Below this many hosts the scratch path wins: the engine's vectorized
 #: passes carry fixed per-call numpy overheads that only amortize once the
@@ -629,12 +650,8 @@ class DeltaCDSPipeline:
                 dirty = changed
             else:
                 prev_adj = engine.adjacency
-                # object-dtype compare: one vectorized pass over the rows
-                # (arbitrary-width Python ints), packed back to a bitmask
-                neq = np.not_equal(
-                    np.asarray(adj, dtype=object),
-                    np.asarray(prev_adj, dtype=object),
-                ).astype(bool)
+                # one vectorized row compare, packed back to a bitmask
+                neq = changed_row_flags(adj, prev_adj)
                 changed = int.from_bytes(
                     np.packbits(neq, bitorder="little").tobytes(), "little"
                 )

@@ -117,6 +117,9 @@ class CDSAlgorithm:
     supports_vectorized: bool = False
     #: streaming CSR / per-component kernels available (``backend="sparse"``).
     supports_sparse: bool = False
+    #: persistent-CSR incremental sparse pipeline available
+    #: (:mod:`repro.core.sparse_delta`; ``backend="sparse"`` + incremental).
+    supports_sparse_delta: bool = False
     #: 2 for constructions that survive any single (non-cut) gateway loss.
     connectivity: int = 1
     #: the priority scheme changes the output (marking family).
@@ -248,6 +251,7 @@ def register_algorithm(
     supports_delta: bool = False,
     supports_vectorized: bool = False,
     supports_sparse: bool = False,
+    supports_sparse_delta: bool = False,
     connectivity: int = 1,
     uses_scheme: bool = False,
     uses_energy: bool = False,
@@ -266,6 +270,7 @@ def register_algorithm(
             supports_delta=supports_delta,
             supports_vectorized=supports_vectorized,
             supports_sparse=supports_sparse,
+            supports_sparse_delta=supports_sparse_delta,
             connectivity=connectivity,
             uses_scheme=uses_scheme,
             uses_energy=uses_energy,
@@ -336,6 +341,7 @@ class AlgorithmPipeline:
     supports_delta=True,
     supports_vectorized=True,
     supports_sparse=True,
+    supports_sparse_delta=True,
     uses_scheme=True,
     uses_energy=True,
     description=(

@@ -91,7 +91,9 @@ from repro.errors import ConfigurationError, InvariantViolation
 __all__ = [
     "DENSE_COMPONENT_CUTOFF",
     "CSRBatch",
+    "SparseRunDetail",
     "connected_labels",
+    "unit_disk_edge_lists",
     "SparseCDSEngine",
     "compute_cds_sparse",
     "SparseCDSPipeline",
@@ -176,63 +178,95 @@ class CSRBatch:
         empty = np.empty(0, dtype=np.int64)
         if n == 0:
             return cls(np.zeros(1, dtype=np.int64), empty, 1, 0)
-        budget = chunk_words(memory_budget_mb)
-        r2 = radius * radius
-        keys = np.floor(pos / radius).astype(np.int64)
-        kx = keys[:, 0] - keys[:, 0].min()
-        ky = keys[:, 1] - keys[:, 1].min()
-        # +1 shift and a +3 stride make every ±1 cell offset a distinct
-        # code with no wraparound, so the 9 probes never double-count
-        stride = int(ky.max()) + 3
-        code = (kx + 1) * stride + (ky + 1)
-        order = np.argsort(code, kind="stable")
-        sorted_codes = code[order]
-        ucodes, ustarts = np.unique(sorted_codes, return_index=True)
-        ucounts = np.diff(np.append(ustarts, n))
-        starts9 = np.empty((9, n), dtype=np.int64)
-        counts9 = np.zeros((9, n), dtype=np.int64)
-        k = 0
-        for dx in (-1, 0, 1):
-            for dy in (-1, 0, 1):
-                target = code + dx * stride + dy
-                ci = np.searchsorted(ucodes, target)
-                ci = np.minimum(ci, len(ucodes) - 1)
-                ok = ucodes[ci] == target
-                starts9[k] = np.where(ok, ustarts[ci], 0)
-                counts9[k] = np.where(ok, ucounts[ci], 0)
-                k += 1
-        per_node = counts9.sum(axis=0)
-        avg = max(1.0, float(per_node.mean()))
-        step = max(1, int(budget / avg))
-        src_parts: list[np.ndarray] = []
-        dst_parts: list[np.ndarray] = []
-        for lo in range(0, n, step):
-            hi = min(n, lo + step)
-            cnt = counts9[:, lo:hi].ravel()
-            total = int(cnt.sum())
-            if total == 0:
-                continue
-            owner = np.repeat(np.arange(len(cnt), dtype=np.int64), cnt)
-            first = np.cumsum(cnt) - cnt
-            within = np.arange(total, dtype=np.int64) - first[owner]
-            cand = order[starts9[:, lo:hi].ravel()[owner] + within]
-            srcs = np.tile(np.arange(lo, hi, dtype=np.int64), 9)[owner]
-            d = pos[cand] - pos[srcs]
-            dsq = d * d
-            d2 = dsq[:, 0] + dsq[:, 1]
-            keep = (d2 <= r2) & (cand != srcs)
-            src_parts.append(srcs[keep])
-            dst_parts.append(cand[keep])
-        if not src_parts:
+        src, dst = unit_disk_edge_lists(
+            pos,
+            radius,
+            np.arange(n, dtype=np.int64),
+            chunk_words(memory_budget_mb),
+        )
+        if len(src) == 0:
             return cls(np.zeros(n + 1, dtype=np.int64), empty, 1, n)
-        src = np.concatenate(src_parts)
-        dst = np.concatenate(dst_parts)
         perm = np.lexsort((dst, src))
         src, dst = src[perm], dst[perm]
         deg = np.bincount(src, minlength=n)
         indptr = np.zeros(n + 1, dtype=np.int64)
         np.cumsum(deg, out=indptr[1:])
         return cls(indptr, dst, 1, n)
+
+
+def unit_disk_edge_lists(
+    pos: np.ndarray,
+    radius: float,
+    srcs: np.ndarray,
+    budget_words: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Unit-disk ``(src, dst)`` directed edge lists for a source subset.
+
+    Candidates come from the 3×3 grid-cell block around each source (cell
+    size = radius), expanded in chunks bounded by ``budget_words``.  The
+    distance arithmetic (``Σ (Δ)²`` in float64, inclusive ``d² ≤ r²``)
+    matches :func:`repro.graphs.unitdisk.unit_disk_adjacency_grid` bit for
+    bit, so calling this for *all* nodes reproduces
+    :meth:`CSRBatch.from_positions` and calling it for just the movers
+    yields rows bit-identical to a full rebuild — the property the
+    incremental pipeline's CSR patching rests on.  Edges are returned
+    unsorted (grouped by chunk); callers lexsort.
+    """
+    empty = np.empty(0, dtype=np.int64)
+    k = len(srcs)
+    if k == 0:
+        return empty, empty
+    n = len(pos)
+    r2 = radius * radius
+    keys = np.floor(pos / radius).astype(np.int64)
+    kx = keys[:, 0] - keys[:, 0].min()
+    ky = keys[:, 1] - keys[:, 1].min()
+    # +1 shift and a +3 stride make every ±1 cell offset a distinct
+    # code with no wraparound, so the 9 probes never double-count
+    stride = int(ky.max()) + 3
+    code = (kx + 1) * stride + (ky + 1)
+    order = np.argsort(code, kind="stable")
+    sorted_codes = code[order]
+    ucodes, ustarts = np.unique(sorted_codes, return_index=True)
+    ucounts = np.diff(np.append(ustarts, n))
+    starts9 = np.empty((9, k), dtype=np.int64)
+    counts9 = np.zeros((9, k), dtype=np.int64)
+    scode = code[srcs]
+    j = 0
+    for dx in (-1, 0, 1):
+        for dy in (-1, 0, 1):
+            target = scode + dx * stride + dy
+            ci = np.searchsorted(ucodes, target)
+            ci = np.minimum(ci, len(ucodes) - 1)
+            ok = ucodes[ci] == target
+            starts9[j] = np.where(ok, ustarts[ci], 0)
+            counts9[j] = np.where(ok, ucounts[ci], 0)
+            j += 1
+    per_node = counts9.sum(axis=0)
+    avg = max(1.0, float(per_node.mean()))
+    step = max(1, int(budget_words / avg))
+    src_parts: list[np.ndarray] = []
+    dst_parts: list[np.ndarray] = []
+    for lo in range(0, k, step):
+        hi = min(k, lo + step)
+        cnt = counts9[:, lo:hi].ravel()
+        total = int(cnt.sum())
+        if total == 0:
+            continue
+        owner = np.repeat(np.arange(len(cnt), dtype=np.int64), cnt)
+        first = np.cumsum(cnt) - cnt
+        within = np.arange(total, dtype=np.int64) - first[owner]
+        cand = order[starts9[:, lo:hi].ravel()[owner] + within]
+        ss = np.tile(srcs[lo:hi], 9)[owner]
+        d = pos[cand] - pos[ss]
+        dsq = d * d
+        d2 = dsq[:, 0] + dsq[:, 1]
+        keep = (d2 <= r2) & (cand != ss)
+        src_parts.append(ss[keep])
+        dst_parts.append(cand[keep])
+    if not src_parts:
+        return empty, empty
+    return np.concatenate(src_parts), np.concatenate(dst_parts)
 
 
 def connected_labels(indptr: np.ndarray, dst_flat: np.ndarray) -> np.ndarray:
@@ -279,6 +313,26 @@ def _member(
     idx = np.searchsorted(keys, q)
     idx = np.minimum(idx, len(keys) - 1)
     return keys[idx] == q
+
+
+@dataclass(frozen=True)
+class SparseRunDetail:
+    """Per-component results of one :meth:`SparseCDSEngine.run_detailed`.
+
+    All arrays are flat (batch-major, ``R = B·n`` rows).  ``roots`` holds
+    each component's min flat-row id — the stable label the incremental
+    pipeline keys its caches on; ``comp_of[r]`` indexes into the
+    per-component arrays.  ``rounds_c`` is raw (not floored): the
+    at-least-one-rule-round floor is an aggregation-time rule.
+    """
+
+    flags: np.ndarray
+    comp_of: np.ndarray
+    roots: np.ndarray
+    initial_c: np.ndarray
+    rem1_c: np.ndarray
+    rem2_c: np.ndarray
+    rounds_c: np.ndarray
 
 
 class SparseCDSEngine:
@@ -584,6 +638,50 @@ class SparseCDSEngine:
                 np.zeros((B, n), dtype=bool),
                 [PruneStats(0, 0, 0, rounds)] * B,
             )
+        d = self.run_detailed(csr, energy)
+        comp_elem = d.roots // n
+        initial_b = np.zeros(B, dtype=np.int64)
+        rem1_b = np.zeros(B, dtype=np.int64)
+        rem2_b = np.zeros(B, dtype=np.int64)
+        rounds_b = np.zeros(B, dtype=np.int64)
+        np.add.at(initial_b, comp_elem, d.initial_c)
+        np.add.at(rem1_b, comp_elem, d.rem1_c)
+        np.add.at(rem2_b, comp_elem, d.rem2_c)
+        np.maximum.at(rounds_b, comp_elem, d.rounds_c)
+        if uses_rules:
+            # the reference engine always runs at least one rule round
+            rounds_b = np.maximum(rounds_b, 1)
+        else:
+            rounds_b[:] = 0
+
+        stats = [
+            PruneStats(
+                int(initial_b[b]),
+                int(rem1_b[b]),
+                int(rem2_b[b]),
+                int(rounds_b[b]),
+            )
+            for b in range(B)
+        ]
+        if obs.enabled():
+            obs.add("scds.marked", int(initial_b.sum()))
+            obs.add("scds.final", int(d.flags.sum()))
+            obs.add("scds.rounds", int(rounds_b.sum()))
+        return d.flags.reshape(B, n), stats
+
+    def run_detailed(
+        self, csr: CSRBatch, energy: np.ndarray | None = None
+    ) -> "SparseRunDetail":
+        """One engine pass returning *per-component* results.
+
+        The per-element aggregation :meth:`run` performs (sum removals,
+        max rounds, floor at one rule round) is left to the caller, which
+        is what lets :class:`repro.core.sparse_delta.
+        IncrementalSparseCDSPipeline` recompute a dirty subset of
+        components and splice cached stats for the rest.  Requires a
+        non-degenerate batch (``B ≥ 1`` and ``n ≥ 1``).
+        """
+        B, n = csr.B, csr.n
         if B * n * n >= 1 << 62:
             raise ConfigurationError(
                 f"edge keys for B={B}, n={n} overflow int64; split the batch"
@@ -645,34 +743,15 @@ class SparseCDSEngine:
                     initial_c, rem1_c, rem2_c, rounds_c,
                 )
 
-            initial_b = np.zeros(B, dtype=np.int64)
-            rem1_b = np.zeros(B, dtype=np.int64)
-            rem2_b = np.zeros(B, dtype=np.int64)
-            rounds_b = np.zeros(B, dtype=np.int64)
-            np.add.at(initial_b, comp_elem, initial_c)
-            np.add.at(rem1_b, comp_elem, rem1_c)
-            np.add.at(rem2_b, comp_elem, rem2_c)
-            np.maximum.at(rounds_b, comp_elem, rounds_c)
-            if uses_rules:
-                # the reference engine always runs at least one rule round
-                rounds_b = np.maximum(rounds_b, 1)
-            else:
-                rounds_b[:] = 0
-
-            stats = [
-                PruneStats(
-                    int(initial_b[b]),
-                    int(rem1_b[b]),
-                    int(rem2_b[b]),
-                    int(rounds_b[b]),
-                )
-                for b in range(B)
-            ]
-            if obs.enabled():
-                obs.add("scds.marked", int(initial_b.sum()))
-                obs.add("scds.final", int(flags.sum()))
-                obs.add("scds.rounds", int(rounds_b.sum()))
-            return flags.reshape(B, n), stats
+            return SparseRunDetail(
+                flags=flags,
+                comp_of=comp_of,
+                roots=roots,
+                initial_c=initial_c,
+                rem1_c=rem1_c,
+                rem2_c=rem2_c,
+                rounds_c=rounds_c,
+            )
 
     def _run_big(
         self, big, comp_of, comp_elem, deg, eS, eDf, dst,
@@ -794,7 +873,15 @@ class SparseCDSPipeline:
 
     Duck-type compatible with the delta/vectorized pipelines
     (``compute(graph, energy=...)`` / ``reset()``) so ``run_interval``
-    swaps it in through the same socket.  Stateless across intervals.
+    swaps it in through the same socket.  Recomputes from scratch every
+    interval, except that an interval whose adjacency rows *and*
+    quantized-energy fingerprint both match the previous one
+    short-circuits to the cached result (the same fingerprint pair
+    :class:`repro.core.delta.DeltaCDSPipeline` checks) — quantization
+    follows ``scheme.quantum``, exactly what ``PriorityScheme.key``
+    applies, so an unchanged fingerprint implies unchanged keys for any
+    scheme.  For incremental recomputation of *changed* intervals see
+    :class:`repro.core.sparse_delta.IncrementalSparseCDSPipeline`.
     """
 
     def __init__(
@@ -817,17 +904,30 @@ class SparseCDSPipeline:
             fixed_point=fixed_point,
             memory_budget_mb=memory_budget_mb,
         )
+        self._prev_adj: list[int] | None = None
+        self._prev_ekey: bytes | None = None
+        self._prev_result: CDSResult | None = None
 
     def reset(self) -> None:
-        """No cached state to drop; present for pipeline-API parity."""
+        """Drop the short-circuit fingerprints (next compute runs fully)."""
+        self._prev_adj = None
+        self._prev_ekey = None
+        self._prev_result = None
+
+    def _energy_fingerprint(self, energy) -> bytes | None:
+        if energy is None:
+            return None
+        e = np.asarray(energy, dtype=np.float64)
+        q = self.scheme.quantum
+        qe = np.rint(e / q) * q if q is not None else e
+        return qe.tobytes()
 
     def compute(
         self, graph, energy: Sequence[float] | None = None
     ) -> CDSResult:
         """The sparse equivalent of :func:`compute_cds` (one element)."""
-        adj = graph.adjacency if hasattr(graph, "adjacency") else graph
-        adj = list(adj)
-        n = len(adj)
+        adj_src = graph.adjacency if hasattr(graph, "adjacency") else graph
+        n = len(adj_src)
         sch = self.scheme
         if sch.needs_energy and energy is None:
             raise ConfigurationError(
@@ -837,6 +937,25 @@ class SparseCDSPipeline:
             raise ConfigurationError(
                 f"energy has {len(energy)} entries for {n} nodes"
             )
+        ekey = self._energy_fingerprint(energy)
+        if (
+            self._prev_result is not None
+            and len(self._prev_adj) == n
+            and self._prev_ekey == ekey
+            and not np.not_equal(
+                np.asarray(adj_src, dtype=object),
+                np.asarray(self._prev_adj, dtype=object),
+            ).any()
+        ):
+            # unchanged rows + unchanged quantized energies: the rebuild
+            # would reproduce the previous interval bit for bit, and the
+            # defensive row copy below is skipped along with it
+            if obs.enabled():
+                obs.count("scds.short_circuit")
+                obs.count("cds.computed")
+                obs.add("cds.size", self._prev_result.size)
+            return self._prev_result
+        adj = list(adj_src)
         with obs.span("cds"):
             csr = CSRBatch.from_adjacency(
                 [adj], memory_budget_mb=self.engine.memory_budget_mb
@@ -859,6 +978,9 @@ class SparseCDSPipeline:
             if obs.enabled():
                 obs.count("cds.computed")
                 obs.add("cds.size", result.size)
+        self._prev_adj = adj
+        self._prev_ekey = ekey
+        self._prev_result = result
         return result
 
     def _shadow_check(self, adj, result: CDSResult, energy) -> None:

@@ -103,6 +103,17 @@ class AdHocNetwork:
             self._adj = unit_disk_adjacency(self._pos, self._radius)
         return self._adj
 
+    @property
+    def has_adjacency_cache(self) -> bool:
+        """Whether the Python bitmask adjacency is currently materialized.
+
+        Position-native consumers (the sparse pipelines) never touch
+        :attr:`adjacency`; callers that would only *warm* the cache on
+        their behalf (e.g. mobility patching) can check this and skip the
+        O(n^2/word) Python build entirely at 100k nodes.
+        """
+        return self._adj is not None
+
     # -- mutation ----------------------------------------------------------
 
     def invalidate(self) -> None:

@@ -62,8 +62,24 @@ class MobilityManager:
         :meth:`AdHocNetwork.apply_moves`, which is bit-identical to a full
         rebuild.  A rolled-back retry re-applies the same moved set to
         restore the previous rows exactly.
+
+        When the adjacency cache was never materialized and the policy is
+        ``"accept"`` (no connectivity check needed), hosts are moved
+        *without* building it: position-native consumers — the sparse
+        pipelines, which patch a persistent CSR from positions — would
+        otherwise pay an O(n^2/word) Python adjacency build per interval
+        purely for this method's bookkeeping.  The lazy path is
+        observationally identical because the cache, if later demanded,
+        rebuilds from the current positions.
         """
         net = self.network
+        if self.on_disconnect == "accept" and not net.has_adjacency_cache:
+            before = net.positions.copy()
+            self.model.step(net.positions, self.region, self.rng)
+            moved = np.flatnonzero(np.any(net.positions != before, axis=1))
+            if moved.size:
+                net.invalidate()
+            return bool(moved.size)
         net.adjacency  # ensure the cache exists so patches report exact deltas
         before = net.positions.copy()
 

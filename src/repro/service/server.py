@@ -91,6 +91,16 @@ class ServiceConfig:
     restart: RestartPolicy = field(default_factory=RestartPolicy)
     #: journal root; each tenant gets ``<data_dir>/<tenant>/``.  None = RAM only.
     data_dir: str | Path | None = None
+    #: recompute backend for ``wu_li`` tenants: ``delta`` (the packed-word
+    #: incremental pipeline — the default, best at service-sized tenants)
+    #: or ``sparse`` (the persistent-CSR incremental pipeline of
+    #: :mod:`repro.core.sparse_delta` — for very large tenants).  Both are
+    #: bit-identical; non-``wu_li`` algorithms ignore this.
+    backend: str = "delta"
+    #: chunking budget (MB) for the sparse backend's streamed builders
+    #: (bit-identical at any positive value; ``None`` defers to the
+    #: ``REPRO_MEMORY_BUDGET_MB`` env var, then the engine default).
+    memory_budget_mb: float | None = None
 
     def __post_init__(self) -> None:
         if self.queue_high_water < 1:
@@ -101,7 +111,21 @@ class ServiceConfig:
             raise ConfigurationError(
                 f"snapshot_every must be >= 1, got {self.snapshot_every}"
             )
-        algorithm_by_name(self.algorithm)  # fail fast with the catalog
+        if self.backend not in ("delta", "sparse"):
+            raise ConfigurationError(
+                f"service backend must be delta|sparse, got {self.backend!r}"
+            )
+        if self.memory_budget_mb is not None and not self.memory_budget_mb > 0:
+            raise ConfigurationError(
+                "memory_budget_mb must be positive or None, got "
+                f"{self.memory_budget_mb}"
+            )
+        algo = algorithm_by_name(self.algorithm)  # fail fast with the catalog
+        if self.backend == "sparse" and not algo.supports_sparse_delta:
+            raise ConfigurationError(
+                f"algorithm {algo.name!r} has no incremental sparse path; "
+                "use backend='delta'"
+            )
 
     def fresh_pipeline(self, scheme: str):
         """A new pipeline honoring the configured construction.
@@ -112,6 +136,12 @@ class ServiceConfig:
         between the cold-start and recovery paths.
         """
         algo = algorithm_by_name(self.algorithm)
+        if self.backend == "sparse" and algo.supports_sparse_delta:
+            from repro.core.sparse_delta import IncrementalSparseCDSPipeline
+
+            return IncrementalSparseCDSPipeline(
+                scheme, memory_budget_mb=self.memory_budget_mb
+            )
         if algo.supports_delta:
             return DeltaCDSPipeline(scheme)
         return AlgorithmPipeline(algo, scheme)
@@ -196,7 +226,7 @@ class _TenantCtx:
         name: str,
         state: TenantState,
         journal: TenantJournal | None,
-        pipeline: DeltaCDSPipeline | AlgorithmPipeline,
+        pipeline,  # Delta/IncrementalSparse/Algorithm pipeline (duck-typed)
         checker: BackboneChecker,
     ):
         self.name = name

@@ -57,13 +57,19 @@ class SimulationConfig:
     fixed_point: bool = False
     #: verify CDS invariants every interval (slow; for debugging).
     verify_invariants: bool = False
-    #: recompute the CDS incrementally across intervals (grid-delta
-    #: adjacency + dirty-set marking + cached rule engine); False falls
-    #: back to the from-scratch pipeline.  Both paths produce bit-identical
-    #: gateway masks — this knob only trades recomputation cost.  Networks
-    #: below ``repro.core.delta.INCREMENTAL_MIN_HOSTS`` stay on the scratch
-    #: path regardless (it is faster there).
-    incremental: bool = True
+    #: recompute the CDS incrementally across intervals.  ``None`` (the
+    #: default) resolves per backend — see :attr:`effective_incremental`:
+    #: on for ``scalar``/``delta`` (dirty-set marking + cached rule
+    #: engine over packed words) and for ``sparse`` (persistent CSR +
+    #: dirty components, :mod:`repro.core.sparse_delta`); off for
+    #: ``vectorized``, which has no incremental path.  All paths produce
+    #: bit-identical gateway masks — this knob only trades recomputation
+    #: cost.  An *explicit* ``True`` on ``vectorized`` (which would be
+    #: silently ignored) or ``False`` on ``delta`` (which *is* the
+    #: incremental pipeline) raises at construction.  On ``scalar``,
+    #: networks below ``repro.core.delta.INCREMENTAL_MIN_HOSTS`` stay on
+    #: the scratch path regardless (it is faster there).
+    incremental: bool | None = None
     #: run the scratch pipeline alongside the incremental one every
     #: interval and raise on any gateway-mask divergence (debug/CI mode;
     #: pays for both paths; implies nothing unless ``incremental``).
@@ -75,9 +81,11 @@ class SimulationConfig:
     #: for n ≳ 1000 where the scalar paths cap out), or ``sparse`` (the
     #: streaming CSR / per-component engine of :mod:`repro.core.sparse`;
     #: built for n ≳ 10k where dense packed rows cap out).  All backends
-    #: produce bit-identical masks.  With ``vectorized``/``sparse`` the
-    #: ``incremental`` knob is ignored; ``shadow_check`` still
-    #: cross-checks against the scratch oracle every interval.
+    #: produce bit-identical masks.  ``sparse`` honors ``incremental``
+    #: (persistent CSR, dirty-component recomputation); ``vectorized``
+    #: has no incremental path and rejects an explicit
+    #: ``incremental=True``.  ``shadow_check`` still cross-checks
+    #: against the scratch oracle every interval.
     backend: str = "scalar"
     #: CDS construction algorithm, one of :func:`repro.core.registry.
     #: algorithm_names` — ``wu_li`` is the paper's marking + pruning path
@@ -165,6 +173,32 @@ class SimulationConfig:
                 f"algorithm {algo.name!r} has no delta backend; "
                 "use backend='scalar'"
             )
+        # the incremental knob must never be silently dropped: explicit
+        # contradictions fail loudly instead of quietly paying (or
+        # skipping) a full rebuild per interval
+        if self.incremental is True and self.backend == "vectorized":
+            raise ConfigurationError(
+                "backend='vectorized' has no incremental path (the knob "
+                "would be silently ignored); use backend='sparse' for "
+                "incremental recomputation at scale, or leave "
+                "incremental unset"
+            )
+        if self.incremental is False and self.backend == "delta":
+            raise ConfigurationError(
+                "backend='delta' is the incremental pipeline; "
+                "incremental=False contradicts it — use backend='scalar' "
+                "for the from-scratch path"
+            )
+        if (
+            self.backend == "sparse"
+            and self.effective_incremental
+            and not algo.supports_sparse_delta
+        ):
+            raise ConfigurationError(
+                f"algorithm {algo.name!r} has no incremental sparse "
+                "path; pass incremental=False for the stateless sparse "
+                "pipeline"
+            )
         if self.memory_budget_mb is not None and not self.memory_budget_mb > 0:
             raise ConfigurationError(
                 "memory_budget_mb must be positive or None, got "
@@ -172,6 +206,19 @@ class SimulationConfig:
             )
         scheme_by_name(self.scheme)
         drain_model_by_name(self.drain_model)
+
+    @property
+    def effective_incremental(self) -> bool:
+        """The ``incremental`` knob with ``None`` resolved per backend.
+
+        Every backend except ``vectorized`` has an incremental path, so
+        auto means on — the scalar backend additionally applies its
+        measured ``INCREMENTAL_MIN_HOSTS`` crossover at simulator
+        construction (that cutoff is a speed heuristic, not a capability).
+        """
+        if self.incremental is not None:
+            return self.incremental
+        return self.backend != "vectorized"
 
     def with_overrides(self, **kwargs: Any) -> "SimulationConfig":
         """Functional update (frozen dataclass)."""

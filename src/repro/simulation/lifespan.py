@@ -29,6 +29,7 @@ from repro.core.delta import INCREMENTAL_MIN_HOSTS, DeltaCDSPipeline
 from repro.core.priority import scheme_by_name
 from repro.core.registry import algorithm_by_name
 from repro.core.sparse import SparseCDSPipeline
+from repro.core.sparse_delta import IncrementalSparseCDSPipeline
 from repro.core.vectorized import VectorizedCDSPipeline
 from repro.energy.accounting import EnergyAccountant
 from repro.energy.battery import BatteryBank
@@ -102,7 +103,12 @@ class LifespanSimulator:
                 memory_budget_mb=config.memory_budget_mb,
             )
         elif config.backend == "sparse" and cds_fn is None:
-            self.pipeline = SparseCDSPipeline(
+            sparse_cls = (
+                IncrementalSparseCDSPipeline
+                if config.effective_incremental
+                else SparseCDSPipeline
+            )
+            self.pipeline = sparse_cls(
                 self.scheme,
                 fixed_point=config.fixed_point,
                 verify=config.verify_invariants,
@@ -124,7 +130,7 @@ class LifespanSimulator:
                     verify=config.verify_invariants,
                     shadow_check=config.shadow_check,
                 )
-                if config.incremental
+                if config.effective_incremental
                 and cds_fn is None
                 and (
                     config.n_hosts >= INCREMENTAL_MIN_HOSTS

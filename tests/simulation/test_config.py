@@ -88,6 +88,29 @@ class TestValidation:
         for name in algorithm_names():
             assert SimulationConfig(algorithm=name).algorithm == name
 
+    def test_incremental_knob_never_silently_dropped(self):
+        """Regression (ISSUE 10): explicit ``incremental`` contradictions
+        raise instead of being quietly ignored."""
+        with pytest.raises(ConfigurationError, match="no incremental path"):
+            SimulationConfig(backend="vectorized", incremental=True)
+        with pytest.raises(ConfigurationError, match="is the incremental"):
+            SimulationConfig(backend="delta", incremental=False)
+        # sparse now honors the knob in both directions
+        assert SimulationConfig(backend="sparse", incremental=True).incremental
+        cfg = SimulationConfig(backend="sparse", incremental=False)
+        assert cfg.incremental is False
+
+    def test_effective_incremental_resolution(self):
+        """``None`` resolves per backend: on everywhere vectorized isn't."""
+        assert SimulationConfig(backend="scalar").effective_incremental
+        assert SimulationConfig(backend="delta").effective_incremental
+        assert SimulationConfig(backend="sparse").effective_incremental
+        assert not SimulationConfig(backend="vectorized").effective_incremental
+        # explicit values win over the per-backend default
+        assert not SimulationConfig(
+            backend="scalar", incremental=False
+        ).effective_incremental
+
 
 class TestOverrides:
     def test_with_overrides_returns_new_object(self):

@@ -102,6 +102,33 @@ class TestCommands:
         ]) == 0
         assert "n_hosts" in capsys.readouterr().out
 
+    def test_sweep_accepts_memory_budget(self, capsys):
+        """Flag parity (ISSUE 10): sweep threads --memory-budget-mb into
+        its base SimulationConfig (bit-identical at any positive value)."""
+        assert main([
+            "sweep", "radius", "20,30", "--hosts", "10", "--trials", "2",
+            "--memory-budget-mb", "8",
+        ]) == 0
+        assert "radius" in capsys.readouterr().out
+
+    def test_serve_accepts_memory_budget_and_sparse_backend(self, capsys):
+        """Flag parity (ISSUE 10): serve exposes the sparse incremental
+        backend and its chunking budget; the digest must match delta."""
+        assert main([
+            "serve", "--tenants", "1", "--hosts", "12", "--updates", "6",
+            "--backend", "sparse", "--memory-budget-mb", "8", "--digest",
+        ]) == 0
+        sparse_out = capsys.readouterr().out
+        assert main([
+            "serve", "--tenants", "1", "--hosts", "12", "--updates", "6",
+            "--digest",
+        ]) == 0
+        delta_out = capsys.readouterr().out
+        digest = [l for l in sparse_out.splitlines() if l.startswith("digest")]
+        assert digest and digest == [
+            l for l in delta_out.splitlines() if l.startswith("digest")
+        ]
+
     def test_profile_prints_span_tree(self, capsys):
         assert main([
             "profile", "--hosts", "20", "--scheme", "el2",
